@@ -1,0 +1,144 @@
+package mobiledist_test
+
+import (
+	"testing"
+
+	"mobiledist"
+	"mobiledist/internal/experiments"
+)
+
+// One benchmark per experiment table (see the DESIGN.md index): each
+// iteration regenerates the full table from live protocol runs, so the
+// reported time is the cost of reproducing that evaluation artefact.
+
+func benchTable(b *testing.B, fn func(uint64) experiments.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := fn(uint64(i + 1))
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", t.ID)
+		}
+	}
+}
+
+func BenchmarkE1LamportCostVsN(b *testing.B)    { benchTable(b, experiments.E1LamportCostVsN) }
+func BenchmarkE2LamportEnergy(b *testing.B)     { benchTable(b, experiments.E2LamportEnergy) }
+func BenchmarkE3LamportDisconnect(b *testing.B) { benchTable(b, experiments.E3LamportDisconnect) }
+func BenchmarkE4RingCostVsK(b *testing.B)       { benchTable(b, experiments.E4RingCostVsK) }
+func BenchmarkE5RingFairness(b *testing.B)      { benchTable(b, experiments.E5RingFairness) }
+func BenchmarkE6TokenList(b *testing.B)         { benchTable(b, experiments.E6TokenList) }
+func BenchmarkE7RingDisconnect(b *testing.B)    { benchTable(b, experiments.E7RingDisconnect) }
+func BenchmarkE8GroupCostVsMobility(b *testing.B) {
+	benchTable(b, experiments.E8GroupCostVsMobility)
+}
+func BenchmarkE9GroupLocality(b *testing.B)  { benchTable(b, experiments.E9GroupLocality) }
+func BenchmarkE10GroupWireless(b *testing.B) { benchTable(b, experiments.E10GroupWireless) }
+func BenchmarkE11ProxyTraffic(b *testing.B)  { benchTable(b, experiments.E11ProxyTraffic) }
+func BenchmarkA1SearchModes(b *testing.B)    { benchTable(b, experiments.A1SearchModes) }
+func BenchmarkA2Crossover(b *testing.B)      { benchTable(b, experiments.A2Crossover) }
+func BenchmarkA3LazyInform(b *testing.B)     { benchTable(b, experiments.A3LazyInform) }
+func BenchmarkA4MulticastHandoff(b *testing.B) {
+	benchTable(b, experiments.A4MulticastHandoff)
+}
+
+// Micro-benchmarks of the substrate under the experiment suite.
+
+// BenchmarkL2Execution measures one complete L2 mutual-exclusion execution
+// (init → MSS arbitration → grant with search → release) on a mid-sized
+// network.
+func BenchmarkL2Execution(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := mobiledist.DefaultConfig(8, 64)
+		cfg.Seed = uint64(i + 1)
+		sys := mobiledist.MustNewSystem(cfg)
+		l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{Hold: 5})
+		if err := l2.Request(mobiledist.MHID(0)); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if l2.Grants() != 1 {
+			b.Fatalf("grants = %d", l2.Grants())
+		}
+	}
+}
+
+// BenchmarkR2Traversal measures one full R2′ traversal granting 10
+// requests.
+func BenchmarkR2Traversal(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := mobiledist.DefaultConfig(8, 64)
+		cfg.Seed = uint64(i + 1)
+		sys := mobiledist.MustNewSystem(cfg)
+		r2, err := mobiledist.NewR2(sys, mobiledist.R2Counter, mobiledist.RingOptions{Hold: 2}, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			if err := r2.Request(mobiledist.MHID(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Schedule(100, func() {
+			if err := r2.Start(); err != nil {
+				b.Error(err)
+			}
+		})
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupSendLocationView measures one location-view group message
+// over a 16-member group spread across 4 of 16 cells.
+func BenchmarkGroupSendLocationView(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := mobiledist.DefaultConfig(16, 32)
+		cfg.Seed = uint64(i + 1)
+		cfg.Placement = func(mh mobiledist.MHID) mobiledist.MSSID {
+			return mobiledist.MSSID(int(mh) % 4)
+		}
+		sys := mobiledist.MustNewSystem(cfg)
+		lv, err := mobiledist.NewLocationView(sys, mobiledist.AllMHs(16), mobiledist.LocationViewOptions{
+			Coordinator: mobiledist.MSSID(15),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lv.Send(mobiledist.MHID(0), i); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if lv.Delivered() != 15 {
+			b.Fatalf("delivered = %d", lv.Delivered())
+		}
+	}
+}
+
+// BenchmarkMobilityChurn measures raw mobility-protocol throughput: 32 MHs
+// each completing 8 leave/join cycles over 8 cells.
+func BenchmarkMobilityChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := mobiledist.DefaultConfig(8, 32)
+		cfg.Seed = uint64(i + 1)
+		sys := mobiledist.MustNewSystem(cfg)
+		if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+			Interval:   mobiledist.Span{Min: 10, Max: 100},
+			MovesPerMH: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

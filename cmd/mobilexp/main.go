@@ -1,0 +1,73 @@
+// Command mobilexp regenerates the paper's evaluation tables (experiments
+// E1–E11 and ablations A1–A2; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	mobilexp [-seed N] [-id E4] [-markdown] [-o FILE]
+//
+// Without -id every experiment runs in index order. With -markdown the
+// output is GitHub-flavoured markdown (the format EXPERIMENTS.md embeds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mobiledist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobilexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobilexp", flag.ContinueOnError)
+	var (
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		id       = fs.String("id", "", "run a single experiment (E1..E11, A1, A2)")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavoured markdown")
+		outPath  = fs.String("o", "", "write output to FILE instead of stdout")
+		verify   = fs.Int("verify", 0, "instead of tables, sweep every experiment across N seeds and report whether paper == measured held")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tables []mobiledist.ExperimentTable
+	switch {
+	case *verify > 0:
+		tables = []mobiledist.ExperimentTable{mobiledist.VerifyExperiments(*verify)}
+	case *id != "":
+		t, ok := mobiledist.ExperimentByID(*id, *seed)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)", *id, strings.Join(mobiledist.ExperimentIDs(), ", "))
+		}
+		tables = []mobiledist.ExperimentTable{t}
+	default:
+		tables = mobiledist.AllExperiments(*seed)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	for _, t := range tables {
+		if *markdown {
+			fmt.Fprintln(out, t.Markdown())
+		} else {
+			fmt.Fprintln(out, t.Format())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "E10", "-seed", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "E10") || !strings.Contains(text, "location view") {
+		t.Errorf("output missing expected content:\n%s", text)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "A1", "-markdown"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "### A1") {
+		t.Errorf("markdown output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "E99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.txt")
+	var out strings.Builder
+	if err := run([]string{"-id", "E10", "-o", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.Contains(string(data), "E10") {
+		t.Errorf("file content missing table:\n%s", data)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty when -o used: %q", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

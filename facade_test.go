@@ -1,0 +1,276 @@
+package mobiledist_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobiledist"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := mobiledist.DefaultConfig(4, 16)
+	cfg.Seed = 3
+	sys, err := mobiledist.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	var entries int
+	l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{
+		Hold:    10,
+		OnEnter: func(mobiledist.MHID) { entries++ },
+	})
+	if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+		Interval:      mobiledist.Span{Min: 10, Max: 100},
+		RequestsPerMH: 1,
+	}, l2.Request); err != nil {
+		t.Fatalf("NewRequests: %v", err)
+	}
+	if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+		Interval:   mobiledist.Span{Min: 100, Max: 500},
+		MovesPerMH: 2,
+	}); err != nil {
+		t.Fatalf("NewMobility: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if entries != 16 {
+		t.Errorf("entries = %d, want 16", entries)
+	}
+	if got := sys.Meter().TotalCost(cfg.Params); got <= 0 {
+		t.Errorf("total cost = %v, want > 0", got)
+	}
+}
+
+func TestMultipleAlgorithmsCoexist(t *testing.T) {
+	// A mutex and a group can share one network: message dispatch is
+	// per-algorithm.
+	cfg := mobiledist.DefaultConfig(4, 12)
+	sys := mobiledist.MustNewSystem(cfg)
+
+	l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{Hold: 5})
+	lv, err := mobiledist.NewLocationView(sys, mobiledist.AllMHs(6), mobiledist.LocationViewOptions{
+		Coordinator: mobiledist.MSSID(3),
+	})
+	if err != nil {
+		t.Fatalf("NewLocationView: %v", err)
+	}
+	if err := l2.Request(mobiledist.MHID(7)); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if err := lv.Send(mobiledist.MHID(0), "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if l2.Grants() != 1 {
+		t.Errorf("grants = %d, want 1", l2.Grants())
+	}
+	if lv.Delivered() != 5 {
+		t.Errorf("delivered = %d, want 5", lv.Delivered())
+	}
+}
+
+// TestPropertyMutualExclusionUnderChaos: for arbitrary seeds and mixed
+// workloads of requests, moves and disconnect/reconnect churn, L2 never
+// admits two holders and every grant is balanced by a release or abort.
+func TestPropertyMutualExclusionUnderChaos(t *testing.T) {
+	check := func(seed uint64, mobility, churnRaw uint8) bool {
+		const (
+			m = 5
+			n = 12
+		)
+		cfg := mobiledist.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := mobiledist.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		holders, peak := 0, 0
+		l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{
+			Hold: 7,
+			OnEnter: func(mobiledist.MHID) {
+				holders++
+				if holders > peak {
+					peak = holders
+				}
+			},
+			OnExit: func(mobiledist.MHID) { holders-- },
+		})
+		if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+			Interval:      mobiledist.Span{Min: 20, Max: 200},
+			RequestsPerMH: 2,
+		}, l2.Request); err != nil {
+			return false
+		}
+		if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+			Interval:   mobiledist.Span{Min: 50, Max: 400},
+			MovesPerMH: int(mobility % 4),
+			Locality:   0.5,
+		}); err != nil {
+			return false
+		}
+		if churnRaw%2 == 1 {
+			if _, err := mobiledist.NewChurn(sys, mobiledist.ChurnConfig{
+				MHs:       []mobiledist.MHID{10, 11},
+				UpFor:     mobiledist.Span{Min: 100, Max: 500},
+				DownFor:   mobiledist.Span{Min: 100, Max: 300},
+				Cycles:    2,
+				KnowsPrev: true,
+			}); err != nil {
+				return false
+			}
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return peak <= 1 && holders == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTokenUniqueness: under the same chaos, the R2' token admits
+// at most one holder at a time and the token is never duplicated (grants
+// equal returns plus at most one in flight at drain).
+func TestPropertyTokenUniqueness(t *testing.T) {
+	check := func(seed uint64, mobility uint8) bool {
+		const (
+			m = 4
+			n = 10
+		)
+		cfg := mobiledist.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := mobiledist.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		holders, peak := 0, 0
+		r2, err := mobiledist.NewR2(sys, mobiledist.R2Counter, mobiledist.RingOptions{
+			Hold: 5,
+			OnEnter: func(mobiledist.MHID) {
+				holders++
+				if holders > peak {
+					peak = holders
+				}
+			},
+			OnExit: func(mobiledist.MHID) { holders-- },
+		}, 4, nil)
+		if err != nil {
+			return false
+		}
+		if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+			Interval:      mobiledist.Span{Min: 20, Max: 150},
+			RequestsPerMH: 1,
+		}, r2.Request); err != nil {
+			return false
+		}
+		if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+			Interval:   mobiledist.Span{Min: 60, Max: 300},
+			MovesPerMH: int(mobility % 3),
+		}); err != nil {
+			return false
+		}
+		sys.Schedule(300, func() {
+			_ = r2.Start()
+		})
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return peak <= 1 && holders == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGroupDeliveryCount: in a quiescent network every strategy
+// delivers each group message to exactly |G|-1 members.
+func TestPropertyGroupDeliveryCount(t *testing.T) {
+	check := func(seed uint64, gRaw, strat uint8) bool {
+		const (
+			m = 5
+			n = 12
+		)
+		g := int(gRaw%8) + 2
+		cfg := mobiledist.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := mobiledist.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		members := mobiledist.AllMHs(g)
+		var comm mobiledist.GroupComm
+		switch strat % 3 {
+		case 0:
+			comm, err = mobiledist.NewPureSearch(sys, members, mobiledist.GroupOptions{})
+		case 1:
+			comm, err = mobiledist.NewAlwaysInform(sys, members, mobiledist.GroupOptions{})
+		case 2:
+			comm, err = mobiledist.NewLocationView(sys, members, mobiledist.LocationViewOptions{
+				Coordinator: mobiledist.MSSID(m - 1),
+			})
+		}
+		if err != nil {
+			return false
+		}
+		const msgs = 3
+		for i := 0; i < msgs; i++ {
+			from := members[i%g]
+			sys.Schedule(mobiledist.Time(i*10_000), func() {
+				_ = comm.Send(from, i)
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return comm.Delivered() == int64(msgs*(g-1))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := mobiledist.ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("experiment ids = %v", ids)
+	}
+	tab, ok := mobiledist.ExperimentByID("E10", 1)
+	if !ok || tab.ID != "E10" {
+		t.Errorf("ExperimentByID(E10) = %v, %v", tab.ID, ok)
+	}
+	if _, ok := mobiledist.ExperimentByID("bogus", 1); ok {
+		t.Error("bogus experiment id accepted")
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	sys, err := mobiledist.NewLiveSystem(mobiledist.DefaultLiveConfig(3, 6))
+	if err != nil {
+		t.Fatalf("NewLiveSystem: %v", err)
+	}
+	var grants int
+	l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{
+		Hold:    2,
+		OnEnter: func(mobiledist.MHID) { grants++ },
+	})
+	sys.Start()
+	defer sys.Stop()
+	sys.Do(func() {
+		if err := l2.Request(mobiledist.MHID(4)); err != nil {
+			t.Errorf("Request: %v", err)
+		}
+	})
+	if !sys.WaitIdle(10 * time.Second) {
+		t.Fatal("network did not drain")
+	}
+	sys.Do(func() {
+		if grants != 1 {
+			t.Errorf("grants = %d, want 1", grants)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module mobiledist
+
+go 1.22

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// Delay is an inclusive range of virtual-time latencies. Each transmission
+// draws uniformly from the range; FIFO order per channel is preserved
+// regardless of the draw.
+type Delay struct {
+	Min, Max sim.Time
+}
+
+// Fixed returns a degenerate range with a single value.
+func FixedDelay(d sim.Time) Delay { return Delay{Min: d, Max: d} }
+
+func (d Delay) validate(name string) error {
+	if d.Min < 0 || d.Max < d.Min {
+		return fmt.Errorf("core: invalid %s delay range [%d,%d]", name, d.Min, d.Max)
+	}
+	return nil
+}
+
+// Config describes a two-tier network instance.
+type Config struct {
+	// M is the number of mobile support stations (M >= 1).
+	M int
+	// N is the number of mobile hosts (N >= 1). The paper assumes N >> M but
+	// the model does not require it.
+	N int
+	// Params are the message cost constants.
+	Params cost.Params
+	// Seed initialises the deterministic RNG.
+	Seed uint64
+
+	// Wired is the MSS-to-MSS latency range.
+	Wired Delay
+	// Wireless is the MH<->MSS latency range.
+	Wireless Delay
+	// Travel is how long a MH spends between leaving one cell and joining
+	// the next.
+	Travel Delay
+
+	// SearchMode selects the search service (abstract Csearch vs broadcast).
+	SearchMode SearchMode
+	// PessimisticSearch, when true, charges Csearch on every routed delivery
+	// to a MH even if it happens to still be local — the paper's "any
+	// message destined for a mobile host incurs a fixed search cost"
+	// assumption, under which the analytic expressions are exact. When
+	// false, search is charged only for genuinely non-local destinations.
+	PessimisticSearch bool
+
+	// Placement maps each MH to its initial cell. Nil means round-robin
+	// (mh i starts at MSS i mod M).
+	Placement func(mh MHID) MSSID
+
+	// StepLimit bounds total simulation events as a runaway-protocol
+	// backstop; 0 applies a generous default.
+	StepLimit uint64
+
+	// Trace, when non-nil, receives one line per model-level event
+	// (mobility protocol steps, searches, delivery failures). Useful for
+	// debugging protocol runs; adds no cost charges.
+	Trace func(t sim.Time, event, detail string)
+}
+
+// DefaultConfig returns a paper-faithful configuration for m stations and
+// n mobile hosts.
+func DefaultConfig(m, n int) Config {
+	return Config{
+		M:                 m,
+		N:                 n,
+		Params:            cost.DefaultParams(),
+		Seed:              1,
+		Wired:             Delay{Min: 5, Max: 20},
+		Wireless:          Delay{Min: 1, Max: 4},
+		Travel:            Delay{Min: 10, Max: 50},
+		SearchMode:        SearchAbstract,
+		PessimisticSearch: true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.M < 1 {
+		return fmt.Errorf("core: M must be >= 1, got %d", c.M)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("core: N must be >= 1, got %d", c.N)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Wired.validate("wired"); err != nil {
+		return err
+	}
+	if err := c.Wireless.validate("wireless"); err != nil {
+		return err
+	}
+	if err := c.Travel.validate("travel"); err != nil {
+		return err
+	}
+	switch c.SearchMode {
+	case SearchAbstract, SearchBroadcast:
+	default:
+		return fmt.Errorf("core: unknown search mode %d", int(c.SearchMode))
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// simContext is the Context implementation bound to the deterministic
+// simulation driver. One instance exists per registered algorithm.
+type simContext struct {
+	s   *System
+	alg int
+}
+
+var _ Context = (*simContext)(nil)
+
+func (c *simContext) Now() sim.Time { return c.s.kernel.Now() }
+
+func (c *simContext) After(d sim.Time, fn func()) { c.s.kernel.Schedule(d, fn) }
+
+func (c *simContext) RNG() *sim.RNG { return c.s.rng }
+
+func (c *simContext) M() int { return c.s.cfg.M }
+
+func (c *simContext) N() int { return c.s.cfg.N }
+
+func (c *simContext) Params() cost.Params { return c.s.cfg.Params }
+
+func (c *simContext) SendFixed(from, to MSSID, msg Message, cat cost.Category) {
+	c.s.sendFixed(c.alg, from, to, msg, cat)
+}
+
+func (c *simContext) BroadcastFixed(from MSSID, msg Message, cat cost.Category) {
+	c.s.broadcastFixed(c.alg, from, msg, cat)
+}
+
+func (c *simContext) SendToMH(from MSSID, mh MHID, msg Message, cat cost.Category) {
+	c.s.sendToMH(c.alg, from, mh, msg, cat)
+}
+
+func (c *simContext) SendToLocalMH(from MSSID, mh MHID, msg Message, cat cost.Category) error {
+	return c.s.sendToLocalMH(c.alg, from, mh, msg, cat)
+}
+
+func (c *simContext) SendFromMH(mh MHID, msg Message, cat cost.Category) error {
+	return c.s.sendFromMH(c.alg, mh, msg, cat)
+}
+
+func (c *simContext) SendMHToMH(from, to MHID, msg Message, cat cost.Category) error {
+	return c.s.sendMHToMH(c.alg, from, to, msg, cat)
+}
+
+func (c *simContext) SendMHViaMSS(from MHID, via MSSID, to MHID, msg Message, cat cost.Category) error {
+	return c.s.sendMHViaMSS(c.alg, from, via, to, msg, cat)
+}
+
+func (c *simContext) SendToMHVia(from, via MSSID, to MHID, msg Message, cat cost.Category) {
+	c.s.sendToMHVia(c.alg, from, via, to, msg, cat)
+}
+
+func (c *simContext) SendToMSSOfMH(from MSSID, mh MHID, msg Message, cat cost.Category) {
+	c.s.sendToMSSOfMH(c.alg, from, mh, msg, cat)
+}
+
+func (c *simContext) IsLocal(mss MSSID, mh MHID) bool {
+	c.s.checkMSS(mss)
+	c.s.checkMH(mh)
+	return c.s.mss[mss].local[mh]
+}
+
+func (c *simContext) LocalMHs(mss MSSID) []MHID {
+	return c.s.localMHs(mss)
+}
+
+func (c *simContext) IsDisconnectedHere(mss MSSID, mh MHID) bool {
+	c.s.checkMSS(mss)
+	c.s.checkMH(mh)
+	return c.s.mss[mss].disconnected[mh]
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+)
+
+// Move initiates a cell switch: mh sends leave(r) to its current MSS,
+// travels, then sends join(mh, prev) to the new cell's MSS. While between
+// cells the MH neither sends nor receives (Section 2); routed messages park
+// until the join completes. Moving to the current cell is a no-op.
+func (s *System) Move(mh MHID, to MSSID) error {
+	s.checkMH(mh)
+	s.checkMSS(to)
+	st := &s.mh[mh]
+	if st.status != StatusConnected {
+		return fmt.Errorf("core: mh%d cannot move while %s", int(mh), st.status)
+	}
+	from := st.at
+	if from == to {
+		return nil
+	}
+
+	// leave(r): one wireless uplink transmission, control traffic.
+	s.meter.Charge(cost.CatControl, cost.KindWireless)
+	s.meter.WirelessTx(int(mh))
+	st.status = StatusInTransit
+	st.at = from // remembered as the previous cell for the join message
+
+	s.trace("leave", "mh%d leaving mss%d for mss%d", int(mh), int(from), int(to))
+	leaveArrival := s.fifoUp(mh)
+	if err := s.kernel.ScheduleAt(leaveArrival, func() {
+		delete(s.mss[from].local, mh)
+		s.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
+		s.notifyLeave(from, mh)
+
+		// The MH travels, then announces itself in the new cell. Joining is
+		// sequenced after the leave is processed so a MH is never in two
+		// local lists at once.
+		travel := s.delay(s.cfg.Travel)
+		s.kernel.Schedule(travel, func() {
+			s.completeJoin(mh, to, from, false)
+		})
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule leave: %v", err))
+	}
+	return nil
+}
+
+// completeJoin performs the join(mh, prev) exchange in the new cell.
+func (s *System) completeJoin(mh MHID, to, prev MSSID, wasDisconnected bool) {
+	// join(mh-id, prev): one wireless uplink transmission in the new cell.
+	s.meter.Charge(cost.CatControl, cost.KindWireless)
+	s.meter.WirelessTx(int(mh))
+	arrival := s.fifoUp(mh)
+	if err := s.kernel.ScheduleAt(arrival, func() {
+		st := &s.mh[mh]
+		s.mss[to].local[mh] = true
+		st.status = StatusConnected
+		st.at = to
+		if !wasDisconnected {
+			s.stats.Moves++
+		}
+		s.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
+		s.notifyJoin(to, mh, prev, wasDisconnected)
+		s.fireWaiters(mh)
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule join: %v", err))
+	}
+}
+
+// Disconnect performs a voluntary disconnection: mh sends disconnect(r) to
+// its local MSS, which removes it from the local list and sets the
+// "disconnected" flag for it.
+func (s *System) Disconnect(mh MHID) error {
+	s.checkMH(mh)
+	st := &s.mh[mh]
+	if st.status != StatusConnected {
+		return fmt.Errorf("core: mh%d cannot disconnect while %s", int(mh), st.status)
+	}
+	at := st.at
+
+	s.meter.Charge(cost.CatControl, cost.KindWireless)
+	s.meter.WirelessTx(int(mh))
+	// The MH is unreachable from the instant it decides to disconnect.
+	st.status = StatusDisconnected
+
+	arrival := s.fifoUp(mh)
+	if err := s.kernel.ScheduleAt(arrival, func() {
+		delete(s.mss[at].local, mh)
+		s.mss[at].disconnected[mh] = true
+		s.stats.Disconnects++
+		s.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
+		s.notifyDisconnect(at, mh)
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule disconnect: %v", err))
+	}
+	return nil
+}
+
+// Reconnect re-attaches a disconnected MH at the given MSS with a
+// reconnect(mh-id, prev mss-id) message. If knowsPrev is false the MH could
+// not supply its previous location, and the new MSS queries every other
+// fixed host to find it before running the handoff (Section 2).
+func (s *System) Reconnect(mh MHID, at MSSID, knowsPrev bool) error {
+	s.checkMH(mh)
+	s.checkMSS(at)
+	st := &s.mh[mh]
+	if st.status != StatusDisconnected {
+		return fmt.Errorf("core: mh%d cannot reconnect while %s", int(mh), st.status)
+	}
+	prev := st.at
+
+	// The MH is reconnecting: from the model's perspective it is between
+	// cells until the handoff completes, so routed messages park rather
+	// than bounce as disconnected, and duplicate Reconnect/Move/Disconnect
+	// calls are rejected.
+	st.status = StatusInTransit
+
+	// reconnect(): one wireless uplink transmission in the new cell.
+	s.meter.Charge(cost.CatControl, cost.KindWireless)
+	s.meter.WirelessTx(int(mh))
+	arrival := s.fifoUp(mh)
+	if err := s.kernel.ScheduleAt(arrival, func() {
+		s.runReconnectHandoff(mh, at, prev, knowsPrev)
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule reconnect: %v", err))
+	}
+	return nil
+}
+
+// runReconnectHandoff executes the locate-and-handoff exchange at the new
+// MSS: optionally a broadcast query for the previous location, then a
+// request/reply with the previous MSS to clear the "disconnected" flag.
+func (s *System) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
+	locate := s.kernel.Now()
+	if !knowsPrev {
+		// Query each other fixed host; only the flag holder replies.
+		s.meter.ChargeN(cost.CatControl, cost.KindFixed, int64(s.cfg.M-1))
+		s.meter.Charge(cost.CatControl, cost.KindFixed)
+		locate += s.delay(s.cfg.Wired) + s.delay(s.cfg.Wired)
+	}
+	if err := s.kernel.ScheduleAt(locate, func() {
+		// Handoff request to the previous MSS.
+		s.meter.Charge(cost.CatControl, cost.KindFixed)
+		reqArrival := s.fifoWired(at, prev)
+		if err := s.kernel.ScheduleAt(reqArrival, func() {
+			delete(s.mss[prev].disconnected, mh)
+			// Handoff reply back to the new MSS.
+			s.meter.Charge(cost.CatControl, cost.KindFixed)
+			repArrival := s.fifoWired(prev, at)
+			if err := s.kernel.ScheduleAt(repArrival, func() {
+				st := &s.mh[mh]
+				s.mss[at].local[mh] = true
+				st.status = StatusConnected
+				st.at = at
+				s.stats.Reconnects++
+				s.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
+				s.notifyJoin(at, mh, prev, true)
+				s.fireWaiters(mh)
+			}); err != nil {
+				panic(fmt.Sprintf("core: schedule handoff reply: %v", err))
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule handoff request: %v", err))
+		}
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule locate: %v", err))
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// TestPropertyWiredFIFO: for any schedule of sends on one wired channel,
+// deliveries arrive in send order.
+func TestPropertyWiredFIFO(t *testing.T) {
+	check := func(seed uint64, gaps []uint8) bool {
+		cfg := DefaultConfig(2, 1)
+		cfg.Seed = seed
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		p := &probe{}
+		ctx := sys.Register(p)
+		at := sim.Time(0)
+		for i, g := range gaps {
+			i := i
+			at += sim.Time(g % 16)
+			sys.Schedule(at, func() {
+				ctx.SendFixed(0, 1, i, cost.CatAlgorithm)
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		if len(p.mssGot) != len(gaps) {
+			return false
+		}
+		for i, ev := range p.mssGot {
+			if ev.Msg != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMHPairFIFOUnderMobility: MH-to-MH deliveries for one ordered
+// pair stay in send order under arbitrary destination move schedules.
+func TestPropertyMHPairFIFOUnderMobility(t *testing.T) {
+	check := func(seed uint64, moves []uint8) bool {
+		const m = 4
+		cfg := DefaultConfig(m, 2)
+		cfg.Seed = seed
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		p := &probe{}
+		ctx := sys.Register(p)
+
+		const msgs = 12
+		for i := 0; i < msgs; i++ {
+			i := i
+			sys.Schedule(sim.Time(i*7), func() {
+				_ = ctx.SendMHToMH(0, 1, i, cost.CatAlgorithm)
+			})
+		}
+		for i, mv := range moves {
+			if i >= 6 {
+				break
+			}
+			to := MSSID(mv % m)
+			sys.Schedule(sim.Time(i*13), func() {
+				if _, st := sys.Where(1); st == StatusConnected {
+					_ = sys.Move(1, to)
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		if len(p.mhGot) != msgs {
+			return false
+		}
+		for i, ev := range p.mhGot {
+			if ev.Msg != i || ev.At != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExactlyOnceDelivery: with no disconnections, every routed
+// send to a MH is delivered exactly once, regardless of mobility.
+func TestPropertyExactlyOnceDelivery(t *testing.T) {
+	check := func(seed uint64, plan []uint8) bool {
+		const (
+			m = 5
+			n = 6
+		)
+		cfg := DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		p := &probe{}
+		ctx := sys.Register(p)
+
+		sent := 0
+		for i, op := range plan {
+			if i >= 24 {
+				break
+			}
+			i := i
+			switch op % 3 {
+			case 0, 1:
+				dst := MHID(op % n)
+				tag := sent
+				sent++
+				sys.Schedule(sim.Time(i*5), func() {
+					ctx.SendToMH(MSSID(int(op)%m), dst, tag, cost.CatAlgorithm)
+				})
+			case 2:
+				mh := MHID(op % n)
+				to := MSSID((int(op) / 3) % m)
+				sys.Schedule(sim.Time(i*5), func() {
+					if _, st := sys.Where(mh); st == StatusConnected {
+						_ = sys.Move(mh, to)
+					}
+				})
+			}
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		if len(p.mhGot) != sent {
+			return false
+		}
+		seen := make(map[any]bool, sent)
+		for _, ev := range p.mhGot {
+			if seen[ev.Msg] {
+				return false // duplicate delivery
+			}
+			seen[ev.Msg] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLocalListsPartitionConnectedMHs: after any mobility schedule
+// drains, every connected MH is in exactly one local list — the list of the
+// cell Where reports.
+func TestPropertyLocalListsPartitionConnectedMHs(t *testing.T) {
+	check := func(seed uint64, plan []uint8) bool {
+		const (
+			m = 4
+			n = 5
+		)
+		cfg := DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		p := &probe{}
+		ctx := sys.Register(p)
+		_ = p
+
+		for i, op := range plan {
+			if i >= 30 {
+				break
+			}
+			mh := MHID(op % n)
+			switch op % 4 {
+			case 0, 1:
+				to := MSSID((int(op) / 4) % m)
+				sys.Schedule(sim.Time(i*11), func() {
+					if _, st := sys.Where(mh); st == StatusConnected {
+						_ = sys.Move(mh, to)
+					}
+				})
+			case 2:
+				sys.Schedule(sim.Time(i*11), func() {
+					if _, st := sys.Where(mh); st == StatusConnected {
+						_ = sys.Disconnect(mh)
+					}
+				})
+			case 3:
+				at := MSSID((int(op) / 4) % m)
+				sys.Schedule(sim.Time(i*11), func() {
+					if _, st := sys.Where(mh); st == StatusDisconnected {
+						_ = sys.Reconnect(mh, at, op%2 == 0)
+					}
+				})
+			}
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		// Check the partition invariant.
+		count := make(map[MHID]int, n)
+		for i := 0; i < m; i++ {
+			for _, mh := range ctx.LocalMHs(MSSID(i)) {
+				count[mh]++
+				if at, st := sys.Where(mh); st != StatusConnected || at != MSSID(i) {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			mh := MHID(i)
+			_, st := sys.Where(mh)
+			switch st {
+			case StatusConnected:
+				if count[mh] != 1 {
+					return false
+				}
+			case StatusDisconnected:
+				if count[mh] != 0 {
+					return false
+				}
+			default:
+				return false // must not end in transit after drain
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEnergyMatchesDeliveredWireless: wireless receptions recorded
+// as energy equal the number of MH deliveries, and transmissions equal the
+// number of MH-originated sends (including mobility control messages).
+func TestPropertyEnergyMatchesDeliveredWireless(t *testing.T) {
+	check := func(seed uint64, k uint8) bool {
+		const (
+			m = 3
+			n = 4
+		)
+		cfg := DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		p := &probe{}
+		ctx := sys.Register(p)
+		sends := int(k%20) + 1
+		for i := 0; i < sends; i++ {
+			dst := MHID(i % n)
+			sys.Schedule(sim.Time(i*3), func() {
+				ctx.SendToMH(0, dst, "x", cost.CatAlgorithm)
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		_, rx := sys.Meter().TotalEnergy()
+		return rx == int64(len(p.mhGot)) && len(p.mhGot) == sends
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

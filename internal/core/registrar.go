@@ -1,0 +1,12 @@
+package core
+
+// Registrar is implemented by network drivers (the simulation System here,
+// the live runtime in internal/rt) that can host algorithms. Constructors
+// of algorithm packages take a Registrar so the same implementations run on
+// either substrate.
+type Registrar interface {
+	// Register attaches alg and returns the Context its handlers receive.
+	Register(alg Algorithm) Context
+}
+
+var _ Registrar = (*System)(nil)

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+)
+
+// routeOpts carries routing context through retries.
+type routeOpts struct {
+	alg    int
+	origin MSSID // MSS that initiated the routed send (receives failures)
+	cat    cost.Category
+	// pair/seq implement the per-(MH,MH)-pair FIFO reorder buffer when the
+	// final destination delivery came from SendMHToMH.
+	pair *pairKey
+	seq  uint64
+}
+
+// sendFixed transmits msg on the wired network. Self-sends are allowed and
+// charged, matching the paper's unconditional Cfixed terms.
+func (s *System) sendFixed(alg int, from, to MSSID, msg Message, cat cost.Category) {
+	s.checkMSS(from)
+	s.checkMSS(to)
+	s.meter.Charge(cat, cost.KindFixed)
+	arrival := s.fifoWired(from, to)
+	sender := From{MSS: from}
+	err := s.kernel.ScheduleAt(arrival, func() {
+		s.dispatchMSS(alg, to, sender, msg)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: schedule wired delivery: %v", err))
+	}
+}
+
+// broadcastFixed sends msg from from to every other MSS.
+func (s *System) broadcastFixed(alg int, from MSSID, msg Message, cat cost.Category) {
+	s.checkMSS(from)
+	for i := 0; i < s.cfg.M; i++ {
+		if MSSID(i) == from {
+			continue
+		}
+		s.sendFixed(alg, from, MSSID(i), msg, cat)
+	}
+}
+
+// sendToLocalMH delivers over the local wireless channel only.
+func (s *System) sendToLocalMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) error {
+	s.checkMSS(from)
+	s.checkMH(mh)
+	if !s.mss[from].local[mh] {
+		return fmt.Errorf("core: mh%d is not local to mss%d", int(mh), int(from))
+	}
+	s.wirelessDown(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat})
+	return nil
+}
+
+// sendToMH routes msg to mh, searching as needed.
+func (s *System) sendToMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) {
+	s.checkMSS(from)
+	s.checkMH(mh)
+	s.routeToMH(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat}, false)
+}
+
+// routeToMH implements delivery with search and retry-across-moves. via is
+// the MSS currently holding the message. stale marks retries caused by the
+// destination moving while the message was in flight; their search charges
+// go to cost.CatStale so the primary accounting matches the paper's
+// footnote-2 assumption.
+func (s *System) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stale bool) {
+	st := &s.mh[mh]
+	switch st.status {
+	case StatusInTransit:
+		// The model guarantees the MH eventually joins some cell; park the
+		// message until it does, then retry. No charge is incurred for
+		// waiting.
+		s.waiters[mh] = append(s.waiters[mh], func() {
+			s.routeToMH(via, mh, msg, opts, stale)
+		})
+		return
+
+	case StatusDisconnected:
+		// The MSS of the cell where the MH disconnected informs the
+		// searcher of its status (Section 2). The search that discovered
+		// this is charged; the notification is control traffic.
+		holder := st.at
+		s.chargeSearch(opts, stale)
+		s.meter.Charge(cost.CatControl, cost.KindFixed)
+		arrival := s.fifoWired(holder, opts.origin)
+		if err := s.kernel.ScheduleAt(arrival, func() {
+			s.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule failure notification: %v", err))
+		}
+		return
+
+	case StatusConnected:
+		target := st.at
+		if target == via {
+			// Local delivery. Under the paper's pessimistic assumption every
+			// routed delivery to a MH still incurs the fixed search cost.
+			if s.cfg.PessimisticSearch && s.cfg.SearchMode == SearchAbstract {
+				s.chargeSearch(opts, stale)
+			}
+			s.wirelessDown(via, mh, msg, opts)
+			return
+		}
+		s.chargeSearch(opts, stale)
+		arrival := s.fifoWired(via, target)
+		if err := s.kernel.ScheduleAt(arrival, func() {
+			// Re-check on arrival: the MH may have moved on while the
+			// message crossed the wired network.
+			cur := &s.mh[mh]
+			if cur.status == StatusConnected && cur.at == target {
+				s.wirelessDown(target, mh, msg, opts)
+				return
+			}
+			s.stats.StaleReroutes++
+			s.routeToMH(target, mh, msg, opts, true)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule forward: %v", err))
+		}
+		return
+
+	default:
+		panic(fmt.Sprintf("core: mh%d in unknown status %d", int(mh), int(st.status)))
+	}
+}
+
+// reclassifyWastedWireless moves one wireless charge from cat to the stale
+// account after the prefix rule discarded the transmission.
+func (s *System) reclassifyWastedWireless(cat cost.Category) {
+	if cat == cost.CatStale {
+		return
+	}
+	s.meter.ChargeN(cat, cost.KindWireless, -1)
+	s.meter.Charge(cost.CatStale, cost.KindWireless)
+}
+
+// chargeSearch records one search under the configured search mode.
+func (s *System) chargeSearch(opts routeOpts, stale bool) {
+	s.stats.Searches++
+	s.trace("search", "origin mss%d (stale=%v)", int(opts.origin), stale)
+	cat := opts.cat
+	if stale {
+		cat = cost.CatStale
+	}
+	switch s.cfg.SearchMode {
+	case SearchAbstract:
+		s.meter.Charge(cat, cost.KindSearch)
+	case SearchBroadcast:
+		// Query every other MSS, one reply from the hosting MSS, one
+		// forward of the payload. Message counts are charged here; the
+		// wired legs' latency is already modelled by the forward hop in
+		// routeToMH (queries proceed in parallel with it).
+		s.meter.ChargeN(cat, cost.KindFixed, int64(s.cfg.M-1))
+		s.meter.ChargeN(cat, cost.KindFixed, 2)
+	default:
+		panic(fmt.Sprintf("core: unknown search mode %d", int(s.cfg.SearchMode)))
+	}
+}
+
+// wirelessDown transmits msg from mss to mh over the cell's wireless
+// channel. Prefix semantics: if the MH left the cell (or disconnected)
+// before the transmission completes, the message is not delivered there; it
+// is re-routed (or a failure is reported).
+func (s *System) wirelessDown(mss MSSID, mh MHID, msg Message, opts routeOpts) {
+	s.meter.Charge(opts.cat, cost.KindWireless)
+	arrival := s.fifoDown(mss, mh)
+	if err := s.kernel.ScheduleAt(arrival, func() {
+		st := &s.mh[mh]
+		if st.status == StatusConnected && st.at == mss {
+			s.meter.WirelessRx(int(mh))
+			if st.dozing {
+				s.stats.DozeInterruptions++
+				s.stats.DozeInterruptionsByMH[mh]++
+			}
+			s.deliverToMH(mh, msg, opts)
+			return
+		}
+		if st.status == StatusDisconnected && st.at == mss {
+			// Disconnected in this very cell before the transmission
+			// completed: the transmission was wasted (reclassified as
+			// stale) and the local MSS notifies the sender.
+			s.reclassifyWastedWireless(opts.cat)
+			s.meter.Charge(cost.CatControl, cost.KindFixed)
+			a := s.fifoWired(mss, opts.origin)
+			if err := s.kernel.ScheduleAt(a, func() {
+				s.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
+			}); err != nil {
+				panic(fmt.Sprintf("core: schedule failure notification: %v", err))
+			}
+			return
+		}
+		// Left the cell: the wireless message fell outside the received
+		// prefix (Section 2). The wasted transmission moves to the stale
+		// account (the paper's footnote-2 "second copy" case) and the
+		// message is routed onwards from here; the eventual successful
+		// delivery stays in the primary category, so primary accounting
+		// charges exactly one delivery per message.
+		s.reclassifyWastedWireless(opts.cat)
+		s.stats.StaleReroutes++
+		s.routeToMH(mss, mh, msg, opts, true)
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule wireless delivery: %v", err))
+	}
+}
+
+// deliverToMH hands msg to the destination's handler, applying the
+// per-pair reorder buffer for MH-to-MH traffic.
+func (s *System) deliverToMH(mh MHID, msg Message, opts routeOpts) {
+	if opts.pair == nil {
+		s.dispatchMH(opts.alg, mh, msg)
+		return
+	}
+	key := *opts.pair
+	buf := s.pairBuffer[key]
+	if buf == nil {
+		buf = make(map[uint64]deferredDelivery)
+		s.pairBuffer[key] = buf
+	}
+	buf[opts.seq] = deferredDelivery{alg: opts.alg, msg: msg}
+	for {
+		next := s.pairDeliverNext[key]
+		d, ok := buf[next]
+		if !ok {
+			break
+		}
+		delete(buf, next)
+		s.pairDeliverNext[key] = next + 1
+		s.dispatchMH(d.alg, mh, d.msg)
+	}
+}
+
+// sendFromMH transmits msg from mh to its current local MSS. Sends from a
+// MH in transit are deferred until it joins a cell (it "neither sends nor
+// receives" between cells).
+func (s *System) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) error {
+	s.checkMH(mh)
+	st := &s.mh[mh]
+	switch st.status {
+	case StatusDisconnected:
+		return fmt.Errorf("core: mh%d is disconnected and cannot send", int(mh))
+	case StatusInTransit:
+		s.waiters[mh] = append(s.waiters[mh], func() {
+			if err := s.sendFromMH(alg, mh, msg, cat); err != nil {
+				// The MH disconnected before ever rejoining; the deferred
+				// send is dropped, as its cell-less transmission would be.
+				return
+			}
+		})
+		return nil
+	case StatusConnected:
+		at := st.at
+		s.meter.Charge(cat, cost.KindWireless)
+		s.meter.WirelessTx(int(mh))
+		arrival := s.fifoUp(mh)
+		sender := From{MH: mh, IsMH: true}
+		if err := s.kernel.ScheduleAt(arrival, func() {
+			// The message was transmitted before any subsequent leave(), so
+			// the MSS of the cell it was sent in processes it.
+			s.dispatchMSS(alg, at, sender, msg)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule uplink delivery: %v", err))
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("core: mh%d in unknown status %d", int(mh), int(st.status)))
+	}
+}
+
+// forwardViaMSS routes msg to MH `to` through the MSS a directory names:
+// one fixed hop (charged unconditionally) then the wireless downlink. A
+// stale directory entry falls back to a search charged to cost.CatStale.
+func (s *System) forwardViaMSS(origin, via MSSID, to MHID, msg Message, opts routeOpts) {
+	s.meter.Charge(opts.cat, cost.KindFixed)
+	fixArrival := s.fifoWired(origin, via)
+	if err := s.kernel.ScheduleAt(fixArrival, func() {
+		cur := &s.mh[to]
+		if cur.status == StatusConnected && cur.at == via {
+			s.wirelessDown(via, to, msg, opts)
+			return
+		}
+		// Stale directory entry: the destination moved (or is moving, or
+		// disconnected); fall back to a search.
+		s.stats.StaleReroutes++
+		s.routeToMH(via, to, msg, opts, true)
+	}); err != nil {
+		panic(fmt.Sprintf("core: schedule directory hop: %v", err))
+	}
+}
+
+// sendToMHVia implements directory-routed MSS-to-MH messaging (a fixed
+// proxy reaching its mobile host, Section 5).
+func (s *System) sendToMHVia(alg int, from, via MSSID, to MHID, msg Message, cat cost.Category) {
+	s.checkMSS(from)
+	s.checkMSS(via)
+	s.checkMH(to)
+	s.forwardViaMSS(from, via, to, msg, routeOpts{alg: alg, origin: from, cat: cat})
+}
+
+// sendMHViaMSS implements directory-routed MH-to-MH messaging: the sender
+// believes `to` is located at `via` and routes there directly, with one
+// fixed hop charged unconditionally (Section 4.2's 2·Cwireless + Cfixed per
+// member). A stale directory entry falls back to a search charged to
+// cost.CatStale.
+func (s *System) sendMHViaMSS(alg int, from MHID, via MSSID, to MHID, msg Message, cat cost.Category) error {
+	s.checkMH(from)
+	s.checkMSS(via)
+	s.checkMH(to)
+	st := &s.mh[from]
+	switch st.status {
+	case StatusDisconnected:
+		return fmt.Errorf("core: mh%d is disconnected and cannot send", int(from))
+	case StatusInTransit:
+		s.waiters[from] = append(s.waiters[from], func() {
+			_ = s.sendMHViaMSS(alg, from, via, to, msg, cat)
+		})
+		return nil
+	case StatusConnected:
+		at := st.at
+		s.meter.Charge(cat, cost.KindWireless)
+		s.meter.WirelessTx(int(from))
+		upArrival := s.fifoUp(from)
+		opts := routeOpts{alg: alg, origin: at, cat: cat}
+		if err := s.kernel.ScheduleAt(upArrival, func() {
+			// One fixed hop to the directory's MSS, charged even when the
+			// sender's own MSS is the target.
+			s.forwardViaMSS(at, via, to, msg, opts)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule uplink delivery: %v", err))
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("core: mh%d in unknown status %d", int(from), int(st.status)))
+	}
+}
+
+// sendToMSSOfMH locates mh and delivers msg to the MSS currently serving it
+// — the operation the paper prices at Csearch. If mh has disconnected the
+// sender is notified via DeliveryFailureHandler.
+func (s *System) sendToMSSOfMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) {
+	s.checkMSS(from)
+	s.checkMH(mh)
+	s.routeToMSSOfMH(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat}, false)
+}
+
+// routeToMSSOfMH is routeToMH with the MSS itself as the final recipient.
+func (s *System) routeToMSSOfMH(via MSSID, mh MHID, msg Message, opts routeOpts, stale bool) {
+	st := &s.mh[mh]
+	switch st.status {
+	case StatusInTransit:
+		s.waiters[mh] = append(s.waiters[mh], func() {
+			s.routeToMSSOfMH(via, mh, msg, opts, stale)
+		})
+		return
+
+	case StatusDisconnected:
+		holder := st.at
+		s.chargeSearch(opts, stale)
+		s.meter.Charge(cost.CatControl, cost.KindFixed)
+		arrival := s.fifoWired(holder, opts.origin)
+		if err := s.kernel.ScheduleAt(arrival, func() {
+			s.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule failure notification: %v", err))
+		}
+		return
+
+	case StatusConnected:
+		target := st.at
+		sender := From{MSS: opts.origin}
+		if target == via {
+			if s.cfg.PessimisticSearch && s.cfg.SearchMode == SearchAbstract {
+				s.chargeSearch(opts, stale)
+			}
+			s.kernel.Schedule(0, func() {
+				s.dispatchMSS(opts.alg, target, sender, msg)
+			})
+			return
+		}
+		s.chargeSearch(opts, stale)
+		arrival := s.fifoWired(via, target)
+		if err := s.kernel.ScheduleAt(arrival, func() {
+			cur := &s.mh[mh]
+			if cur.status == StatusConnected && cur.at == target {
+				s.dispatchMSS(opts.alg, target, sender, msg)
+				return
+			}
+			s.stats.StaleReroutes++
+			s.routeToMSSOfMH(target, mh, msg, opts, true)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule forward: %v", err))
+		}
+		return
+
+	default:
+		panic(fmt.Sprintf("core: mh%d in unknown status %d", int(mh), int(st.status)))
+	}
+}
+
+// sendMHToMH implements MH-to-MH messaging: wireless uplink, routed
+// forwarding with search, wireless downlink, with per-ordered-pair FIFO
+// delivery.
+func (s *System) sendMHToMH(alg int, from, to MHID, msg Message, cat cost.Category) error {
+	s.checkMH(from)
+	s.checkMH(to)
+	st := &s.mh[from]
+	switch st.status {
+	case StatusDisconnected:
+		return fmt.Errorf("core: mh%d is disconnected and cannot send", int(from))
+	case StatusInTransit:
+		s.waiters[from] = append(s.waiters[from], func() {
+			_ = s.sendMHToMH(alg, from, to, msg, cat)
+		})
+		return nil
+	case StatusConnected:
+		at := st.at
+		key := pairKey{from: from, to: to}
+		seq := s.pairSeqNext[key]
+		s.pairSeqNext[key] = seq + 1
+		s.meter.Charge(cat, cost.KindWireless)
+		s.meter.WirelessTx(int(from))
+		arrival := s.fifoUp(from)
+		opts := routeOpts{alg: alg, origin: at, cat: cat, pair: &key, seq: seq}
+		if err := s.kernel.ScheduleAt(arrival, func() {
+			s.routeToMH(at, to, msg, opts, false)
+		}); err != nil {
+			panic(fmt.Sprintf("core: schedule uplink delivery: %v", err))
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("core: mh%d in unknown status %d", int(from), int(st.status)))
+	}
+}

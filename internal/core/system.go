@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// defaultStepLimit bounds runaway protocols; generous enough for every
+// experiment in the suite.
+const defaultStepLimit = 50_000_000
+
+type mssState struct {
+	local        map[MHID]bool
+	disconnected map[MHID]bool
+}
+
+type mhState struct {
+	status MHStatus
+	// at is the current cell while connected, the cell holding the
+	// "disconnected" flag while disconnected, and the previous cell while in
+	// transit.
+	at     MSSID
+	dozing bool
+}
+
+type pairKey struct {
+	from, to MHID
+}
+
+type downKey struct {
+	mss MSSID
+	mh  MHID
+}
+
+type wiredKey struct {
+	from, to MSSID
+}
+
+// Stats are model-level counters kept outside the cost meter.
+type Stats struct {
+	// Searches is the number of searches performed (abstract mode) or
+	// broadcast search rounds (broadcast mode).
+	Searches int64
+	// StaleReroutes counts re-forwards after a destination moved while a
+	// message was in flight (the paper's footnote-2 case).
+	StaleReroutes int64
+	// Moves, Disconnects and Reconnects count completed mobility operations.
+	Moves, Disconnects, Reconnects int64
+	// DozeInterruptions counts wireless deliveries that interrupted a dozing
+	// MH, in total and per MH.
+	DozeInterruptions     int64
+	DozeInterruptionsByMH map[MHID]int64
+	// FailedDeliveries counts routed sends that ended in a disconnected
+	// notification to the sender.
+	FailedDeliveries int64
+}
+
+// System is the deterministic simulation driver of the two-tier model.
+// All methods must be called from the kernel goroutine (i.e. from within
+// scheduled events, algorithm handlers, or before Run).
+type System struct {
+	cfg    Config
+	kernel *sim.Kernel
+	meter  *cost.Meter
+	rng    *sim.RNG
+
+	mss []mssState
+	mh  []mhState
+
+	algs []Algorithm
+	ctxs []Context
+
+	// waiters holds continuations blocked on a MH that is between cells;
+	// they fire once it joins a cell.
+	waiters map[MHID][]func()
+
+	lastWired map[wiredKey]sim.Time
+	lastDown  map[downKey]sim.Time
+	lastUp    map[MHID]sim.Time
+
+	pairSeqNext     map[pairKey]uint64
+	pairDeliverNext map[pairKey]uint64
+	pairBuffer      map[pairKey]map[uint64]deferredDelivery
+
+	stats Stats
+}
+
+type deferredDelivery struct {
+	alg int
+	msg Message
+}
+
+// NewSystem builds a system from cfg, placing every MH in its initial cell.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel(cfg.Seed)
+	limit := cfg.StepLimit
+	if limit == 0 {
+		limit = defaultStepLimit
+	}
+	k.SetStepLimit(limit)
+	s := &System{
+		cfg:             cfg,
+		kernel:          k,
+		meter:           cost.NewMeter(),
+		rng:             k.RNG(),
+		mss:             make([]mssState, cfg.M),
+		mh:              make([]mhState, cfg.N),
+		waiters:         make(map[MHID][]func()),
+		lastWired:       make(map[wiredKey]sim.Time),
+		lastDown:        make(map[downKey]sim.Time),
+		lastUp:          make(map[MHID]sim.Time),
+		pairSeqNext:     make(map[pairKey]uint64),
+		pairDeliverNext: make(map[pairKey]uint64),
+		pairBuffer:      make(map[pairKey]map[uint64]deferredDelivery),
+	}
+	s.stats.DozeInterruptionsByMH = make(map[MHID]int64)
+	for i := range s.mss {
+		s.mss[i] = mssState{
+			local:        make(map[MHID]bool),
+			disconnected: make(map[MHID]bool),
+		}
+	}
+	place := cfg.Placement
+	if place == nil {
+		place = func(mh MHID) MSSID { return MSSID(int(mh) % cfg.M) }
+	}
+	for i := range s.mh {
+		at := place(MHID(i))
+		if int(at) < 0 || int(at) >= cfg.M {
+			return nil, fmt.Errorf("core: placement of mh%d at invalid mss%d", i, int(at))
+		}
+		s.mh[i] = mhState{status: StatusConnected, at: at}
+		s.mss[at].local[MHID(i)] = true
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem panicking on configuration errors; intended for
+// tests and examples with literal configs.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Register attaches an algorithm to the system and returns the Context its
+// handlers will receive. Algorithms must be registered before any messages
+// are exchanged.
+func (s *System) Register(alg Algorithm) Context {
+	if alg == nil {
+		panic("core: register nil algorithm")
+	}
+	idx := len(s.algs)
+	s.algs = append(s.algs, alg)
+	ctx := &simContext{s: s, alg: idx}
+	s.ctxs = append(s.ctxs, ctx)
+	return ctx
+}
+
+// Kernel exposes the underlying event kernel (for workload drivers).
+func (s *System) Kernel() *sim.Kernel { return s.kernel }
+
+// Meter exposes the cost meter.
+func (s *System) Meter() *cost.Meter { return s.meter }
+
+// Stats returns a copy of the model-level counters.
+func (s *System) Stats() Stats {
+	cp := s.stats
+	cp.DozeInterruptionsByMH = make(map[MHID]int64, len(s.stats.DozeInterruptionsByMH))
+	for k, v := range s.stats.DozeInterruptionsByMH {
+		cp.DozeInterruptionsByMH[k] = v
+	}
+	return cp
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Now returns the current virtual time.
+func (s *System) Now() sim.Time { return s.kernel.Now() }
+
+// Schedule runs fn after delay ticks of virtual time.
+func (s *System) Schedule(delay sim.Time, fn func()) { s.kernel.Schedule(delay, fn) }
+
+// Run processes events until quiescence.
+func (s *System) Run() error { return s.kernel.Run() }
+
+// RunUntil processes events up to (and including) deadline.
+func (s *System) RunUntil(deadline sim.Time) error { return s.kernel.RunUntil(deadline) }
+
+// Where reports the cell and connectivity status of mh. While disconnected,
+// the returned MSS is the cell holding the "disconnected" flag; while in
+// transit it is the previous cell.
+func (s *System) Where(mh MHID) (MSSID, MHStatus) {
+	s.checkMH(mh)
+	st := s.mh[mh]
+	return st.at, st.status
+}
+
+// SetDoze marks mh as dozing (or not). Deliveries to a dozing MH still
+// succeed but are counted as interruptions.
+func (s *System) SetDoze(mh MHID, dozing bool) {
+	s.checkMH(mh)
+	s.mh[mh].dozing = dozing
+}
+
+// IsDozing reports whether mh is in doze mode.
+func (s *System) IsDozing(mh MHID) bool {
+	s.checkMH(mh)
+	return s.mh[mh].dozing
+}
+
+// trace emits a model-level event to the configured trace sink.
+func (s *System) trace(event, format string, args ...any) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(s.kernel.Now(), event, fmt.Sprintf(format, args...))
+}
+
+func (s *System) checkMSS(id MSSID) {
+	if int(id) < 0 || int(id) >= s.cfg.M {
+		panic(fmt.Sprintf("core: invalid mss id %d (M=%d)", int(id), s.cfg.M))
+	}
+}
+
+func (s *System) checkMH(id MHID) {
+	if int(id) < 0 || int(id) >= s.cfg.N {
+		panic(fmt.Sprintf("core: invalid mh id %d (N=%d)", int(id), s.cfg.N))
+	}
+}
+
+func (s *System) delay(d Delay) sim.Time {
+	return s.rng.Duration(d.Min, d.Max)
+}
+
+// fifoWired returns the FIFO-respecting arrival time on the (from, to)
+// wired channel for a message sent now.
+func (s *System) fifoWired(from, to MSSID) sim.Time {
+	arrival := s.kernel.Now() + s.delay(s.cfg.Wired)
+	key := wiredKey{from: from, to: to}
+	if last := s.lastWired[key]; arrival < last {
+		arrival = last
+	}
+	s.lastWired[key] = arrival
+	return arrival
+}
+
+func (s *System) fifoDown(mss MSSID, mh MHID) sim.Time {
+	arrival := s.kernel.Now() + s.delay(s.cfg.Wireless)
+	key := downKey{mss: mss, mh: mh}
+	if last := s.lastDown[key]; arrival < last {
+		arrival = last
+	}
+	s.lastDown[key] = arrival
+	return arrival
+}
+
+func (s *System) fifoUp(mh MHID) sim.Time {
+	arrival := s.kernel.Now() + s.delay(s.cfg.Wireless)
+	if last := s.lastUp[mh]; arrival < last {
+		arrival = last
+	}
+	s.lastUp[mh] = arrival
+	return arrival
+}
+
+func (s *System) dispatchMSS(alg int, at MSSID, from From, msg Message) {
+	h, ok := s.algs[alg].(MSSHandler)
+	if !ok {
+		panic(fmt.Sprintf("core: algorithm %q received MSS message without MSSHandler", s.algs[alg].Name()))
+	}
+	h.HandleMSS(s.ctxs[alg], at, from, msg)
+}
+
+func (s *System) dispatchMH(alg int, at MHID, msg Message) {
+	h, ok := s.algs[alg].(MHHandler)
+	if !ok {
+		panic(fmt.Sprintf("core: algorithm %q received MH message without MHHandler", s.algs[alg].Name()))
+	}
+	h.HandleMH(s.ctxs[alg], at, msg)
+}
+
+func (s *System) notifyJoin(at MSSID, mh MHID, prev MSSID, wasDisconnected bool) {
+	for i, alg := range s.algs {
+		if obs, ok := alg.(MobilityObserver); ok {
+			obs.OnJoin(s.ctxs[i], at, mh, prev, wasDisconnected)
+		}
+	}
+}
+
+func (s *System) notifyLeave(at MSSID, mh MHID) {
+	for i, alg := range s.algs {
+		if obs, ok := alg.(MobilityObserver); ok {
+			obs.OnLeave(s.ctxs[i], at, mh)
+		}
+	}
+}
+
+func (s *System) notifyDisconnect(at MSSID, mh MHID) {
+	for i, alg := range s.algs {
+		if obs, ok := alg.(MobilityObserver); ok {
+			obs.OnDisconnect(s.ctxs[i], at, mh)
+		}
+	}
+}
+
+func (s *System) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason FailReason) {
+	s.stats.FailedDeliveries++
+	s.trace("delivery-failure", "mss%d notified: mh%d %v", int(at), int(mh), reason)
+	h, ok := s.algs[alg].(DeliveryFailureHandler)
+	if !ok {
+		// The algorithm chose not to observe failures; the message is
+		// silently dropped, matching a sender that ignores the notification.
+		return
+	}
+	h.OnDeliveryFailure(s.ctxs[alg], at, mh, msg, reason)
+}
+
+func (s *System) fireWaiters(mh MHID) {
+	pending := s.waiters[mh]
+	if len(pending) == 0 {
+		return
+	}
+	delete(s.waiters, mh)
+	for _, fn := range pending {
+		// Re-enter through the kernel so continuations observe a settled
+		// network state and deterministic ordering.
+		s.kernel.Schedule(0, fn)
+	}
+}
+
+func (s *System) localMHs(mss MSSID) []MHID {
+	s.checkMSS(mss)
+	ids := make([]MHID, 0, len(s.mss[mss].local))
+	for id := range s.mss[mss].local {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

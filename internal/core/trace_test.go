@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+func TestTraceEmitsMobilityAndSearchEvents(t *testing.T) {
+	var lines []string
+	cfg := DefaultConfig(3, 4)
+	cfg.Trace = func(ts sim.Time, event, detail string) {
+		lines = append(lines, fmt.Sprintf("%d %s %s", ts, event, detail))
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	p := &probe{}
+	ctx := sys.Register(p)
+
+	if err := sys.Move(0, 2); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if err := sys.Disconnect(1); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(50, func() {
+		ctx.SendToMH(0, 1, "x", cost.CatAlgorithm) // fails: disconnected
+		ctx.SendToMH(0, 3, "y", cost.CatAlgorithm) // delivered
+	})
+	sys.Schedule(500, func() {
+		if err := sys.Reconnect(1, 0, true); err != nil {
+			t.Errorf("Reconnect: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"leave", "left", "join", "disconnect", "reconnect", "search", "delivery-failure"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q events:\n%s", want, joined)
+		}
+	}
+	// Timestamps must be non-decreasing.
+	var last sim.Time = -1
+	for _, l := range lines {
+		var ts int64
+		if _, err := fmt.Sscanf(l, "%d", &ts); err != nil {
+			t.Fatalf("bad trace line %q", l)
+		}
+		if sim.Time(ts) < last {
+			t.Fatalf("trace timestamps decreased:\n%s", joined)
+		}
+		last = sim.Time(ts)
+	}
+}
+
+func TestTraceNilIsSilent(t *testing.T) {
+	sys, _, _ := newProbeSystem(t, 3, 3)
+	// No trace configured: nothing to assert beyond "does not panic".
+	if err := sys.Move(0, 1); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params { return Params{Fixed: 1, Wireless: 10, Search: 5} }
+
+func TestAnalyticL1Formula(t *testing.T) {
+	p := testParams()
+	// 3 × (N−1) × (2Cw + Cs) with N=5: 3*4*25 = 300.
+	if got := AnalyticL1PerExecution(5, p); got != 300 {
+		t.Errorf("L1(5) = %v, want 300", got)
+	}
+	if got := AnalyticL1WirelessPerExecution(5); got != 24 {
+		t.Errorf("L1 wireless(5) = %v, want 24", got)
+	}
+}
+
+func TestAnalyticL2Formula(t *testing.T) {
+	p := testParams()
+	// 3Cw + Cf + Cs + 3(M−1)Cf with M=4: 30+1+5+9 = 45.
+	if got := AnalyticL2PerExecution(4, p); got != 45 {
+		t.Errorf("L2(4) = %v, want 45", got)
+	}
+	if got := AnalyticL2WirelessPerExecution(); got != 3 {
+		t.Errorf("L2 wireless = %v, want 3", got)
+	}
+}
+
+func TestAnalyticRingFormulas(t *testing.T) {
+	p := testParams()
+	// R1: N(2Cw+Cs) with N=6: 6*25 = 150.
+	if got := AnalyticR1PerTraversal(6, p); got != 150 {
+		t.Errorf("R1(6) = %v, want 150", got)
+	}
+	// R2: K(3Cw+Cf+Cs) + M*Cf with M=4, K=2: 2*36 + 4 = 76.
+	if got := AnalyticR2PerTraversal(4, 2, p); got != 76 {
+		t.Errorf("R2(4,2) = %v, want 76", got)
+	}
+	if got := AnalyticR2PerRequest(p); got != 36 {
+		t.Errorf("R2 per request = %v, want 36", got)
+	}
+}
+
+func TestAnalyticGroupFormulas(t *testing.T) {
+	p := testParams()
+	// Pure search: (|G|−1)(2Cw+Cs) with G=5: 4*25 = 100.
+	if got := AnalyticPureSearchGroupMsg(5, p); got != 100 {
+		t.Errorf("pure search(5) = %v, want 100", got)
+	}
+	// Always inform: (|G|−1)(2Cw+Cf) = 4*21 = 84.
+	if got := AnalyticAlwaysInformGroupMsg(5, p); got != 84 {
+		t.Errorf("always inform(5) = %v, want 84", got)
+	}
+	// Effective with MOB/MSG=2: 3×84 = 252.
+	if got := AnalyticAlwaysInformEffective(5, 2, p); got != 252 {
+		t.Errorf("always inform effective = %v, want 252", got)
+	}
+	// Location view message: (|LV|−1)Cf + |G|Cw with LV=3, G=5: 2 + 50.
+	if got := AnalyticLocationViewGroupMsg(5, 3, p); got != 52 {
+		t.Errorf("location view msg = %v, want 52", got)
+	}
+	// Update bound: (|LV|+3)Cf = 6.
+	if got := AnalyticLocationViewUpdateBound(3, p); got != 6 {
+		t.Errorf("update bound = %v, want 6", got)
+	}
+}
+
+func TestRingCrossoverMatchesFormulas(t *testing.T) {
+	p := testParams()
+	n, m := 30, 6
+	k := RingCrossoverK(n, m, n, p)
+	if k < 0 {
+		t.Fatal("no crossover found")
+	}
+	if AnalyticR2PerTraversal(m, k, p) < AnalyticR1PerTraversal(n, p) {
+		t.Errorf("R2 at crossover K=%d still cheaper than R1", k)
+	}
+	if k > 0 && AnalyticR2PerTraversal(m, k-1, p) >= AnalyticR1PerTraversal(n, p) {
+		t.Errorf("crossover K=%d is not minimal", k)
+	}
+}
+
+func TestRingCrossoverNone(t *testing.T) {
+	// A large R1 ring against a tiny R2 ring with few requests: R2 stays
+	// cheaper for every K in range, so there is no crossover.
+	p := Params{Fixed: 1, Wireless: 1, Search: 1}
+	if k := RingCrossoverK(100, 2, 5, p); k != -1 {
+		t.Errorf("crossover = %d, want -1", k)
+	}
+}
+
+func TestAnalyticMonotonicity(t *testing.T) {
+	// Properties the paper's argument relies on: L1 grows with N, L2 is
+	// constant in N; R1 is constant in K, R2 grows with K; the
+	// location-view effective bound is monotone in f.
+	p := testParams()
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		if AnalyticL1PerExecution(n+1, p) <= AnalyticL1PerExecution(n, p) {
+			return false
+		}
+		if AnalyticR2PerTraversal(5, n+1, p) <= AnalyticR2PerTraversal(5, n, p) {
+			return false
+		}
+		lo := AnalyticLocationViewEffectiveBound(10, 4, 0.2, float64(n), p)
+		hi := AnalyticLocationViewEffectiveBound(10, 4, 0.8, float64(n), p)
+		return lo < hi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocationViewBoundDominatesMessage(t *testing.T) {
+	// The effective bound with f=0 must equal the plain per-message cost
+	// with the maximal view.
+	p := testParams()
+	got := AnalyticLocationViewEffectiveBound(8, 3, 0, 5, p)
+	want := AnalyticLocationViewGroupMsg(8, 3, p) + p.Fixed // (1)·|LV|max·Cf + |G|Cw vs (|LV|−1)Cf + |G|Cw
+	if got != want {
+		t.Errorf("bound(f=0) = %v, want %v", got, want)
+	}
+}

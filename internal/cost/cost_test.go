@@ -1,0 +1,208 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Params
+		wantErr bool
+	}{
+		{name: "default ok", give: DefaultParams()},
+		{name: "zero fixed", give: Params{Fixed: 0, Wireless: 1, Search: 1}, wantErr: true},
+		{name: "negative wireless", give: Params{Fixed: 1, Wireless: -1, Search: 1}, wantErr: true},
+		{name: "search below fixed", give: Params{Fixed: 2, Wireless: 1, Search: 1}, wantErr: true},
+		{name: "search equals fixed", give: Params{Fixed: 2, Wireless: 1, Search: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsOf(t *testing.T) {
+	p := Params{Fixed: 1, Wireless: 10, Search: 5}
+	if p.Of(KindFixed) != 1 || p.Of(KindWireless) != 10 || p.Of(KindSearch) != 5 {
+		t.Error("Of returned wrong unit costs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Of(unknown) did not panic")
+		}
+	}()
+	p.Of(Kind(99))
+}
+
+func TestMeterChargesAndTotals(t *testing.T) {
+	p := Params{Fixed: 1, Wireless: 10, Search: 5}
+	m := NewMeter()
+	m.Charge(CatAlgorithm, KindFixed)
+	m.ChargeN(CatAlgorithm, KindWireless, 3)
+	m.Charge(CatControl, KindSearch)
+	m.ChargeN(CatLocation, KindFixed, 0) // no-op
+
+	if got := m.Count(CatAlgorithm, KindWireless); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := m.KindTotal(KindFixed); got != 1 {
+		t.Errorf("KindTotal(fixed) = %d, want 1", got)
+	}
+	if got := m.CategoryCost(CatAlgorithm, p); got != 31 {
+		t.Errorf("CategoryCost = %v, want 31", got)
+	}
+	if got := m.TotalCost(p); got != 36 {
+		t.Errorf("TotalCost = %v, want 36", got)
+	}
+}
+
+func TestMeterEnergy(t *testing.T) {
+	m := NewMeter()
+	m.WirelessTx(1)
+	m.WirelessTx(1)
+	m.WirelessRx(1)
+	m.WirelessRx(2)
+	tx, rx := m.Energy(1)
+	if tx != 2 || rx != 1 {
+		t.Errorf("Energy(1) = %d/%d, want 2/1", tx, rx)
+	}
+	ttx, trx := m.TotalEnergy()
+	if ttx != 2 || trx != 2 {
+		t.Errorf("TotalEnergy = %d/%d, want 2/2", ttx, trx)
+	}
+	mh, total := m.MaxEnergy()
+	if mh != 1 || total != 3 {
+		t.Errorf("MaxEnergy = mh%d/%d, want mh1/3", mh, total)
+	}
+}
+
+func TestMeterMaxEnergyEmpty(t *testing.T) {
+	m := NewMeter()
+	if mh, total := m.MaxEnergy(); mh != -1 || total != 0 {
+		t.Errorf("MaxEnergy on empty meter = %d/%d, want -1/0", mh, total)
+	}
+}
+
+func TestMeterSnapshotAndDiff(t *testing.T) {
+	p := DefaultParams()
+	m := NewMeter()
+	m.Charge(CatAlgorithm, KindFixed)
+	m.WirelessTx(0)
+	snap := m.Snapshot()
+	m.Charge(CatAlgorithm, KindFixed)
+	m.Charge(CatStale, KindSearch)
+	m.WirelessTx(0)
+	m.WirelessRx(3)
+
+	d := m.Diff(snap)
+	if got := d.Count(CatAlgorithm, KindFixed); got != 1 {
+		t.Errorf("diff fixed = %d, want 1", got)
+	}
+	if got := d.Count(CatStale, KindSearch); got != 1 {
+		t.Errorf("diff stale search = %d, want 1", got)
+	}
+	tx, rx := d.TotalEnergy()
+	if tx != 1 || rx != 1 {
+		t.Errorf("diff energy = %d/%d, want 1/1", tx, rx)
+	}
+	// The snapshot itself must be unaffected by later charges.
+	if got := snap.TotalCost(p); got != p.Fixed {
+		t.Errorf("snapshot cost = %v, want %v", got, p.Fixed)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.Charge(CatAlgorithm, KindWireless)
+	m.WirelessTx(5)
+	m.Reset()
+	if m.TotalCost(DefaultParams()) != 0 {
+		t.Error("cost after reset != 0")
+	}
+	if tx, rx := m.TotalEnergy(); tx != 0 || rx != 0 {
+		t.Error("energy after reset != 0")
+	}
+}
+
+func TestMeterReportMentionsCategories(t *testing.T) {
+	m := NewMeter()
+	m.Charge(CatAlgorithm, KindFixed)
+	m.Charge(CatStale, KindSearch)
+	rep := m.Report(DefaultParams())
+	for _, want := range []string{"algorithm", "stale", "total cost"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "location") {
+		t.Errorf("report mentions empty category:\n%s", rep)
+	}
+}
+
+func TestMeterTotalsAreSumOfCategories(t *testing.T) {
+	// Property: TotalCost equals the sum of CategoryCost over all
+	// categories, for arbitrary charge sequences.
+	p := Params{Fixed: 1, Wireless: 10, Search: 5}
+	check := func(charges []uint8) bool {
+		m := NewMeter()
+		for _, c := range charges {
+			cat := Categories()[int(c)%len(Categories())]
+			kind := Kinds()[int(c/16)%len(Kinds())]
+			m.Charge(cat, kind)
+		}
+		var sum float64
+		for _, cat := range Categories() {
+			sum += m.CategoryCost(cat, p)
+		}
+		return math.Abs(sum-m.TotalCost(p)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterDiffInvertsCharges(t *testing.T) {
+	// Property: (m after extra charges).Diff(snapshot) counts exactly the
+	// extra charges.
+	p := Params{Fixed: 1, Wireless: 2, Search: 3}
+	check := func(before, extra []uint8) bool {
+		m := NewMeter()
+		apply := func(cs []uint8) float64 {
+			var total float64
+			for _, c := range cs {
+				cat := Categories()[int(c)%len(Categories())]
+				kind := Kinds()[int(c/16)%len(Kinds())]
+				m.Charge(cat, kind)
+				total += p.Of(kind)
+			}
+			return total
+		}
+		apply(before)
+		snap := m.Snapshot()
+		extraCost := apply(extra)
+		return math.Abs(m.Diff(snap).TotalCost(p)-extraCost) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KindFixed.String() != "fixed" || KindWireless.String() != "wireless" || KindSearch.String() != "search" {
+		t.Error("Kind.String wrong")
+	}
+	if CatAlgorithm.String() != "algorithm" || CatStale.String() != "stale" {
+		t.Error("Category.String wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") || !strings.Contains(Category(42).String(), "42") {
+		t.Error("unknown enum String missing value")
+	}
+}

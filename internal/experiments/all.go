@@ -1,0 +1,53 @@
+package experiments
+
+// All runs every experiment in the suite, in DESIGN.md index order.
+func All(seed uint64) []Table {
+	return []Table{
+		E1LamportCostVsN(seed),
+		E2LamportEnergy(seed),
+		E3LamportDisconnect(seed),
+		E4RingCostVsK(seed),
+		E5RingFairness(seed),
+		E6TokenList(seed),
+		E7RingDisconnect(seed),
+		E8GroupCostVsMobility(seed),
+		E9GroupLocality(seed),
+		E10GroupWireless(seed),
+		E11ProxyTraffic(seed),
+		A1SearchModes(seed),
+		A2Crossover(seed),
+		A3LazyInform(seed),
+		A4MulticastHandoff(seed),
+	}
+}
+
+// ByID returns the experiment with the given id, or false.
+func ByID(id string, seed uint64) (Table, bool) {
+	funcs := map[string]func(uint64) Table{
+		"E1":  E1LamportCostVsN,
+		"E2":  E2LamportEnergy,
+		"E3":  E3LamportDisconnect,
+		"E4":  E4RingCostVsK,
+		"E5":  E5RingFairness,
+		"E6":  E6TokenList,
+		"E7":  E7RingDisconnect,
+		"E8":  E8GroupCostVsMobility,
+		"E9":  E9GroupLocality,
+		"E10": E10GroupWireless,
+		"E11": E11ProxyTraffic,
+		"A1":  A1SearchModes,
+		"A2":  A2Crossover,
+		"A3":  A3LazyInform,
+		"A4":  A4MulticastHandoff,
+	}
+	fn, ok := funcs[id]
+	if !ok {
+		return Table{}, false
+	}
+	return fn(seed), true
+}
+
+// IDs lists the experiment ids in index order.
+func IDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "A4"}
+}

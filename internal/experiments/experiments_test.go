@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab Table, row int, col string) float64 {
+	t.Helper()
+	idx := -1
+	for i, c := range tab.Columns {
+		if c == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("%s has no column %q (have %v)", tab.ID, col, tab.Columns)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[row][col2idx(tab, col)], "x"), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %s: %v", tab.ID, row, col, err)
+	}
+	_ = idx
+	return v
+}
+
+func col2idx(tab Table, col string) int {
+	for i, c := range tab.Columns {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestE1MeasuredMatchesPaperAndShape(t *testing.T) {
+	tab := E1LamportCostVsN(1)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("too few rows: %d", len(tab.Rows))
+	}
+	var prevL1 float64
+	for i := range tab.Rows {
+		l1p := cell(t, tab, i, "L1 paper")
+		l1m := cell(t, tab, i, "L1 measured")
+		l2p := cell(t, tab, i, "L2 paper")
+		l2m := cell(t, tab, i, "L2 measured")
+		if l1p != l1m {
+			t.Errorf("row %d: L1 measured %v != paper %v", i, l1m, l1p)
+		}
+		if l2p != l2m {
+			t.Errorf("row %d: L2 measured %v != paper %v", i, l2m, l2p)
+		}
+		if l1m <= prevL1 {
+			t.Errorf("row %d: L1 cost not growing with N", i)
+		}
+		prevL1 = l1m
+		if i > 0 && l2m != cell(t, tab, 0, "L2 measured") {
+			t.Errorf("row %d: L2 cost varies with N", i)
+		}
+		if l2m >= l1m {
+			t.Errorf("row %d: L2 (%v) not cheaper than L1 (%v)", i, l2m, l1m)
+		}
+	}
+}
+
+func TestE2EnergyShape(t *testing.T) {
+	tab := E2LamportEnergy(1)
+	for i := range tab.Rows {
+		if got, want := cell(t, tab, i, "L1 measured"), cell(t, tab, i, "L1 paper"); got != want {
+			t.Errorf("row %d: L1 energy %v != %v", i, got, want)
+		}
+		if got := cell(t, tab, i, "L2 measured"); got != 3 {
+			t.Errorf("row %d: L2 energy %v != 3", i, got)
+		}
+	}
+}
+
+func TestE3DisconnectShape(t *testing.T) {
+	tab := E3LamportDisconnect(1)
+	// Row 0: no disconnects — both algorithms serve everything.
+	if l1 := cell(t, tab, 0, "L1 grants"); l1 != cell(t, tab, 0, "requests") {
+		t.Errorf("baseline L1 grants %v != requests", l1)
+	}
+	for i := 1; i < len(tab.Rows); i++ {
+		if l1 := cell(t, tab, i, "L1 grants"); l1 != 0 {
+			t.Errorf("row %d: L1 grants = %v, want 0 (stalled)", i, l1)
+		}
+		if l2, req := cell(t, tab, i, "L2 grants"), cell(t, tab, i, "requests"); l2 != req {
+			t.Errorf("row %d: L2 grants %v != requests %v", i, l2, req)
+		}
+	}
+}
+
+func TestE4RingShape(t *testing.T) {
+	tab := E4RingCostVsK(1)
+	r1 := cell(t, tab, 0, "R1 measured")
+	for i := range tab.Rows {
+		if got := cell(t, tab, i, "R1 measured"); got != r1 {
+			t.Errorf("row %d: R1 cost varies with K (%v vs %v)", i, got, r1)
+		}
+		if got, want := cell(t, tab, i, "R2 measured"), cell(t, tab, i, "R2 paper"); got != want {
+			t.Errorf("row %d: R2 measured %v != paper %v", i, got, want)
+		}
+		if got, want := cell(t, tab, i, "R1 measured"), cell(t, tab, i, "R1 paper"); got != want {
+			t.Errorf("row %d: R1 measured %v != paper %v", i, got, want)
+		}
+	}
+	// R2 must win for small K and lose past the crossover.
+	if cell(t, tab, 0, "R2 measured") >= r1 {
+		t.Error("R2 not cheaper at K=0")
+	}
+	last := len(tab.Rows) - 1
+	if cell(t, tab, last, "R2 measured") <= r1 {
+		t.Error("R1 not cheaper at the largest K (crossover missing)")
+	}
+}
+
+func TestE5FairnessShape(t *testing.T) {
+	tab := E5RingFairness(1)
+	if got := cell(t, tab, 0, "max in one traversal"); got <= 1 {
+		t.Errorf("R2 chaser max per traversal = %v, want > 1", got)
+	}
+	if got := cell(t, tab, 1, "max in one traversal"); got > 1 {
+		t.Errorf("R2' chaser max per traversal = %v, want <= 1", got)
+	}
+}
+
+func TestE6MaliciousShape(t *testing.T) {
+	tab := E6TokenList(1)
+	if got := cell(t, tab, 0, "max in one traversal"); got <= 1 {
+		t.Errorf("R2' liar max per traversal = %v, want > 1 (counter defeated)", got)
+	}
+	if got := cell(t, tab, 1, "max in one traversal"); got > 1 {
+		t.Errorf("R2'' liar max per traversal = %v, want <= 1", got)
+	}
+}
+
+func TestE7DozeShape(t *testing.T) {
+	tab := E7RingDisconnect(1)
+	r1Doze := cell(t, tab, 0, "doze interruptions")
+	r2Doze := cell(t, tab, 1, "doze interruptions")
+	if r1Doze <= r2Doze {
+		t.Errorf("R1 doze interruptions (%v) not greater than R2's (%v)", r1Doze, r2Doze)
+	}
+	if tab.Rows[0][col2idx(tab, "stalled")] != "yes" {
+		t.Error("R1 did not stall")
+	}
+	if tab.Rows[1][col2idx(tab, "stalled")] != "no" {
+		t.Error("R2 stalled")
+	}
+	if got := cell(t, tab, 1, "grants"); got != 1 {
+		t.Errorf("R2 grants = %v, want 1", got)
+	}
+}
+
+func TestE8GroupMobilityShape(t *testing.T) {
+	tab := E8GroupCostVsMobility(1)
+	ps0 := cell(t, tab, 0, "pure search")
+	var prevAI float64
+	for i := range tab.Rows {
+		if got := cell(t, tab, i, "pure search"); got != ps0 {
+			t.Errorf("row %d: pure-search cost varies with mobility (%v vs %v)", i, got, ps0)
+		}
+		ai := cell(t, tab, i, "AI measured")
+		if ai < prevAI {
+			t.Errorf("row %d: always-inform cost decreased with mobility", i)
+		}
+		prevAI = ai
+		lv := cell(t, tab, i, "LV measured")
+		bound := cell(t, tab, i, "LV bound")
+		if lv > bound {
+			t.Errorf("row %d: LV measured %v exceeds paper bound %v", i, lv, bound)
+		}
+		if lv >= ps0 {
+			t.Errorf("row %d: LV (%v) not cheaper than pure search (%v)", i, lv, ps0)
+		}
+	}
+	// At the highest mobility, always-inform must be the most expensive.
+	last := len(tab.Rows) - 1
+	if cell(t, tab, last, "AI measured") <= ps0 {
+		t.Error("always-inform did not overtake pure search at high mobility")
+	}
+}
+
+func TestE9LocalityShape(t *testing.T) {
+	tab := E9GroupLocality(1)
+	for i := range tab.Rows {
+		cells := cell(t, tab, i, "cells (|LV|)")
+		if got := cell(t, tab, i, "LV fixed/msg"); got != cells-1 {
+			t.Errorf("row %d: LV fixed/msg = %v, want |LV|-1 = %v", i, got, cells-1)
+		}
+		if got := cell(t, tab, i, "AI fixed/msg"); got != 9 {
+			t.Errorf("row %d: AI fixed/msg = %v, want |G|-1 = 9", i, got)
+		}
+	}
+}
+
+func TestE10WirelessShape(t *testing.T) {
+	tab := E10GroupWireless(1)
+	for i := range tab.Rows {
+		if got, want := cell(t, tab, i, "measured"), cell(t, tab, i, "paper"); got != want {
+			t.Errorf("row %d: wireless %v != paper %v", i, got, want)
+		}
+	}
+}
+
+func TestE11ProxyShape(t *testing.T) {
+	tab := E11ProxyTraffic(1)
+	var prevInform float64 = -1
+	for i := range tab.Rows {
+		inform := cell(t, tab, i, "home inform")
+		if inform < prevInform {
+			t.Errorf("row %d: home inform traffic decreased with mobility", i)
+		}
+		prevInform = inform
+		// Home-scope algorithm cost is mobility independent: identical in
+		// every row.
+		if got := cell(t, tab, i, "home alg"); i > 0 && got != cell(t, tab, 1, "home alg") {
+			t.Errorf("row %d: home algorithm cost varies with mobility (%v)", i, got)
+		}
+	}
+	if got := cell(t, tab, 0, "home inform"); got != 0 {
+		t.Errorf("inform traffic with no moves = %v, want 0", got)
+	}
+}
+
+func TestA1SearchModeShape(t *testing.T) {
+	tab := A1SearchModes(1)
+	var prevBroadcast float64
+	for i := range tab.Rows {
+		b := cell(t, tab, i, "broadcast cost")
+		if b <= prevBroadcast {
+			t.Errorf("row %d: broadcast cost not growing with M", i)
+		}
+		prevBroadcast = b
+	}
+	// Abstract cost grows only through the 3(M-1)Cf term, broadcast adds
+	// the search fan-out: broadcast-abstract gap must widen.
+	gapFirst := cell(t, tab, 0, "broadcast cost") - cell(t, tab, 0, "abstract cost")
+	gapLast := cell(t, tab, len(tab.Rows)-1, "broadcast cost") - cell(t, tab, len(tab.Rows)-1, "abstract cost")
+	if gapLast <= gapFirst {
+		t.Errorf("broadcast-abstract gap did not widen: %v vs %v", gapFirst, gapLast)
+	}
+}
+
+func TestA2CrossoverShape(t *testing.T) {
+	tab := A2Crossover(1)
+	var prev float64 = 1e18
+	for i := range tab.Rows {
+		n := cell(t, tab, i, "crossover N")
+		if n > prev {
+			t.Errorf("row %d: crossover N grew as wireless got dearer", i)
+		}
+		prev = n
+		if tab.Rows[i][col2idx(tab, "measured agrees")] != "yes" {
+			t.Errorf("row %d: measured disagrees with analytic crossover", i)
+		}
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	tables := All(2)
+	if len(tables) != len(IDs()) {
+		t.Fatalf("All returned %d tables, want %d", len(tables), len(IDs()))
+	}
+	for i, id := range IDs() {
+		if tables[i].ID != id {
+			t.Errorf("table %d has id %s, want %s", i, tables[i].ID, id)
+		}
+		tab, ok := ByID(id, 2)
+		if !ok {
+			t.Errorf("ByID(%s) not found", id)
+			continue
+		}
+		if tab.ID != id || len(tab.Rows) == 0 {
+			t.Errorf("ByID(%s) returned %s with %d rows", id, tab.ID, len(tab.Rows))
+		}
+	}
+	if _, ok := ByID("E99", 2); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow(1, "x")
+	tab.AddRow(2.5, true)
+	tab.AddNote("a note with %d", 42)
+	text := tab.Format()
+	for _, want := range []string{"T0", "demo", "2.50", "yes", "note: a note with 42"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### T0", "| a | b |", "| 1 | x |", "*a note with 42*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableAddRowArityPanics(t *testing.T) {
+	tab := Table{ID: "T", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRow with wrong arity did not panic")
+		}
+	}()
+	tab.AddRow(1)
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	a := E8GroupCostVsMobility(7)
+	b := E8GroupCostVsMobility(7)
+	if a.Format() != b.Format() {
+		t.Error("E8 not deterministic for a fixed seed")
+	}
+}

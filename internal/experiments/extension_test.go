@@ -1,0 +1,92 @@
+package experiments
+
+import "testing"
+
+func TestA3LazyInformShape(t *testing.T) {
+	tab := A3LazyInform(1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	var prevInform float64 = 1e18
+	for i := range tab.Rows {
+		inform := cell(t, tab, i, "inform cost")
+		if inform >= prevInform {
+			t.Errorf("row %d: inform cost did not shrink with lazier reporting", i)
+		}
+		prevInform = inform
+	}
+	// Some intermediate k must beat the fully-informed proxy in total
+	// coupling cost — the point of the extension.
+	eager := cell(t, tab, 0, "total coupling")
+	improved := false
+	for i := 1; i < len(tab.Rows); i++ {
+		if cell(t, tab, i, "total coupling") < eager {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("no lazy-inform period beat the fully-informed proxy")
+	}
+}
+
+func TestA4MulticastShape(t *testing.T) {
+	tab := A4MulticastHandoff(1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	var prevHandoff float64 = -1
+	for i := range tab.Rows {
+		if tab.Rows[i][col2idx(tab, "exactly once")] != "yes" {
+			t.Errorf("row %d: exactly-once guarantee broken", i)
+		}
+		if got := cell(t, tab, i, "deliveries"); got != 60 {
+			t.Errorf("row %d: deliveries = %v, want 60", i, got)
+		}
+		h := cell(t, tab, i, "handoff cost")
+		if h < prevHandoff {
+			t.Errorf("row %d: handoff cost decreased with mobility", i)
+		}
+		prevHandoff = h
+	}
+	if cell(t, tab, 0, "handoffs") != 0 {
+		t.Error("handoffs with no mobility should be 0")
+	}
+	if cell(t, tab, 3, "handoffs") == 0 {
+		t.Error("no handoffs despite heavy mobility")
+	}
+}
+
+func TestVerifySweepHoldsAcrossSeeds(t *testing.T) {
+	tab := Verify(3)
+	if len(tab.Rows) != len(IDs()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(IDs()))
+	}
+	var totalCompared float64
+	for i, row := range tab.Rows {
+		if row[col2idx(tab, "holds")] != "yes" {
+			t.Errorf("experiment %s: paper/measured mismatch across seeds", tab.Rows[i][0])
+		}
+		totalCompared += cell(t, tab, i, "cells compared")
+	}
+	if totalCompared == 0 {
+		t.Error("verification compared no cells")
+	}
+}
+
+func TestVerifyColumnParsing(t *testing.T) {
+	if b, k := splitColumn("L1 paper"); b != "L1" || k != "paper" {
+		t.Errorf("splitColumn = %q/%q", b, k)
+	}
+	if b, k := splitColumn("LV bound"); b != "LV" || k != "bound" {
+		t.Errorf("splitColumn = %q/%q", b, k)
+	}
+	if _, k := splitColumn("winner"); k != "" {
+		t.Errorf("splitColumn(winner) kind = %q", k)
+	}
+	if v, err := parseNumeric("3.9x"); err != nil || v != 3.9 {
+		t.Errorf("parseNumeric(3.9x) = %v, %v", v, err)
+	}
+	if _, err := parseNumeric("M = 6"); err == nil {
+		t.Error("parseNumeric accepted non-numeric cell")
+	}
+}

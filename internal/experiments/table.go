@@ -1,0 +1,120 @@
+// Package experiments regenerates every comparison in the paper's
+// evaluation (Sections 3–5) from executed protocol runs, pairing each
+// measured value with the paper's closed-form expression. The experiment
+// ids (E1–E11, A1–A2) are indexed in DESIGN.md; cmd/mobilexp renders them
+// and EXPERIMENTS.md records the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is one experiment's result: a caption, aligned columns, and notes
+// interpreting the shape the paper predicts.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each value.
+func (t *Table) AddRow(vals ...any) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row with %d values for %d columns in %s", len(vals), len(t.Columns), t.ID))
+	}
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = formatCell(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends an interpretation note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		if x == float64(int64(x)) && x < 1e12 && x > -1e12 {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'f', 2, 64)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case bool:
+		if x {
+			return "yes"
+		}
+		return "no"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}

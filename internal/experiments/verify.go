@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Verify runs every experiment across `seeds` different seeds and checks,
+// generically, that each "<x> measured" column equals its "<x> paper"
+// column in every row — i.e. the paper's closed forms hold not just for the
+// published seed but for any workload randomisation. Columns representing
+// bounds ("LV bound" vs "LV measured") are checked as inequalities.
+//
+// It returns a summary table: one row per experiment with the number of
+// paper/measured cells compared and any mismatches found.
+func Verify(seeds int) Table {
+	if seeds < 1 {
+		seeds = 1
+	}
+	out := Table{
+		ID:      "V0",
+		Title:   fmt.Sprintf("Verification sweep: paper vs measured across %d seeds", seeds),
+		Columns: []string{"experiment", "cells compared", "mismatches", "holds"},
+	}
+	for _, id := range IDs() {
+		var compared, mismatches int
+		for s := 1; s <= seeds; s++ {
+			tab, ok := ByID(id, uint64(s))
+			if !ok {
+				continue
+			}
+			c, m := checkTable(tab)
+			compared += c
+			mismatches += m
+		}
+		out.AddRow(id, compared, mismatches, mismatches == 0)
+	}
+	out.AddNote("\"paper\" columns are the ICDCS'94 closed forms; \"measured\" are live protocol message counts; bound columns are checked as inequalities")
+	return out
+}
+
+// checkTable compares paper/measured column pairs in one table. It returns
+// how many cells were compared and how many mismatched.
+func checkTable(tab Table) (compared, mismatches int) {
+	type pair struct {
+		paper, measured int
+		bound           bool
+	}
+	var pairs []pair
+	for i, col := range tab.Columns {
+		base, kind := splitColumn(col)
+		if kind != "paper" && kind != "bound" {
+			continue
+		}
+		for j, other := range tab.Columns {
+			b2, k2 := splitColumn(other)
+			if b2 == base && k2 == "measured" {
+				pairs = append(pairs, pair{paper: i, measured: j, bound: kind == "bound"})
+			}
+		}
+	}
+	for _, row := range tab.Rows {
+		for _, p := range pairs {
+			paper, err1 := parseNumeric(row[p.paper])
+			measured, err2 := parseNumeric(row[p.measured])
+			if err1 != nil || err2 != nil {
+				continue // non-numeric cell (e.g. "M = 6"); skip
+			}
+			compared++
+			if p.bound {
+				if measured > paper {
+					mismatches++
+				}
+			} else if paper != measured {
+				mismatches++
+			}
+		}
+	}
+	return compared, mismatches
+}
+
+// splitColumn separates "L1 measured" into ("L1", "measured"). Columns
+// without a recognised suffix return kind "".
+func splitColumn(col string) (base, kind string) {
+	for _, k := range []string{"paper", "measured", "bound"} {
+		if strings.HasSuffix(col, " "+k) {
+			return strings.TrimSuffix(col, " "+k), k
+		}
+	}
+	return col, ""
+}
+
+func parseNumeric(cell string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(cell), "x"), 64)
+}

@@ -1,0 +1,166 @@
+package group
+
+import (
+	"fmt"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+)
+
+// locUpdate is the location update a member broadcasts to the group after a
+// move (§4.2).
+type locUpdate struct {
+	Member core.MHID
+	At     core.MSSID
+}
+
+// AlwaysInform is the location-directory strategy (§4.2): every member
+// maintains LD(G), a map from member to its current MSS. Group messages
+// route directly through the recorded MSS (2·Cwireless + Cfixed per member);
+// every move broadcasts a location update of the same cost, so the
+// effective cost per group message grows with MOB/MSG.
+type AlwaysInform struct {
+	ctx      core.Context
+	opts     Options
+	members  []core.MHID
+	isMember map[core.MHID]bool
+
+	// ld holds each member's copy of the location directory, indexed by the
+	// member's position in members (per-slot state for live-runtime
+	// compatibility).
+	ld    []map[core.MHID]core.MSSID
+	index map[core.MHID]int
+
+	sent      int64
+	delivered int64
+	updates   int64
+}
+
+var (
+	_ Comm                  = (*AlwaysInform)(nil)
+	_ core.MHHandler        = (*AlwaysInform)(nil)
+	_ core.MobilityObserver = (*AlwaysInform)(nil)
+)
+
+// NewAlwaysInform registers an always-inform group over the given members,
+// seeding every member's directory from current locations.
+func NewAlwaysInform(reg core.Registrar, members []core.MHID, opts Options) (*AlwaysInform, error) {
+	set, err := memberSet(members)
+	if err != nil {
+		return nil, err
+	}
+	g := &AlwaysInform{
+		opts:     opts,
+		members:  append([]core.MHID(nil), members...),
+		isMember: set,
+		index:    make(map[core.MHID]int, len(members)),
+	}
+	g.ctx = reg.Register(g)
+	locs := initialLocations(g.ctx, set)
+	g.ld = make([]map[core.MHID]core.MSSID, len(g.members))
+	for i, mh := range g.members {
+		g.index[mh] = i
+		dir := make(map[core.MHID]core.MSSID, len(locs))
+		for member, at := range locs {
+			dir[member] = at
+		}
+		g.ld[i] = dir
+	}
+	return g, nil
+}
+
+// Name implements core.Algorithm.
+func (g *AlwaysInform) Name() string { return "group/always-inform" }
+
+// Sent implements Comm.
+func (g *AlwaysInform) Sent() int64 { return g.sent }
+
+// Delivered implements Comm.
+func (g *AlwaysInform) Delivered() int64 { return g.delivered }
+
+// Updates reports how many location-update broadcasts members have sent.
+func (g *AlwaysInform) Updates() int64 { return g.updates }
+
+// Directory returns a copy of member mh's LD(G) (for tests).
+func (g *AlwaysInform) Directory(mh core.MHID) (map[core.MHID]core.MSSID, error) {
+	slot, ok := g.index[mh]
+	if !ok {
+		return nil, fmt.Errorf("group: mh%d is not a member", int(mh))
+	}
+	out := make(map[core.MHID]core.MSSID, len(g.ld[slot]))
+	for k, v := range g.ld[slot] {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Send implements Comm: one directory-routed copy per other member.
+func (g *AlwaysInform) Send(from core.MHID, payload any) error {
+	slot, ok := g.index[from]
+	if !ok {
+		return fmt.Errorf("group: mh%d is not a member", int(from))
+	}
+	g.sent++
+	msg := groupMsg{From: from, Payload: payload}
+	return g.fanOut(slot, from, msg, cost.CatAlgorithm)
+}
+
+// fanOut sends msg from the member in slot to every other member through
+// the sender's directory.
+func (g *AlwaysInform) fanOut(slot int, from core.MHID, msg core.Message, cat cost.Category) error {
+	dir := g.ld[slot]
+	for _, to := range g.members {
+		if to == from {
+			continue
+		}
+		via, ok := dir[to]
+		if !ok {
+			return fmt.Errorf("group: mh%d has no directory entry for mh%d", int(from), int(to))
+		}
+		if err := g.ctx.SendMHViaMSS(from, via, to, msg, cat); err != nil {
+			return fmt.Errorf("group: always-inform send: %w", err)
+		}
+	}
+	return nil
+}
+
+// HandleMH implements core.MHHandler.
+func (g *AlwaysInform) HandleMH(_ core.Context, at core.MHID, msg core.Message) {
+	slot, ok := g.index[at]
+	if !ok {
+		panic(fmt.Sprintf("group: always-inform delivery to non-member mh%d", int(at)))
+	}
+	switch m := msg.(type) {
+	case groupMsg:
+		g.delivered++
+		if g.opts.OnDeliver != nil {
+			g.opts.OnDeliver(at, m.From, m.Payload)
+		}
+	case locUpdate:
+		g.ld[slot][m.Member] = m.At
+	default:
+		panic(fmt.Sprintf("group: always-inform received unexpected message %T", msg))
+	}
+}
+
+// OnJoin implements core.MobilityObserver: after a move (or reconnect) the
+// member broadcasts its new location to the whole group, updating its own
+// entry locally.
+func (g *AlwaysInform) OnJoin(ctx core.Context, mss core.MSSID, mh core.MHID, prev core.MSSID, wasDisconnected bool) {
+	slot, ok := g.index[mh]
+	if !ok {
+		return
+	}
+	g.ld[slot][mh] = mss
+	g.updates++
+	update := locUpdate{Member: mh, At: mss}
+	if err := g.fanOut(slot, mh, update, cost.CatLocation); err != nil {
+		panic(fmt.Sprintf("group: always-inform location update: %v", err))
+	}
+}
+
+// OnLeave implements core.MobilityObserver.
+func (g *AlwaysInform) OnLeave(core.Context, core.MSSID, core.MHID) {}
+
+// OnDisconnect implements core.MobilityObserver.
+func (g *AlwaysInform) OnDisconnect(core.Context, core.MSSID, core.MHID) {}

@@ -1,0 +1,354 @@
+package group
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+	"mobiledist/internal/workload"
+)
+
+// TestPropertyLocationViewExactAfterQuiescence: after any schedule of member
+// moves drains, the coordinator's LV(G) is exactly the set of cells hosting
+// at least one member, and every in-view MSS holds an identical copy.
+func TestPropertyLocationViewExactAfterQuiescence(t *testing.T) {
+	check := func(seed uint64, plan []uint8) bool {
+		const (
+			m = 6
+			n = 8
+			g = 5
+		)
+		cfg := core.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		lv, err := NewLocationView(sys, membersRange(g), LocationViewOptions{
+			Coordinator:   core.MSSID(m - 1),
+			CombineWindow: 150,
+		})
+		if err != nil {
+			return false
+		}
+		for i, op := range plan {
+			if i >= 25 {
+				break
+			}
+			mh := core.MHID(op % g)
+			to := core.MSSID((int(op) / 7) % m)
+			sys.Schedule(sim.Time(i*37), func() {
+				if _, st := sys.Where(mh); st == core.StatusConnected {
+					_ = sys.Move(mh, to)
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+
+		// Exact view: cells hosting >= 1 member.
+		want := make(map[core.MSSID]bool)
+		for i := 0; i < g; i++ {
+			at, st := sys.Where(core.MHID(i))
+			if st != core.StatusConnected {
+				return false
+			}
+			want[at] = true
+		}
+		view := lv.View()
+		if len(view) != len(want) {
+			return false
+		}
+		for _, id := range view {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLocationViewDeliversAfterQuiescence: once the view settles, a
+// group message reaches exactly the other members, wherever they ended up.
+func TestPropertyLocationViewDeliversAfterQuiescence(t *testing.T) {
+	check := func(seed uint64, plan []uint8) bool {
+		const (
+			m = 5
+			n = 8
+			g = 4
+		)
+		cfg := core.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		log := newDeliveryLog()
+		lv, err := NewLocationView(sys, membersRange(g), LocationViewOptions{
+			Options:       log.opts(),
+			Coordinator:   core.MSSID(0),
+			CombineWindow: 100,
+		})
+		if err != nil {
+			return false
+		}
+		for i, op := range plan {
+			if i >= 15 {
+				break
+			}
+			mh := core.MHID(op % g)
+			to := core.MSSID((int(op) / 5) % m)
+			sys.Schedule(sim.Time(i*43), func() {
+				if _, st := sys.Where(mh); st == core.StatusConnected {
+					_ = sys.Move(mh, to)
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		// Quiescent now; send one message.
+		if err := lv.Send(core.MHID(1), "ping"); err != nil {
+			return false
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		if lv.Delivered() != g-1 {
+			return false
+		}
+		for _, mh := range membersRange(g) {
+			want := 1
+			if mh == 1 {
+				want = 0
+			}
+			if log.byMember[mh] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAlwaysInformDirectoriesConverge: after moves drain, every
+// member's directory agrees with reality.
+func TestPropertyAlwaysInformDirectoriesConverge(t *testing.T) {
+	check := func(seed uint64, plan []uint8) bool {
+		const (
+			m = 4
+			n = 6
+			g = 4
+		)
+		cfg := core.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		ai, err := NewAlwaysInform(sys, membersRange(g), Options{})
+		if err != nil {
+			return false
+		}
+		for i, op := range plan {
+			if i >= 12 {
+				break
+			}
+			mh := core.MHID(op % g)
+			to := core.MSSID((int(op) / 5) % m)
+			sys.Schedule(sim.Time(i*51), func() {
+				if _, st := sys.Where(mh); st == core.StatusConnected {
+					_ = sys.Move(mh, to)
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		for _, owner := range membersRange(g) {
+			dir, err := ai.Directory(owner)
+			if err != nil {
+				return false
+			}
+			for _, member := range membersRange(g) {
+				at, _ := sys.Where(member)
+				if dir[member] != at {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocationViewConcurrentSignificantMoves(t *testing.T) {
+	// Two members leave their (sole-member) cells for two fresh cells at
+	// the same instant: the coordinator must serialize both updates and all
+	// copies must converge to the exact view.
+	const (
+		m = 8
+		n = 4
+		g = 4
+	)
+	place := func(mh core.MHID) core.MSSID { return core.MSSID(int(mh)) } // one per cell 0..3
+	cfg := core.DefaultConfig(m, n)
+	cfg.Placement = place
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	log := newDeliveryLog()
+	lv, err := NewLocationView(sys, membersRange(g), LocationViewOptions{
+		Options:       log.opts(),
+		Coordinator:   core.MSSID(7),
+		CombineWindow: 100,
+	})
+	if err != nil {
+		t.Fatalf("NewLocationView: %v", err)
+	}
+	if err := sys.Move(core.MHID(0), core.MSSID(4)); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if err := sys.Move(core.MHID(1), core.MSSID(5)); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	view := lv.View()
+	want := []core.MSSID{2, 3, 4, 5}
+	if len(view) != len(want) {
+		t.Fatalf("view = %v, want %v", view, want)
+	}
+	for i := range want {
+		if view[i] != want[i] {
+			t.Fatalf("view = %v, want %v", view, want)
+		}
+	}
+	// Both were combined add+delete requests.
+	if got := lv.CombinedRequests(); got != 2 {
+		t.Errorf("combined = %d, want 2", got)
+	}
+	// A message must now reach all three other members.
+	if err := lv.Send(core.MHID(2), "x"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lv.Delivered() != g-1 {
+		t.Errorf("delivered = %d, want %d", lv.Delivered(), g-1)
+	}
+}
+
+func TestLocationViewDisconnectedSoleMemberDeletesCell(t *testing.T) {
+	const (
+		m = 4
+		n = 3
+		g = 3
+	)
+	place := func(mh core.MHID) core.MSSID { return core.MSSID(int(mh)) }
+	cfg := core.DefaultConfig(m, n)
+	cfg.Placement = place
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	lv, err := NewLocationView(sys, membersRange(g), LocationViewOptions{
+		Coordinator:   core.MSSID(3),
+		CombineWindow: 50,
+	})
+	if err != nil {
+		t.Fatalf("NewLocationView: %v", err)
+	}
+	if err := sys.Disconnect(core.MHID(2)); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := lv.ViewSize(); got != 2 {
+		t.Errorf("|LV| = %d after sole member disconnected, want 2", got)
+	}
+	// Reconnecting elsewhere re-adds the new cell.
+	if err := sys.Reconnect(core.MHID(2), core.MSSID(0), true); err != nil {
+		t.Fatalf("Reconnect: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := lv.ViewSize(); got != 2 { // cells 0 (now two members) and 1
+		t.Errorf("|LV| = %d after reconnect, want 2", got)
+	}
+	view := lv.View()
+	if view[0] != 0 || view[1] != 1 {
+		t.Errorf("view = %v, want [0 1]", view)
+	}
+}
+
+func TestGroupStrategiesUnderChurnStillDeliverToConnected(t *testing.T) {
+	// With one member churning, messages sent while it is away are lost to
+	// it (group semantics have no store-and-forward) but every connected
+	// member still gets every message.
+	const (
+		m = 4
+		n = 6
+		g = 4
+	)
+	cfg := core.DefaultConfig(m, n)
+	cfg.Seed = 23
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	log := newDeliveryLog()
+	lvg, err := NewLocationView(sys, membersRange(g), LocationViewOptions{
+		Options:       log.opts(),
+		Coordinator:   core.MSSID(3),
+		CombineWindow: 100,
+	})
+	if err != nil {
+		t.Fatalf("NewLocationView: %v", err)
+	}
+	if _, err := workload.NewChurn(sys, workload.ChurnConfig{
+		MHs:       []core.MHID{3},
+		UpFor:     workload.FixedSpan(500),
+		DownFor:   workload.FixedSpan(2_000),
+		Cycles:    1,
+		KnowsPrev: true,
+	}); err != nil {
+		t.Fatalf("NewChurn: %v", err)
+	}
+	// Send one message while mh3 is surely disconnected.
+	sys.Schedule(1_500, func() {
+		if err := lvg.Send(core.MHID(0), "away"); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, mh := range []core.MHID{1, 2} {
+		if log.byMember[mh] != 1 {
+			t.Errorf("mh%d got %d copies, want 1", int(mh), log.byMember[mh])
+		}
+	}
+	if log.byMember[core.MHID(3)] != 0 {
+		t.Errorf("disconnected mh3 got %d copies, want 0", log.byMember[core.MHID(3)])
+	}
+	// No stale cost should hide algorithm traffic miscounting.
+	if alg := sys.Meter().CategoryCost(cost.CatAlgorithm, cfg.Params); alg <= 0 {
+		t.Error("no algorithm cost recorded")
+	}
+}

@@ -1,0 +1,45 @@
+// Package logical provides Lamport logical clocks and the timestamp-ordered
+// request queue used by Lamport's mutual exclusion algorithm [Lamport 1978].
+// These are the data structures algorithms L1 and L2 maintain at their
+// participants (mobile hosts for L1, support stations for L2).
+package logical
+
+// Clock is a Lamport logical clock. The zero value is ready to use.
+type Clock struct {
+	t int64
+}
+
+// Now returns the current clock value without advancing it.
+func (c *Clock) Now() int64 { return c.t }
+
+// Tick advances the clock for a local event (such as sending a message) and
+// returns the new value.
+func (c *Clock) Tick() int64 {
+	c.t++
+	return c.t
+}
+
+// Witness merges a received timestamp into the clock, advancing past it,
+// and returns the new value.
+func (c *Clock) Witness(ts int64) int64 {
+	if ts > c.t {
+		c.t = ts
+	}
+	c.t++
+	return c.t
+}
+
+// Timestamp is a Lamport timestamp with a process id tiebreak, yielding the
+// total order Lamport's algorithm requires.
+type Timestamp struct {
+	Time int64
+	Proc int
+}
+
+// Less reports whether t precedes u in the (time, proc) total order.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.Time != u.Time {
+		return t.Time < u.Time
+	}
+	return t.Proc < u.Proc
+}

@@ -1,0 +1,95 @@
+package logical
+
+import (
+	"testing"
+)
+
+// FuzzRequestQueue drives the queue with an arbitrary op-stream and checks
+// the sortedness and consistency invariants. Run with
+// `go test -fuzz=FuzzRequestQueue ./internal/logical` for continuous
+// fuzzing; seeds alone run as regular tests.
+func FuzzRequestQueue(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 9, 9, 9, 3})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q RequestQueue
+		present := make(map[Timestamp]bool)
+		for i, op := range ops {
+			if i > 200 {
+				break
+			}
+			ts := Timestamp{Time: int64(op % 32), Proc: i % 7}
+			switch {
+			case op%5 == 0 && len(present) > 0:
+				for k := range present {
+					if !q.Remove(k) {
+						t.Fatalf("Remove(%v) failed for present ts", k)
+					}
+					delete(present, k)
+					break
+				}
+			case op%7 == 0 && len(present) > 0:
+				var anyProc int
+				for k := range present {
+					anyProc = k.Proc
+					break
+				}
+				if q.RemoveByProc(anyProc) {
+					// Remove the earliest ts of that proc from the model.
+					var best *Timestamp
+					for k := range present {
+						if k.Proc != anyProc {
+							continue
+						}
+						if best == nil || k.Less(*best) {
+							kk := k
+							best = &kk
+						}
+					}
+					if best == nil {
+						t.Fatal("RemoveByProc succeeded with no model entry")
+					}
+					delete(present, *best)
+				}
+			default:
+				if present[ts] {
+					continue
+				}
+				q.Insert(Request{TS: ts})
+				present[ts] = true
+			}
+			// Invariants after every operation.
+			reqs := q.Requests()
+			if len(reqs) != len(present) {
+				t.Fatalf("len %d, model %d", len(reqs), len(present))
+			}
+			for j := 1; j < len(reqs); j++ {
+				if reqs[j].TS.Less(reqs[j-1].TS) {
+					t.Fatalf("unsorted at %d: %v", j, reqs)
+				}
+			}
+			if head, ok := q.Head(); ok && len(reqs) > 0 && head.TS != reqs[0].TS {
+				t.Fatalf("head %v != first %v", head.TS, reqs[0].TS)
+			}
+		}
+	})
+}
+
+// FuzzClockWitness checks the clock's monotonicity under arbitrary
+// witnessed timestamps.
+func FuzzClockWitness(f *testing.F) {
+	f.Add([]byte{1, 200, 3})
+	f.Add([]byte{255, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, stamps []byte) {
+		var c Clock
+		for _, b := range stamps {
+			prev := c.Now()
+			ts := int64(b) * 3
+			v := c.Witness(ts)
+			if v <= prev || v <= ts {
+				t.Fatalf("Witness(%d) = %d after %d", ts, v, prev)
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+package logical
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockTickMonotonic(t *testing.T) {
+	var c Clock
+	last := c.Now()
+	for i := 0; i < 100; i++ {
+		v := c.Tick()
+		if v <= last {
+			t.Fatalf("Tick not monotonic: %d after %d", v, last)
+		}
+		last = v
+	}
+}
+
+func TestClockWitnessAdvancesPast(t *testing.T) {
+	var c Clock
+	if v := c.Witness(10); v != 11 {
+		t.Errorf("Witness(10) = %d, want 11", v)
+	}
+	if v := c.Witness(5); v != 12 {
+		t.Errorf("Witness(5) after 11 = %d, want 12", v)
+	}
+}
+
+func TestClockWitnessProperty(t *testing.T) {
+	// Property: after Witness(ts), the clock strictly exceeds both ts and
+	// its previous value.
+	check := func(seeds []int16) bool {
+		var c Clock
+		for _, s := range seeds {
+			prev := c.Now()
+			ts := int64(s)
+			v := c.Witness(ts)
+			if v <= ts || v <= prev {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimestampTotalOrder(t *testing.T) {
+	a := Timestamp{Time: 1, Proc: 2}
+	b := Timestamp{Time: 1, Proc: 3}
+	c := Timestamp{Time: 2, Proc: 0}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("ordering violated")
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+	if b.Less(a) {
+		t.Error("Less not antisymmetric")
+	}
+}
+
+func TestRequestQueueOrdering(t *testing.T) {
+	var q RequestQueue
+	q.Insert(Request{TS: Timestamp{Time: 5, Proc: 1}})
+	q.Insert(Request{TS: Timestamp{Time: 3, Proc: 2}})
+	q.Insert(Request{TS: Timestamp{Time: 5, Proc: 0}})
+	q.Insert(Request{TS: Timestamp{Time: 1, Proc: 9}})
+
+	want := []Timestamp{{1, 9}, {3, 2}, {5, 0}, {5, 1}}
+	got := q.Requests()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].TS != want[i] {
+			t.Fatalf("queue order %v, want %v", got, want)
+		}
+	}
+	head, ok := q.Head()
+	if !ok || head.TS != want[0] {
+		t.Errorf("Head = %+v, want %v", head, want[0])
+	}
+}
+
+func TestRequestQueueRemove(t *testing.T) {
+	var q RequestQueue
+	q.Insert(Request{TS: Timestamp{Time: 1, Proc: 0}})
+	q.Insert(Request{TS: Timestamp{Time: 2, Proc: 1}})
+	if !q.Remove(Timestamp{Time: 1, Proc: 0}) {
+		t.Error("Remove of present request failed")
+	}
+	if q.Remove(Timestamp{Time: 1, Proc: 0}) {
+		t.Error("Remove of absent request succeeded")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+	if !q.RemoveByProc(1) {
+		t.Error("RemoveByProc failed")
+	}
+	if q.RemoveByProc(1) {
+		t.Error("RemoveByProc of absent proc succeeded")
+	}
+	if _, ok := q.Head(); ok {
+		t.Error("Head on empty queue returned ok")
+	}
+}
+
+func TestRequestQueueSortedProperty(t *testing.T) {
+	// Property: after arbitrary interleaved inserts and removes, the queue
+	// remains sorted and contains exactly the un-removed items.
+	check := func(ops []int16) bool {
+		var q RequestQueue
+		present := make(map[Timestamp]bool)
+		for i, op := range ops {
+			ts := Timestamp{Time: int64(op % 50), Proc: i % 5}
+			if op%3 == 0 && len(present) > 0 {
+				// Remove an arbitrary present timestamp.
+				for k := range present {
+					if !q.Remove(k) {
+						return false
+					}
+					delete(present, k)
+					break
+				}
+				continue
+			}
+			if present[ts] {
+				continue // queue permits duplicates but the model map doesn't
+			}
+			q.Insert(Request{TS: ts})
+			present[ts] = true
+		}
+		reqs := q.Requests()
+		if len(reqs) != len(present) {
+			return false
+		}
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].TS.Less(reqs[i-1].TS) {
+				return false
+			}
+		}
+		for _, r := range reqs {
+			if !present[r.TS] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// memNet is an in-memory FIFO network for driving MutexEngines directly:
+// per ordered pair queues delivered in a randomized (but per-pair FIFO)
+// order chosen by the seed.
+type memNet struct {
+	engines []*MutexEngine
+	queues  map[[2]int][]MutexMsg
+	order   []([2]int)
+	rng     func(int) int
+}
+
+func newMemNet(n int, rng func(int) int) *memNet {
+	return &memNet{
+		engines: make([]*MutexEngine, n),
+		queues:  make(map[[2]int][]MutexMsg),
+		rng:     rng,
+	}
+}
+
+func (n *memNet) send(from int) func(int, MutexMsg) {
+	return func(to int, m MutexMsg) {
+		key := [2]int{from, to}
+		if len(n.queues[key]) == 0 {
+			n.order = append(n.order, key)
+		}
+		n.queues[key] = append(n.queues[key], m)
+	}
+}
+
+// step delivers one message from a pseudo-randomly chosen non-empty pair
+// channel, preserving per-pair FIFO. It reports whether anything was
+// delivered.
+func (n *memNet) step() bool {
+	for len(n.order) > 0 {
+		i := n.rng(len(n.order))
+		key := n.order[i]
+		q := n.queues[key]
+		if len(q) == 0 {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			continue
+		}
+		m := q[0]
+		n.queues[key] = q[1:]
+		if len(n.queues[key]) == 0 {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+		}
+		n.engines[key[1]].Handle(m)
+		return true
+	}
+	return false
+}
+
+func (n *memNet) drain() {
+	for n.step() {
+	}
+}
+
+func TestMutexEngineSafetyAndOrderUnderRandomSchedules(t *testing.T) {
+	// Property: for any message delivery schedule (FIFO per pair), at most
+	// one participant holds the critical section, every request is
+	// eventually granted, and grants follow timestamp order.
+	check := func(seed int64, procsRaw uint8) bool {
+		procs := int(procsRaw%4) + 2
+		state := seed
+		rng := func(n int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := int((state >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		net := newMemNet(procs, rng)
+
+		var grantedOrder []Timestamp
+		holders := 0
+		safe := true
+		release := make([]func(), 0, procs)
+		for p := 0; p < procs; p++ {
+			p := p
+			net.engines[p] = NewMutexEngine(p, procs, net.send(p), func(tag int64, ts Timestamp) {
+				holders++
+				if holders > 1 {
+					safe = false
+				}
+				grantedOrder = append(grantedOrder, ts)
+				release = append(release, func() {
+					holders--
+					if err := net.engines[p].Release(ts); err != nil {
+						safe = false
+					}
+				})
+			})
+		}
+		// Every participant requests once, interleaved with deliveries.
+		for p := 0; p < procs; p++ {
+			net.engines[p].Request(int64(p))
+			for i := 0; i < rng(5); i++ {
+				net.step()
+			}
+		}
+		// Alternate releases and deliveries until quiescence.
+		for rounds := 0; rounds < 10*procs; rounds++ {
+			net.drain()
+			if len(release) == 0 {
+				break
+			}
+			r := release[0]
+			release = release[1:]
+			r()
+		}
+		net.drain()
+		if !safe {
+			return false
+		}
+		if len(grantedOrder) != procs {
+			return false
+		}
+		for i := 1; i < len(grantedOrder); i++ {
+			if grantedOrder[i].Less(grantedOrder[i-1]) {
+				return false // grants must follow timestamp order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutexEngineSingleParticipant(t *testing.T) {
+	granted := 0
+	var eng *MutexEngine
+	eng = NewMutexEngine(0, 1, func(int, MutexMsg) {
+		t.Error("single participant sent a message")
+	}, func(tag int64, ts Timestamp) {
+		granted++
+		if err := eng.Release(ts); err != nil {
+			t.Errorf("Release: %v", err)
+		}
+	})
+	eng.Request(1)
+	eng.Request(2)
+	if granted != 2 {
+		t.Errorf("granted = %d, want 2", granted)
+	}
+}
+
+func TestMutexEngineRejectsBadRelease(t *testing.T) {
+	eng := NewMutexEngine(0, 2, func(int, MutexMsg) {}, func(int64, Timestamp) {})
+	if err := eng.Release(Timestamp{Time: 1, Proc: 1}); err == nil {
+		t.Error("release of foreign request succeeded")
+	}
+	if err := eng.Release(Timestamp{Time: 9, Proc: 0}); err == nil {
+		t.Error("release of unknown request succeeded")
+	}
+}
+
+func TestNewMutexEngineValidatesProc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range proc did not panic")
+		}
+	}()
+	NewMutexEngine(3, 2, func(int, MutexMsg) {}, func(int64, Timestamp) {})
+}

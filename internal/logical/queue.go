@@ -1,0 +1,73 @@
+package logical
+
+import "sort"
+
+// Request is one pending mutual exclusion request in a participant's
+// request queue. Tag carries algorithm-specific identity (L2 stores the
+// requesting MH's id there; L1 leaves it zero).
+type Request struct {
+	TS  Timestamp
+	Tag int64
+}
+
+// RequestQueue is the timestamp-ordered queue of pending requests each
+// Lamport participant maintains. Operations keep the slice sorted by
+// timestamp order; queues are small (one entry per outstanding request), so
+// linear maintenance is appropriate and allocation-free on the hot path.
+//
+// The zero value is an empty queue.
+type RequestQueue struct {
+	reqs []Request
+}
+
+// Len returns the number of queued requests.
+func (q *RequestQueue) Len() int { return len(q.reqs) }
+
+// Insert adds r, keeping timestamp order.
+func (q *RequestQueue) Insert(r Request) {
+	i := sort.Search(len(q.reqs), func(i int) bool { return r.TS.Less(q.reqs[i].TS) })
+	q.reqs = append(q.reqs, Request{})
+	copy(q.reqs[i+1:], q.reqs[i:])
+	q.reqs[i] = r
+}
+
+// Head returns the earliest request. ok is false when the queue is empty.
+func (q *RequestQueue) Head() (r Request, ok bool) {
+	if len(q.reqs) == 0 {
+		return Request{}, false
+	}
+	return q.reqs[0], true
+}
+
+// Remove deletes the request with exactly the given timestamp, reporting
+// whether it was present.
+func (q *RequestQueue) Remove(ts Timestamp) bool {
+	for i, r := range q.reqs {
+		if r.TS == ts {
+			q.reqs = append(q.reqs[:i], q.reqs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveByProc deletes the earliest request issued by proc, reporting
+// whether one was present. Lamport's release messages identify the releasing
+// process; with at most one granted request per process at a time the
+// earliest entry is the released one.
+func (q *RequestQueue) RemoveByProc(proc int) bool {
+	for i, r := range q.reqs {
+		if r.TS.Proc == proc {
+			q.reqs = append(q.reqs[:i], q.reqs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Requests returns a copy of the queue contents in timestamp order.
+func (q *RequestQueue) Requests() []Request {
+	out := make([]Request, len(q.reqs))
+	copy(out, q.reqs)
+	return out
+}

@@ -1,0 +1,18 @@
+// Package lamport implements distributed mutual exclusion after Lamport
+// [11] in the two variants the paper analyses (Section 3.1.1):
+//
+//   - L1 runs the classical algorithm directly on the N mobile hosts. Every
+//     protocol message is MH-to-MH (incurring 2·Cwireless + Csearch), every
+//     MH maintains a request queue, and FIFO channels between every MH pair
+//     are required.
+//   - L2 shifts the algorithm to the M support stations: an MH sends
+//     init() to its local MSS, which competes on its behalf; the grant is
+//     routed to the (possibly moved) MH with one search, and the release is
+//     relayed through the MH's current MSS.
+//
+// Both variants share one participant state machine (engine): a Lamport
+// clock, a timestamp-ordered request queue, and the last timestamp seen
+// from every peer. A participant may enter the critical section for the
+// request at the head of its queue once it has received a message
+// timestamped later than that request from every other participant.
+package lamport

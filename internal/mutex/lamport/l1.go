@@ -1,0 +1,133 @@
+package lamport
+
+import (
+	"fmt"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/logical"
+	"mobiledist/internal/sim"
+)
+
+// Options configure the critical-section behaviour shared by L1 and L2.
+type Options struct {
+	// Hold is how long a granted MH occupies the critical section before
+	// the algorithm releases on its behalf.
+	Hold sim.Time
+	// OnEnter fires when mh enters the critical section.
+	OnEnter func(mh core.MHID)
+	// OnExit fires when mh leaves the critical section (the release has
+	// been initiated; propagation is asynchronous).
+	OnExit func(mh core.MHID)
+}
+
+// L1 executes Lamport's mutual exclusion directly on the mobile hosts.
+// Every MH participates in every execution: each maintains a clock and a
+// request queue, and all protocol traffic is MH-to-MH.
+type L1 struct {
+	ctx          core.Context
+	opts         Options
+	participants []core.MHID
+	index        map[core.MHID]int
+	engines      []*logical.MutexEngine
+	pending      []*logical.Timestamp // outstanding own request per slot
+	grants       int64
+}
+
+var (
+	_ core.Algorithm = (*L1)(nil)
+	_ core.MHHandler = (*L1)(nil)
+)
+
+// NewL1 registers an L1 instance over the given participant MHs (all N MHs
+// in the paper's analysis).
+func NewL1(reg core.Registrar, participants []core.MHID, opts Options) (*L1, error) {
+	if len(participants) == 0 {
+		return nil, fmt.Errorf("lamport: L1 needs at least one participant")
+	}
+	a := &L1{
+		opts:         opts,
+		participants: append([]core.MHID(nil), participants...),
+		index:        make(map[core.MHID]int, len(participants)),
+		engines:      make([]*logical.MutexEngine, len(participants)),
+		pending:      make([]*logical.Timestamp, len(participants)),
+	}
+	for i, mh := range a.participants {
+		if _, dup := a.index[mh]; dup {
+			return nil, fmt.Errorf("lamport: duplicate participant mh%d", int(mh))
+		}
+		a.index[mh] = i
+	}
+	a.ctx = reg.Register(a)
+	for i := range a.participants {
+		slot := i
+		a.engines[i] = logical.NewMutexEngine(slot, len(a.participants),
+			func(to int, m logical.MutexMsg) { a.sendPeer(slot, to, m) },
+			func(tag int64, ts logical.Timestamp) { a.granted(slot, ts) },
+		)
+	}
+	return a, nil
+}
+
+// Name implements core.Algorithm.
+func (a *L1) Name() string { return "mutex/L1" }
+
+// Grants reports how many critical-section entries have been granted.
+func (a *L1) Grants() int64 { return a.grants }
+
+// Request issues a mutual exclusion request on behalf of mh. At most one
+// request per MH may be outstanding.
+func (a *L1) Request(mh core.MHID) error {
+	slot, ok := a.index[mh]
+	if !ok {
+		return fmt.Errorf("lamport: mh%d is not an L1 participant", int(mh))
+	}
+	if a.pending[slot] != nil {
+		return fmt.Errorf("lamport: mh%d already has an outstanding request", int(mh))
+	}
+	ts := a.engines[slot].Request(0)
+	a.pending[slot] = &ts
+	return nil
+}
+
+// HandleMH implements core.MHHandler.
+func (a *L1) HandleMH(_ core.Context, at core.MHID, msg core.Message) {
+	slot, ok := a.index[at]
+	if !ok {
+		panic(fmt.Sprintf("lamport: L1 message delivered to non-participant mh%d", int(at)))
+	}
+	m, ok := msg.(logical.MutexMsg)
+	if !ok {
+		panic(fmt.Sprintf("lamport: L1 received unexpected message %T", msg))
+	}
+	a.engines[slot].Handle(m)
+}
+
+func (a *L1) sendPeer(from, to int, m logical.MutexMsg) {
+	src := a.participants[from]
+	dst := a.participants[to]
+	if err := a.ctx.SendMHToMH(src, dst, m, cost.CatAlgorithm); err != nil {
+		// A disconnected sender cannot participate; the paper notes L1 does
+		// not provide for disconnection, so the message is simply lost and
+		// the algorithm stalls — exactly the failure mode experiment E3
+		// measures.
+		return
+	}
+}
+
+func (a *L1) granted(slot int, ts logical.Timestamp) {
+	mh := a.participants[slot]
+	a.grants++
+	if a.opts.OnEnter != nil {
+		a.opts.OnEnter(mh)
+	}
+	a.ctx.After(a.opts.Hold, func() {
+		if a.opts.OnExit != nil {
+			a.opts.OnExit(mh)
+		}
+		a.pending[slot] = nil
+		if err := a.engines[slot].Release(ts); err != nil {
+			panic(fmt.Sprintf("lamport: L1 release: %v", err))
+		}
+	})
+}

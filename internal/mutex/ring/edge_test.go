@@ -1,0 +1,252 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+	"mobiledist/internal/workload"
+)
+
+func TestR2SingleMSSRing(t *testing.T) {
+	// M = 1: the token "circulates" by self-transfer; requests are still
+	// granted once per traversal under the counter variant.
+	sys := newTestSystem(t, 1, 3)
+	mon := &monitor{t: t}
+	r2, err := NewR2(sys, VariantCounter, mon.options(2), 3, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r2.Request(core.MHID(i)); err != nil {
+			t.Fatalf("Request: %v", err)
+		}
+	}
+	sys.Schedule(50, func() {
+		if err := r2.Start(); err != nil {
+			t.Errorf("Start: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := r2.Grants(); got != 3 {
+		t.Errorf("grants = %d, want 3", got)
+	}
+}
+
+func TestR1SingleMemberRing(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	mon := &monitor{t: t}
+	r1, err := NewR1(sys, []core.MHID{0}, mon.options(1), false, 2)
+	if err != nil {
+		t.Fatalf("NewR1: %v", err)
+	}
+	if err := r1.Request(core.MHID(0)); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if err := r1.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1.Traversals() != 2 || r1.Grants() != 1 {
+		t.Errorf("traversals = %d grants = %d, want 2/1", r1.Traversals(), r1.Grants())
+	}
+}
+
+func TestR2RequestArrivingWhileTokenHeldWaitsOneTraversal(t *testing.T) {
+	// The paper moves requests to the grant queue only on token arrival: a
+	// request reaching the token-holding MSS after that instant waits for
+	// the next traversal.
+	sys := newTestSystem(t, 3, 6)
+	mon := &monitor{t: t}
+	var r2 *R2
+	var grantedAtTraversal []int64
+	opts := mon.options(2_000) // long hold keeps the token at mss0
+	base := opts.OnEnter
+	opts.OnEnter = func(mh core.MHID) {
+		base(mh)
+		grantedAtTraversal = append(grantedAtTraversal, r2.Traversals())
+	}
+	var err error
+	r2, err = NewR2(sys, VariantPlain, opts, 2, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+	// mh0 requests before the token starts; mh3 (same cell) requests while
+	// the token is busy serving mh0.
+	if err := r2.Request(core.MHID(0)); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	sys.Schedule(100, func() {
+		if err := r2.Start(); err != nil {
+			t.Errorf("Start: %v", err)
+		}
+	})
+	sys.Schedule(500, func() { // token is at mss0, mh0 inside the CS
+		if err := r2.Request(core.MHID(3)); err != nil {
+			t.Errorf("Request: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := r2.Grants(); got != 2 {
+		t.Fatalf("grants = %d, want 2", got)
+	}
+	if len(grantedAtTraversal) != 2 || grantedAtTraversal[1] != grantedAtTraversal[0]+1 {
+		t.Errorf("grants landed in traversals %v, want consecutive traversals", grantedAtTraversal)
+	}
+}
+
+func TestR2GrantQueueServedInRequestOrder(t *testing.T) {
+	sys := newTestSystem(t, 3, 9)
+	var order []core.MHID
+	opts := Options{Hold: 2, OnEnter: func(mh core.MHID) { order = append(order, mh) }}
+	r2, err := NewR2(sys, VariantPlain, opts, 1, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+	// mh0, mh3, mh6 all live in cell 0; request in a fixed order with gaps.
+	for i, mh := range []core.MHID{6, 0, 3} {
+		mh := mh
+		sys.Schedule(sim.Time(i*20), func() {
+			if err := r2.Request(mh); err != nil {
+				t.Errorf("Request: %v", err)
+			}
+		})
+	}
+	sys.Schedule(200, func() {
+		if err := r2.Start(); err != nil {
+			t.Errorf("Start: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []core.MHID{6, 0, 3}
+	if len(order) != len(want) {
+		t.Fatalf("grant order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestR2MultiTraversalCost(t *testing.T) {
+	// Two traversals with no requests must cost exactly 2·M·Cfixed.
+	const m = 5
+	cfg := core.DefaultConfig(m, 5)
+	sys := core.MustNewSystem(cfg)
+	r2, err := NewR2(sys, VariantPlain, Options{Hold: 1}, 2, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+	if err := r2.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := sys.Meter().CategoryCost(cost.CatAlgorithm, cfg.Params)
+	want := 2 * float64(m) * cfg.Params.Fixed
+	if got != want {
+		t.Errorf("two idle traversals cost %v, want %v", got, want)
+	}
+}
+
+func TestR2ListHonestMHNotOverRestricted(t *testing.T) {
+	// Under R2'' an honest, stationary requester is still served once per
+	// traversal across traversals.
+	sys := newTestSystem(t, 3, 3)
+	mon := &monitor{t: t}
+	var r2 *R2
+	opts := mon.options(2)
+	base := opts.OnExit
+	opts.OnExit = func(mh core.MHID) {
+		base(mh)
+		sys.Schedule(1, func() { _ = r2.Request(mh) })
+	}
+	var err error
+	r2, err = NewR2(sys, VariantList, opts, 4, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+	if err := r2.Request(core.MHID(0)); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	sys.Schedule(50, func() {
+		if err := r2.Start(); err != nil {
+			t.Errorf("Start: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// One grant per traversal is available; with request latency it may
+	// occasionally miss a traversal, but it must make steady progress.
+	if got := r2.Grants(); got < 3 {
+		t.Errorf("grants = %d over 4 traversals, want >= 3", got)
+	}
+}
+
+// TestPropertyR2TokenSafetyUnderChaos: random requests and moves never
+// produce two simultaneous critical-section holders, and the token always
+// completes its traversals.
+func TestPropertyR2TokenSafetyUnderChaos(t *testing.T) {
+	check := func(seed uint64, variantRaw, moveRaw uint8) bool {
+		const (
+			m = 4
+			n = 8
+		)
+		variants := []Variant{VariantPlain, VariantCounter, VariantList}
+		variant := variants[int(variantRaw)%len(variants)]
+		cfg := core.DefaultConfig(m, n)
+		cfg.Seed = seed
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return false
+		}
+		holders, peak := 0, 0
+		opts := Options{
+			Hold: 3,
+			OnEnter: func(core.MHID) {
+				holders++
+				if holders > peak {
+					peak = holders
+				}
+			},
+			OnExit: func(core.MHID) { holders-- },
+		}
+		r2, err := NewR2(sys, variant, opts, 3, nil)
+		if err != nil {
+			return false
+		}
+		if _, err := workload.NewRequests(sys, workload.RequestConfig{
+			Interval:      workload.Span{Min: 20, Max: 150},
+			RequestsPerMH: 1,
+		}, r2.Request); err != nil {
+			return false
+		}
+		if _, err := workload.NewMobility(sys, workload.MobilityConfig{
+			Interval:   workload.Span{Min: 40, Max: 250},
+			MovesPerMH: int(moveRaw % 3),
+		}); err != nil {
+			return false
+		}
+		sys.Schedule(400, func() { _ = r2.Start() })
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return peak <= 1 && holders == 0 && r2.Traversals() == 3
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

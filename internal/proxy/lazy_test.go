@@ -1,0 +1,125 @@
+package proxy
+
+import (
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// lazyTrial runs a home-scope static mutex under heavy mobility with the
+// given inform period and returns (inform messages, stale searches).
+func lazyTrial(t *testing.T, informEvery int) (int64, int64) {
+	t.Helper()
+	const (
+		m     = 6
+		n     = 4
+		moves = 6
+	)
+	cfg := core.DefaultConfig(m, n)
+	cfg.Seed = 11
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	sm, err := NewStaticMutex(n, MutexOptions{Hold: 3})
+	if err != nil {
+		t.Fatalf("NewStaticMutex: %v", err)
+	}
+	rt, err := New(sys, sm, participants(n), Options{Scope: ScopeHome, InformEvery: informEvery})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		mh := core.MHID(i)
+		for mv := 0; mv < moves; mv++ {
+			to := core.MSSID((i + mv + 1) % m)
+			sys.Schedule(sim.Time(200+mv*400), func() {
+				if _, st := sys.Where(mh); st == core.StatusConnected {
+					_ = sys.Move(mh, to)
+				}
+			})
+		}
+		sys.Schedule(sim.Time(300+i*500), func() {
+			if _, st := sys.Where(mh); st == core.StatusConnected {
+				_ = rt.Input(mh, RequestInput{})
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sm.Grants() == 0 {
+		t.Fatal("no grants under lazy informing")
+	}
+	return rt.MoveReports(), sys.Meter().Count(cost.CatStale, cost.KindSearch)
+}
+
+func TestLazyInformReducesReports(t *testing.T) {
+	eager, _ := lazyTrial(t, 1)
+	lazy, _ := lazyTrial(t, 4)
+	if lazy >= eager {
+		t.Errorf("lazy informing (%d reports) did not reduce eager (%d)", lazy, eager)
+	}
+	if lazy == 0 {
+		t.Error("lazy informing sent no reports at all")
+	}
+}
+
+func TestLazyInformStillDeliversOutputs(t *testing.T) {
+	// Even with very lazy informing the outputs must reach the hosts (via
+	// stale-search fallback); correctness is preserved, only cost moves.
+	const informEvery = 8
+	cfg := core.DefaultConfig(5, 3)
+	cfg.Seed = 13
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	var outputs int
+	sm, err := NewStaticMutex(3, MutexOptions{Hold: 2})
+	if err != nil {
+		t.Fatalf("NewStaticMutex: %v", err)
+	}
+	rt, err := New(sys, sm, participants(3), Options{
+		Scope:       ScopeHome,
+		InformEvery: informEvery,
+		OnOutput:    func(core.MHID, any) { outputs++ },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Move mh0 far from home, never reporting, then request.
+	if err := sys.Move(core.MHID(0), core.MSSID(4)); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	sys.Schedule(500, func() {
+		if err := rt.Input(core.MHID(0), RequestInput{}); err != nil {
+			t.Errorf("Input: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outputs != 2 { // grant + release notifications
+		t.Errorf("outputs = %d, want 2", outputs)
+	}
+	if rt.MoveReports() != 0 {
+		t.Errorf("reports = %d, want 0 (one move, period 8)", rt.MoveReports())
+	}
+	if got := sys.Meter().Count(cost.CatStale, cost.KindSearch); got == 0 {
+		t.Error("expected stale searches when the location record is cold")
+	}
+}
+
+func TestProxyRejectsNegativeInformEvery(t *testing.T) {
+	sys := newTestSystem(t, 3, 3)
+	sm, err := NewStaticMutex(2, MutexOptions{Hold: 1})
+	if err != nil {
+		t.Fatalf("NewStaticMutex: %v", err)
+	}
+	if _, err := New(sys, sm, participants(2), Options{Scope: ScopeHome, InformEvery: -1}); err == nil {
+		t.Error("negative InformEvery accepted")
+	}
+}

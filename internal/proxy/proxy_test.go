@@ -1,0 +1,244 @@
+package proxy
+
+import (
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+func newTestSystem(t *testing.T, m, n int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.DefaultConfig(m, n))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func participants(n int) []core.MHID {
+	out := make([]core.MHID, n)
+	for i := range out {
+		out[i] = core.MHID(i)
+	}
+	return out
+}
+
+// grantTracker verifies mutual exclusion at the proxy tier, where the
+// critical section is actually held, and counts the asynchronous Grant
+// notifications reaching the mobile hosts.
+type grantTracker struct {
+	t       *testing.T
+	holders int
+	grants  int
+	notices int
+}
+
+func (g *grantTracker) mutexOptions(hold sim.Time) MutexOptions {
+	return MutexOptions{
+		Hold: hold,
+		OnEnter: func(p int) {
+			g.holders++
+			g.grants++
+			if g.holders > 1 {
+				g.t.Errorf("mutual exclusion violated when proc %d entered", p)
+			}
+		},
+		OnExit: func(p int) { g.holders-- },
+	}
+}
+
+func (g *grantTracker) onOutput(mh core.MHID, out any) {
+	if _, ok := out.(Grant); ok {
+		g.notices++
+	}
+}
+
+func runMutexScope(t *testing.T, scope ScopeKind, moves bool) (*Runtime, *core.System, *grantTracker) {
+	t.Helper()
+	const (
+		m = 4
+		n = 6
+	)
+	sys := newTestSystem(t, m, n)
+	tracker := &grantTracker{t: t}
+	sm, err := NewStaticMutex(n, tracker.mutexOptions(5))
+	if err != nil {
+		t.Fatalf("NewStaticMutex: %v", err)
+	}
+	rt, err := New(sys, sm, participants(n), Options{Scope: scope, OnOutput: tracker.onOutput})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		mh := core.MHID(i)
+		if err := rt.Input(mh, RequestInput{}); err != nil {
+			t.Fatalf("Input: %v", err)
+		}
+	}
+	if moves {
+		for i := 0; i < n; i++ {
+			mh := core.MHID(i)
+			to := core.MSSID((i + 1) % m)
+			sys.Schedule(30, func() {
+				if at, st := sys.Where(mh); st == core.StatusConnected && at != to {
+					if err := sys.Move(mh, to); err != nil {
+						t.Errorf("Move: %v", err)
+					}
+				}
+			})
+		}
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rt, sys, tracker
+}
+
+func TestStaticMutexUnderHomeScope(t *testing.T) {
+	rt, _, tracker := runMutexScope(t, ScopeHome, false)
+	if tracker.grants != 6 {
+		t.Errorf("grants = %d, want 6", tracker.grants)
+	}
+	if rt.Outputs() != 12 {
+		t.Errorf("outputs = %d, want 12 (grant+release each)", rt.Outputs())
+	}
+}
+
+func TestStaticMutexUnderLocalScope(t *testing.T) {
+	_, _, tracker := runMutexScope(t, ScopeLocal, false)
+	if tracker.grants != 6 {
+		t.Errorf("grants = %d, want 6", tracker.grants)
+	}
+}
+
+func TestStaticMutexWithMobilityHomeScope(t *testing.T) {
+	rt, _, tracker := runMutexScope(t, ScopeHome, true)
+	if tracker.grants != 6 {
+		t.Errorf("grants = %d, want 6", tracker.grants)
+	}
+	if rt.MoveReports() == 0 {
+		t.Error("expected move reports under home scope with mobility")
+	}
+	if rt.Handoffs() != 0 {
+		t.Errorf("handoffs = %d, want 0 under home scope", rt.Handoffs())
+	}
+}
+
+func TestStaticMutexWithMobilityLocalScope(t *testing.T) {
+	rt, _, tracker := runMutexScope(t, ScopeLocal, true)
+	if tracker.grants != 6 {
+		t.Errorf("grants = %d, want 6", tracker.grants)
+	}
+	if rt.Handoffs() == 0 {
+		t.Error("expected handoffs under local scope with mobility")
+	}
+	if rt.MoveReports() != 0 {
+		t.Errorf("move reports = %d, want 0 under local scope", rt.MoveReports())
+	}
+}
+
+func TestHomeScopeAvoidsSearchesLocalScopePaysThem(t *testing.T) {
+	const (
+		m = 4
+		n = 6
+	)
+	run := func(scope ScopeKind) int64 {
+		sys := newTestSystem(t, m, n)
+		sm, err := NewStaticMutex(n, MutexOptions{Hold: 5})
+		if err != nil {
+			t.Fatalf("NewStaticMutex: %v", err)
+		}
+		rt, err := New(sys, sm, participants(n), Options{Scope: scope})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := rt.Input(core.MHID(0), RequestInput{}); err != nil {
+			t.Fatalf("Input: %v", err)
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sys.Meter().Count(cost.CatAlgorithm, cost.KindSearch)
+	}
+	if got := run(ScopeHome); got != 0 {
+		t.Errorf("home scope searches = %d, want 0", got)
+	}
+	if got := run(ScopeLocal); got == 0 {
+		t.Error("local scope searches = 0, want > 0 (inter-proxy messages must locate peers)")
+	}
+}
+
+func TestHomeScopeInformCostGrowsWithMobility(t *testing.T) {
+	const (
+		m = 5
+		n = 4
+	)
+	run := func(moves int) float64 {
+		sys := newTestSystem(t, m, n)
+		sm, err := NewStaticMutex(n, MutexOptions{Hold: 2})
+		if err != nil {
+			t.Fatalf("NewStaticMutex: %v", err)
+		}
+		rt, err := New(sys, sm, participants(n), Options{Scope: ScopeHome})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		_ = rt
+		var at core.MSSID
+		for i := 0; i < moves; i++ {
+			at = core.MSSID((i + 1) % m)
+			target := at
+			sys.Schedule(sim.Time(100+500*i), func() {
+				if cur, st := sys.Where(core.MHID(0)); st == core.StatusConnected && cur != target {
+					if err := sys.Move(core.MHID(0), target); err != nil {
+						t.Errorf("Move: %v", err)
+					}
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sys.Meter().CategoryCost(cost.CatLocation, sys.Config().Params)
+	}
+	if c2, c8 := run(2), run(8); c8 <= c2 {
+		t.Errorf("inform cost did not grow with mobility: %v (2 moves) vs %v (8 moves)", c2, c8)
+	}
+}
+
+func TestProxyInputFromNonParticipant(t *testing.T) {
+	sys := newTestSystem(t, 3, 5)
+	sm, err := NewStaticMutex(3, MutexOptions{Hold: 1})
+	if err != nil {
+		t.Fatalf("NewStaticMutex: %v", err)
+	}
+	rt, err := New(sys, sm, participants(3), Options{Scope: ScopeHome})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Input(core.MHID(4), RequestInput{}); err == nil {
+		t.Error("Input from non-participant succeeded, want error")
+	}
+}
+
+func TestProxyRejectsBadConfig(t *testing.T) {
+	sys := newTestSystem(t, 3, 5)
+	sm, err := NewStaticMutex(2, MutexOptions{Hold: 1})
+	if err != nil {
+		t.Fatalf("NewStaticMutex: %v", err)
+	}
+	if _, err := New(sys, sm, nil, Options{Scope: ScopeHome}); err == nil {
+		t.Error("New with no participants succeeded, want error")
+	}
+	if _, err := New(sys, sm, participants(2), Options{Scope: 0}); err == nil {
+		t.Error("New with zero scope succeeded, want error")
+	}
+	if _, err := New(sys, nil, participants(2), Options{Scope: ScopeHome}); err == nil {
+		t.Error("New with nil algorithm succeeded, want error")
+	}
+	if _, err := New(sys, sm, []core.MHID{0, 0}, Options{Scope: ScopeHome}); err == nil {
+		t.Error("New with duplicate participants succeeded, want error")
+	}
+}

@@ -1,0 +1,117 @@
+package proxy
+
+import "fmt"
+
+// StaticEcho is a second mobility-oblivious algorithm for the Section-5
+// adapter, demonstrating that the proxy runtime is not specific to mutual
+// exclusion: a classic echo (gather/broadcast) round. Any host can start a
+// round through its process; process 0 acts as the root, collects one echo
+// from every peer, and broadcasts the completion, which each proxy reports
+// to its mobile host.
+//
+// With home scope the entire round runs on the fixed network regardless of
+// how the hosts roam — the paper's structuring principle applied to a
+// different algorithm with zero changes to the adapter.
+type StaticEcho struct {
+	env     Env
+	pending int  // echoes the root still awaits in the current round
+	active  bool // a round is in progress
+	rounds  int64
+}
+
+// Echo protocol messages and I/O.
+type (
+	// StartEchoInput asks a process to initiate a round.
+	StartEchoInput struct{}
+
+	// echoRequest asks the root (process 0) to run a round.
+	echoRequest struct{}
+
+	// echoProbe is the root's broadcast to all peers.
+	echoProbe struct{}
+
+	// echoReply is a peer's echo back to the root.
+	echoReply struct{}
+
+	// echoDone is the completion broadcast.
+	echoDone struct{}
+
+	// RoundComplete is the output delivered to every mobile host.
+	RoundComplete struct {
+		Round int64
+	}
+)
+
+var _ StaticAlgorithm = (*StaticEcho)(nil)
+
+// NewStaticEcho builds an echo algorithm.
+func NewStaticEcho() *StaticEcho { return &StaticEcho{} }
+
+// Name implements StaticAlgorithm.
+func (s *StaticEcho) Name() string { return "static-echo" }
+
+// Rounds reports completed echo rounds.
+func (s *StaticEcho) Rounds() int64 { return s.rounds }
+
+// Input implements StaticAlgorithm.
+func (s *StaticEcho) Input(env Env, p int, input any) {
+	if _, ok := input.(StartEchoInput); !ok {
+		panic(fmt.Sprintf("proxy: static echo got unexpected input %T", input))
+	}
+	s.env = env
+	if p == 0 {
+		s.startRound(env)
+		return
+	}
+	env.Send(p, 0, echoRequest{})
+}
+
+// Handle implements StaticAlgorithm.
+func (s *StaticEcho) Handle(env Env, p, from int, msg any) {
+	s.env = env
+	switch msg.(type) {
+	case echoRequest:
+		if p != 0 {
+			panic("proxy: echo request at non-root")
+		}
+		s.startRound(env)
+	case echoProbe:
+		env.Send(p, 0, echoReply{})
+	case echoReply:
+		if p != 0 || !s.active {
+			return
+		}
+		s.pending--
+		if s.pending > 0 {
+			return
+		}
+		s.active = false
+		s.rounds++
+		for peer := 1; peer < env.Procs(); peer++ {
+			env.Send(0, peer, echoDone{})
+		}
+		env.Output(0, RoundComplete{Round: s.rounds})
+	case echoDone:
+		env.Output(p, RoundComplete{Round: s.rounds})
+	default:
+		panic(fmt.Sprintf("proxy: static echo got unexpected message %T", msg))
+	}
+}
+
+// startRound begins a gather at the root; concurrent start requests join
+// the in-flight round.
+func (s *StaticEcho) startRound(env Env) {
+	if s.active {
+		return
+	}
+	if env.Procs() == 1 {
+		s.rounds++
+		env.Output(0, RoundComplete{Round: s.rounds})
+		return
+	}
+	s.active = true
+	s.pending = env.Procs() - 1
+	for peer := 1; peer < env.Procs(); peer++ {
+		env.Send(0, peer, echoProbe{})
+	}
+}

@@ -1,0 +1,120 @@
+package proxy
+
+import (
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/sim"
+)
+
+func runEcho(t *testing.T, scope ScopeKind, moves bool) (*StaticEcho, map[core.MHID]int) {
+	t.Helper()
+	const (
+		m = 4
+		n = 5
+	)
+	sys := newTestSystem(t, m, n)
+	echo := NewStaticEcho()
+	completions := make(map[core.MHID]int)
+	rt, err := New(sys, echo, participants(n), Options{
+		Scope: scope,
+		OnOutput: func(mh core.MHID, out any) {
+			if _, ok := out.(RoundComplete); ok {
+				completions[mh]++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// A non-root host starts the round.
+	if err := rt.Input(core.MHID(3), StartEchoInput{}); err != nil {
+		t.Fatalf("Input: %v", err)
+	}
+	if moves {
+		for i := 0; i < n; i++ {
+			mh := core.MHID(i)
+			to := core.MSSID((i + 1) % m)
+			sys.Schedule(sim.Time(20+i*15), func() {
+				if _, st := sys.Where(mh); st == core.StatusConnected {
+					_ = sys.Move(mh, to)
+				}
+			})
+		}
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return echo, completions
+}
+
+func TestStaticEchoHomeScope(t *testing.T) {
+	echo, completions := runEcho(t, ScopeHome, false)
+	if echo.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", echo.Rounds())
+	}
+	for i := 0; i < 5; i++ {
+		if completions[core.MHID(i)] != 1 {
+			t.Errorf("mh%d completions = %d, want 1", i, completions[core.MHID(i)])
+		}
+	}
+}
+
+func TestStaticEchoLocalScopeWithMobility(t *testing.T) {
+	echo, completions := runEcho(t, ScopeLocal, true)
+	if echo.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", echo.Rounds())
+	}
+	var total int
+	for _, c := range completions {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("completion outputs = %d, want 5", total)
+	}
+}
+
+func TestStaticEchoConcurrentStartsJoinOneRound(t *testing.T) {
+	sys := newTestSystem(t, 3, 4)
+	echo := NewStaticEcho()
+	rt, err := New(sys, echo, participants(4), Options{Scope: ScopeHome})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := rt.Input(core.MHID(i), StartEchoInput{}); err != nil {
+			t.Fatalf("Input: %v", err)
+		}
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// All four starts land while the first round is active (or after it
+	// completed); at most... the root coalesces concurrent requests, so the
+	// number of rounds must be between 1 and 4 and every round completes.
+	if echo.Rounds() < 1 || echo.Rounds() > 4 {
+		t.Errorf("rounds = %d, want within [1,4]", echo.Rounds())
+	}
+}
+
+func TestStaticEchoSingleProcess(t *testing.T) {
+	sys := newTestSystem(t, 2, 1)
+	echo := NewStaticEcho()
+	var outs int
+	rt, err := New(sys, echo, participants(1), Options{
+		Scope:    ScopeHome,
+		OnOutput: func(core.MHID, any) { outs++ },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Input(core.MHID(0), StartEchoInput{}); err != nil {
+		t.Fatalf("Input: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if echo.Rounds() != 1 || outs != 1 {
+		t.Errorf("rounds=%d outs=%d, want 1/1", echo.Rounds(), outs)
+	}
+}

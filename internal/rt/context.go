@@ -1,0 +1,82 @@
+package rt
+
+import (
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// rtContext implements core.Context against the live runtime. All methods
+// must run on the executor goroutine — which is where the runtime invokes
+// every handler — except during the single-threaded build phase before
+// Start.
+type rtContext struct {
+	s   *System
+	alg int
+}
+
+var _ core.Context = (*rtContext)(nil)
+
+func (c *rtContext) Now() sim.Time { return c.s.now() }
+
+func (c *rtContext) After(d sim.Time, fn func()) { c.s.afterTicks(d, fn) }
+
+func (c *rtContext) RNG() *sim.RNG { return c.s.rng }
+
+func (c *rtContext) M() int { return c.s.cfg.M }
+
+func (c *rtContext) N() int { return c.s.cfg.N }
+
+func (c *rtContext) Params() cost.Params { return c.s.cfg.Params }
+
+func (c *rtContext) SendFixed(from, to core.MSSID, msg core.Message, cat cost.Category) {
+	c.s.sendFixed(c.alg, from, to, msg, cat)
+}
+
+func (c *rtContext) BroadcastFixed(from core.MSSID, msg core.Message, cat cost.Category) {
+	c.s.broadcastFixed(c.alg, from, msg, cat)
+}
+
+func (c *rtContext) SendToMH(from core.MSSID, mh core.MHID, msg core.Message, cat cost.Category) {
+	c.s.sendToMH(c.alg, from, mh, msg, cat)
+}
+
+func (c *rtContext) SendToLocalMH(from core.MSSID, mh core.MHID, msg core.Message, cat cost.Category) error {
+	return c.s.sendToLocalMH(c.alg, from, mh, msg, cat)
+}
+
+func (c *rtContext) SendFromMH(mh core.MHID, msg core.Message, cat cost.Category) error {
+	return c.s.sendFromMH(c.alg, mh, msg, cat)
+}
+
+func (c *rtContext) SendMHToMH(from, to core.MHID, msg core.Message, cat cost.Category) error {
+	return c.s.sendMHToMH(c.alg, from, to, msg, cat)
+}
+
+func (c *rtContext) SendMHViaMSS(from core.MHID, via core.MSSID, to core.MHID, msg core.Message, cat cost.Category) error {
+	return c.s.sendMHViaMSS(c.alg, from, via, to, msg, cat)
+}
+
+func (c *rtContext) SendToMHVia(from, via core.MSSID, to core.MHID, msg core.Message, cat cost.Category) {
+	c.s.sendToMHVia(c.alg, from, via, to, msg, cat)
+}
+
+func (c *rtContext) SendToMSSOfMH(from core.MSSID, mh core.MHID, msg core.Message, cat cost.Category) {
+	c.s.sendToMSSOfMH(c.alg, from, mh, msg, cat)
+}
+
+func (c *rtContext) IsLocal(mss core.MSSID, mh core.MHID) bool {
+	c.s.checkMSS(mss)
+	c.s.checkMH(mh)
+	return c.s.mss[mss].local[mh]
+}
+
+func (c *rtContext) LocalMHs(mss core.MSSID) []core.MHID {
+	return c.s.localMHs(mss)
+}
+
+func (c *rtContext) IsDisconnectedHere(mss core.MSSID, mh core.MHID) bool {
+	c.s.checkMSS(mss)
+	c.s.checkMH(mh)
+	return c.s.mss[mss].disconnected[mh]
+}

@@ -1,0 +1,64 @@
+package rt
+
+import "sync"
+
+// taskQueue is an unbounded FIFO work queue feeding the executor
+// goroutine. Unboundedness is deliberate: producers are transport
+// goroutines that must never block on the executor (a bounded channel
+// could deadlock the executor against its own deliveries).
+type taskQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues fn. It reports false if the queue is closed.
+func (q *taskQueue) push(fn func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, fn)
+	q.cond.Signal()
+	return true
+}
+
+// pop dequeues the next task, blocking until one is available or the queue
+// closes. It reports false when closed and drained.
+func (q *taskQueue) pop() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	fn := q.items[0]
+	q.items = q.items[1:]
+	return fn, true
+}
+
+// close marks the queue closed and wakes the consumer. Queued tasks are
+// still drained.
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// len reports the number of queued tasks.
+func (q *taskQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,323 @@
+// Package rt is the live runtime of the two-tier model: it hosts the same
+// algorithm state machines as the deterministic simulator in internal/core,
+// but transports messages over real goroutines and channels with wall-clock
+// latencies — the operational style the paper's model describes.
+//
+// Architecture:
+//
+//   - every FIFO channel of the model (each ordered MSS pair, each
+//     MSS→MH downlink, each MH uplink) is a goroutine reading from a Go
+//     channel, sleeping the link latency, and handing the message to the
+//     executor — preserving per-channel FIFO exactly as the model requires;
+//   - a single executor goroutine runs all algorithm handlers, mobility
+//     bookkeeping, and cost accounting, so algorithm state needs no locks
+//     and behaves exactly as under the simulator;
+//   - quiescence is tracked by an in-flight operation counter, letting
+//     tests wait for the network to drain.
+//
+// Lifecycle: build (NewSystem, Register, algorithm constructors — single
+// threaded), Start, then interact via Do, then WaitIdle / Stop.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// Config describes a live two-tier network.
+type Config struct {
+	// M and N size the network.
+	M, N int
+	// Params are the message cost constants.
+	Params cost.Params
+	// Seed initialises the latency RNG.
+	Seed uint64
+	// Tick converts the model's virtual-time units to wall time (timers in
+	// algorithm code use sim.Time; one unit sleeps one Tick). The default
+	// is 50µs.
+	Tick time.Duration
+	// Wired and Wireless are latency ranges in ticks.
+	Wired, Wireless core.Delay
+	// Travel is the between-cells delay range in ticks.
+	Travel core.Delay
+	// PessimisticSearch mirrors core.Config.PessimisticSearch.
+	PessimisticSearch bool
+	// Placement maps each MH to its initial cell (nil: round-robin).
+	Placement func(core.MHID) core.MSSID
+}
+
+// DefaultConfig returns a live configuration for m stations and n hosts.
+func DefaultConfig(m, n int) Config {
+	return Config{
+		M:                 m,
+		N:                 n,
+		Params:            cost.DefaultParams(),
+		Seed:              1,
+		Tick:              50 * time.Microsecond,
+		Wired:             core.Delay{Min: 1, Max: 4},
+		Wireless:          core.Delay{Min: 1, Max: 2},
+		Travel:            core.Delay{Min: 2, Max: 10},
+		PessimisticSearch: true,
+	}
+}
+
+type mhState struct {
+	status core.MHStatus
+	at     core.MSSID
+}
+
+type mssState struct {
+	local        map[core.MHID]bool
+	disconnected map[core.MHID]bool
+}
+
+// System is the live runtime driver. It implements core.Registrar, and the
+// contexts it hands out implement core.Context, so any algorithm in this
+// repository runs on it unmodified.
+type System struct {
+	cfg   Config
+	meter *cost.Meter
+	rng   *sim.RNG // executor-only
+
+	algs []core.Algorithm
+	ctxs []core.Context
+
+	mss []mssState
+	mh  []mhState
+
+	waiters map[core.MHID][]func()
+	pairs   map[pairKey]*pairState
+
+	tasks    *taskQueue
+	stopped  chan struct{}
+	execDone chan struct{}
+	started  bool
+
+	inflight atomic.Int64
+	searches atomic.Int64
+
+	pipesMu sync.Mutex
+	pipes   map[pipeKey]chan delivery
+	wg      sync.WaitGroup
+
+	epoch time.Time
+}
+
+var _ core.Registrar = (*System)(nil)
+
+// NewSystem builds a live system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.M < 1 || cfg.N < 1 {
+		return nil, fmt.Errorf("rt: need M >= 1 and N >= 1, got M=%d N=%d", cfg.M, cfg.N)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	for name, d := range map[string]core.Delay{"wired": cfg.Wired, "wireless": cfg.Wireless, "travel": cfg.Travel} {
+		if d.Min < 0 || d.Max < d.Min {
+			return nil, fmt.Errorf("rt: invalid %s delay range [%d,%d]", name, d.Min, d.Max)
+		}
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 50 * time.Microsecond
+	}
+	s := &System{
+		cfg:      cfg,
+		meter:    cost.NewMeter(),
+		rng:      sim.NewRNG(cfg.Seed),
+		mss:      make([]mssState, cfg.M),
+		mh:       make([]mhState, cfg.N),
+		waiters:  make(map[core.MHID][]func()),
+		tasks:    newTaskQueue(),
+		stopped:  make(chan struct{}),
+		execDone: make(chan struct{}),
+		pipes:    make(map[pipeKey]chan delivery),
+	}
+	for i := range s.mss {
+		s.mss[i] = mssState{
+			local:        make(map[core.MHID]bool),
+			disconnected: make(map[core.MHID]bool),
+		}
+	}
+	place := cfg.Placement
+	if place == nil {
+		place = func(mh core.MHID) core.MSSID { return core.MSSID(int(mh) % cfg.M) }
+	}
+	for i := range s.mh {
+		at := place(core.MHID(i))
+		if int(at) < 0 || int(at) >= cfg.M {
+			return nil, fmt.Errorf("rt: placement of mh%d at invalid mss%d", i, int(at))
+		}
+		s.mh[i] = mhState{status: core.StatusConnected, at: at}
+		s.mss[at].local[core.MHID(i)] = true
+	}
+	return s, nil
+}
+
+// Register implements core.Registrar. It must be called before Start.
+func (s *System) Register(alg core.Algorithm) core.Context {
+	if s.started {
+		panic("rt: Register after Start")
+	}
+	if alg == nil {
+		panic("rt: register nil algorithm")
+	}
+	idx := len(s.algs)
+	s.algs = append(s.algs, alg)
+	ctx := &rtContext{s: s, alg: idx}
+	s.ctxs = append(s.ctxs, ctx)
+	return ctx
+}
+
+// Meter returns the cost meter. Read it only after WaitIdle or Stop.
+func (s *System) Meter() *cost.Meter { return s.meter }
+
+// Config returns the runtime configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Searches reports searches performed so far.
+func (s *System) Searches() int64 { return s.searches.Load() }
+
+// Start launches the executor. Algorithms must already be registered.
+func (s *System) Start() {
+	if s.started {
+		panic("rt: Start called twice")
+	}
+	s.started = true
+	s.epoch = time.Now()
+	go func() {
+		defer close(s.execDone)
+		for {
+			fn, ok := s.tasks.pop()
+			if !ok {
+				return
+			}
+			fn()
+		}
+	}()
+}
+
+// Do runs fn on the executor and waits for it — the only safe way to call
+// algorithm APIs (Request, Send, …) from outside handlers after Start.
+func (s *System) Do(fn func()) {
+	if !s.started {
+		panic("rt: Do before Start")
+	}
+	done := make(chan struct{})
+	if !s.tasks.push(func() {
+		defer close(done)
+		fn()
+	}) {
+		panic("rt: Do after Stop")
+	}
+	<-done
+}
+
+// WaitIdle blocks until no operations are in flight and the task queue has
+// stayed empty for a settle window, or the timeout elapses. It reports
+// whether the network drained.
+func (s *System) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	settle := 0
+	for time.Now().Before(deadline) {
+		if s.inflight.Load() == 0 && s.tasks.len() == 0 {
+			settle++
+			if settle >= 5 {
+				return true
+			}
+		} else {
+			settle = 0
+		}
+		time.Sleep(2 * s.cfg.Tick)
+	}
+	return false
+}
+
+// Stop shuts the runtime down and waits for every goroutine to exit.
+func (s *System) Stop() {
+	if !s.started {
+		return
+	}
+	close(s.stopped)
+	s.tasks.close()
+	<-s.execDone
+	s.wg.Wait()
+}
+
+// Now returns virtual time (wall time since Start in ticks).
+func (s *System) now() sim.Time {
+	if s.epoch.IsZero() {
+		return 0
+	}
+	return sim.Time(time.Since(s.epoch) / s.cfg.Tick)
+}
+
+// exec enqueues fn on the executor (fire and forget).
+func (s *System) exec(fn func()) {
+	s.tasks.push(fn)
+}
+
+// opStart/opDone bracket an asynchronous operation for idle tracking.
+func (s *System) opStart()         { s.inflight.Add(1) }
+func (s *System) opDone()          { s.inflight.Add(-1) }
+func (s *System) execOp(fn func()) { s.exec(func() { defer s.opDone(); fn() }) }
+func (s *System) afterTicks(d sim.Time, fn func()) {
+	s.opStart()
+	timer := time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() {
+		s.execOp(fn)
+	})
+	_ = timer
+}
+
+func (s *System) checkMSS(id core.MSSID) {
+	if int(id) < 0 || int(id) >= s.cfg.M {
+		panic(fmt.Sprintf("rt: invalid mss id %d (M=%d)", int(id), s.cfg.M))
+	}
+}
+
+func (s *System) checkMH(id core.MHID) {
+	if int(id) < 0 || int(id) >= s.cfg.N {
+		panic(fmt.Sprintf("rt: invalid mh id %d (N=%d)", int(id), s.cfg.N))
+	}
+}
+
+func (s *System) dispatchMSS(alg int, at core.MSSID, from core.From, msg core.Message) {
+	h, ok := s.algs[alg].(core.MSSHandler)
+	if !ok {
+		panic(fmt.Sprintf("rt: algorithm %q received MSS message without MSSHandler", s.algs[alg].Name()))
+	}
+	h.HandleMSS(s.ctxs[alg], at, from, msg)
+}
+
+func (s *System) dispatchMH(alg int, at core.MHID, msg core.Message) {
+	h, ok := s.algs[alg].(core.MHHandler)
+	if !ok {
+		panic(fmt.Sprintf("rt: algorithm %q received MH message without MHHandler", s.algs[alg].Name()))
+	}
+	h.HandleMH(s.ctxs[alg], at, msg)
+}
+
+func (s *System) notifyFailure(alg int, at core.MSSID, mh core.MHID, msg core.Message, reason core.FailReason) {
+	h, ok := s.algs[alg].(core.DeliveryFailureHandler)
+	if !ok {
+		return
+	}
+	h.OnDeliveryFailure(s.ctxs[alg], at, mh, msg, reason)
+}
+
+func (s *System) fireWaiters(mh core.MHID) {
+	pending := s.waiters[mh]
+	if len(pending) == 0 {
+		return
+	}
+	delete(s.waiters, mh)
+	for _, fn := range pending {
+		s.exec(fn)
+	}
+}

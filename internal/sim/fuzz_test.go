@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// FuzzKernelSchedule checks that arbitrary interleavings of scheduling
+// (including re-entrant scheduling from inside events) preserve time
+// monotonicity and run to quiescence.
+func FuzzKernelSchedule(f *testing.F) {
+	f.Add(uint64(1), []byte{10, 0, 30, 5})
+	f.Add(uint64(7), []byte{255, 255, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, delays []byte) {
+		k := NewKernel(seed)
+		k.SetStepLimit(100_000)
+		last := Time(-1)
+		var fired int
+		for i, d := range delays {
+			if i > 100 {
+				break
+			}
+			d := Time(d)
+			k.Schedule(d, func() {
+				fired++
+				if k.Now() < last {
+					t.Fatalf("time went backwards: %d after %d", k.Now(), last)
+				}
+				last = k.Now()
+				// Re-entrant scheduling from inside an event.
+				if d%3 == 0 {
+					k.Schedule(Time(d%7), func() {
+						fired++
+						if k.Now() < last {
+							t.Fatalf("nested time went backwards")
+						}
+						last = k.Now()
+					})
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("pending events after Run: %d", k.Pending())
+		}
+	})
+}
+
+// FuzzRNGDuration checks bounds for arbitrary (seed, min, span) inputs.
+func FuzzRNGDuration(f *testing.F) {
+	f.Add(uint64(1), int64(0), uint8(10))
+	f.Add(uint64(99), int64(1000), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, min int64, span uint8) {
+		if min < 0 {
+			min = -min
+		}
+		r := NewRNG(seed)
+		max := min + int64(span)
+		for i := 0; i < 50; i++ {
+			v := r.Duration(Time(min), Time(max))
+			if v < Time(min) || v > Time(max) {
+				t.Fatalf("Duration(%d,%d) = %d", min, max, v)
+			}
+		}
+	})
+}

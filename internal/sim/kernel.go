@@ -1,0 +1,174 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and an event heap. Events scheduled
+// for the same instant fire in scheduling order (stable tie-break on a
+// monotonically increasing sequence number), so a run is a pure function of
+// its inputs and RNG seed. All algorithm state machines in this repository
+// execute on a single kernel goroutine; no locking is required in simulation
+// mode.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is virtual simulation time in abstract ticks.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("sim: push of non-event")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrNegativeDelay is returned by ScheduleErr when asked to schedule an
+// event in the past.
+var ErrNegativeDelay = errors.New("sim: negative delay")
+
+// Kernel is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *RNG
+
+	// stepLimit bounds the number of events processed by Run as a
+	// runaway-protocol backstop; 0 means no limit.
+	stepLimit uint64
+	steps     uint64
+}
+
+// NewKernel returns a kernel whose RNG is seeded with seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random number generator.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// SetStepLimit bounds the total number of events Run may process.
+// A limit of 0 (the default) means unbounded.
+func (k *Kernel) SetStepLimit(n uint64) { k.stepLimit = n }
+
+// Steps reports how many events have been processed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Schedule runs fn after delay ticks of virtual time. A zero delay runs fn
+// after all currently executing work, preserving scheduling order.
+// Negative delays panic: they indicate a protocol bug, not a runtime
+// condition a caller could recover from.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	if err := k.ScheduleErr(delay, fn); err != nil {
+		panic(fmt.Sprintf("sim: schedule: %v", err))
+	}
+}
+
+// ScheduleErr is Schedule returning an error instead of panicking.
+func (k *Kernel) ScheduleErr(delay Time, fn func()) error {
+	if delay < 0 {
+		return ErrNegativeDelay
+	}
+	if fn == nil {
+		return errors.New("sim: nil event function")
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	return nil
+}
+
+// ScheduleAt runs fn at absolute virtual time at (which must not be in the
+// past).
+func (k *Kernel) ScheduleAt(at Time, fn func()) error {
+	if at < k.now {
+		return ErrNegativeDelay
+	}
+	return k.ScheduleErr(at-k.now, fn)
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step processes the single earliest event. It reports whether an event was
+// processed.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&k.events).(*event)
+	if !ok {
+		panic("sim: corrupt event heap")
+	}
+	k.now = ev.at
+	k.steps++
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or the step limit is hit.
+// It returns an error if the step limit was exhausted with work remaining.
+func (k *Kernel) Run() error {
+	for k.Step() {
+		if k.stepLimit != 0 && k.steps >= k.stepLimit {
+			if len(k.events) > 0 {
+				return fmt.Errorf("sim: step limit %d reached with %d events pending", k.stepLimit, len(k.events))
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (k *Kernel) RunUntil(deadline Time) error {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		if !k.Step() {
+			break
+		}
+		if k.stepLimit != 0 && k.steps >= k.stepLimit {
+			return fmt.Errorf("sim: step limit %d reached at t=%d", k.stepLimit, k.now)
+		}
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64). It is not safe for concurrent use; in simulation mode all
+// access happens on the kernel goroutine, and the live runtime keeps one
+// RNG per node.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform Time in [min, max]. It panics if max < min.
+func (r *RNG) Duration(min, max Time) Time {
+	if max < min {
+		panic("sim: Duration with max < min")
+	}
+	if max == min {
+		return min
+	}
+	return min + Time(r.Int63n(int64(max-min)+1))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent RNG stream from this one, for per-node
+// generators that must not perturb each other's sequences.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+)
+
+func newSys(t *testing.T, m, n int, seed uint64) *core.System {
+	t.Helper()
+	cfg := core.DefaultConfig(m, n)
+	cfg.Seed = seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestMobilityCompletesBudget(t *testing.T) {
+	sys := newSys(t, 5, 10, 7)
+	mob, err := NewMobility(sys, MobilityConfig{
+		Interval:   Span{Min: 20, Max: 60},
+		MovesPerMH: 3,
+	})
+	if err != nil {
+		t.Fatalf("NewMobility: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := mob.Moves(); got != 30 {
+		t.Errorf("moves = %d, want 30", got)
+	}
+	if got := sys.Stats().Moves; got != 30 {
+		t.Errorf("system moves = %d, want 30", got)
+	}
+}
+
+func TestMobilityDeterministic(t *testing.T) {
+	run := func() int64 {
+		sys := newSys(t, 4, 8, 42)
+		if _, err := NewMobility(sys, MobilityConfig{
+			Interval:   Span{Min: 5, Max: 50},
+			MovesPerMH: 5,
+			Locality:   0.5,
+		}); err != nil {
+			t.Fatalf("NewMobility: %v", err)
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sys.Meter().Count(cost.CatControl, cost.KindFixed)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestMobilityLocalityOne(t *testing.T) {
+	sys := newSys(t, 6, 1, 9)
+	if _, err := NewMobility(sys, MobilityConfig{
+		Interval:   FixedSpan(100),
+		MovesPerMH: 4,
+		Locality:   1.0,
+	}); err != nil {
+		t.Fatalf("NewMobility: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// mh0 starts at cell 0 and must walk 0→1→2→3→4 with locality 1.
+	at, status := sys.Where(core.MHID(0))
+	if status != core.StatusConnected || at != 4 {
+		t.Errorf("mh0 at mss%d (%v), want mss4 connected", int(at), status)
+	}
+}
+
+func TestChurnCycles(t *testing.T) {
+	sys := newSys(t, 4, 6, 11)
+	ch, err := NewChurn(sys, ChurnConfig{
+		MHs:       []core.MHID{1, 3},
+		UpFor:     Span{Min: 50, Max: 100},
+		DownFor:   Span{Min: 30, Max: 60},
+		Cycles:    2,
+		KnowsPrev: true,
+	})
+	if err != nil {
+		t.Fatalf("NewChurn: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ch.Disconnects() != 4 || ch.Reconnects() != 4 {
+		t.Errorf("churn = %d down / %d up, want 4/4", ch.Disconnects(), ch.Reconnects())
+	}
+	for _, mh := range []core.MHID{1, 3} {
+		if _, status := sys.Where(mh); status != core.StatusConnected {
+			t.Errorf("mh%d ends %v, want connected", int(mh), status)
+		}
+	}
+}
+
+func TestChurnWithoutPrevQueriesAllHosts(t *testing.T) {
+	sys := newSys(t, 5, 2, 3)
+	before := sys.Meter().Snapshot()
+	if _, err := NewChurn(sys, ChurnConfig{
+		MHs:     []core.MHID{0},
+		UpFor:   FixedSpan(10),
+		DownFor: FixedSpan(10),
+		Cycles:  1,
+	}); err != nil {
+		t.Fatalf("NewChurn: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	diff := sys.Meter().Diff(before)
+	// reconnect without prev: (M-1) queries + 1 reply + 2 handoff = M+2
+	// fixed control messages.
+	if got := diff.Count(cost.CatControl, cost.KindFixed); got != int64(4+1+2) {
+		t.Errorf("control fixed messages = %d, want 7", got)
+	}
+}
+
+func TestRequestsDrivesIssueFunction(t *testing.T) {
+	sys := newSys(t, 3, 5, 13)
+	var calls int64
+	req, err := NewRequests(sys, RequestConfig{
+		Interval:      Span{Min: 10, Max: 20},
+		RequestsPerMH: 2,
+	}, func(mh core.MHID) error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewRequests: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 10 || req.Issued() != 10 {
+		t.Errorf("calls = %d issued = %d, want 10/10", calls, req.Issued())
+	}
+}
+
+func TestTrafficRoundRobin(t *testing.T) {
+	sys := newSys(t, 3, 6, 17)
+	var order []core.MHID
+	tr, err := NewTraffic(sys, TrafficConfig{
+		Senders:  []core.MHID{0, 2, 4},
+		Interval: FixedSpan(10),
+		Messages: 6,
+	}, func(mh core.MHID, payload any) error {
+		order = append(order, mh)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewTraffic: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.Sent() != 6 {
+		t.Fatalf("sent = %d, want 6", tr.Sent())
+	}
+	want := []core.MHID{0, 2, 4, 0, 2, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sys := newSys(t, 3, 3, 1)
+	if _, err := NewMobility(sys, MobilityConfig{Interval: Span{Min: 5, Max: 1}}); err == nil {
+		t.Error("invalid interval accepted")
+	}
+	if _, err := NewMobility(sys, MobilityConfig{Interval: FixedSpan(1), Locality: 2}); err == nil {
+		t.Error("invalid locality accepted")
+	}
+	if _, err := NewRequests(sys, RequestConfig{Interval: FixedSpan(1)}, nil); err == nil {
+		t.Error("nil issue accepted")
+	}
+	if _, err := NewTraffic(sys, TrafficConfig{Interval: FixedSpan(1)}, func(core.MHID, any) error { return nil }); err == nil {
+		t.Error("empty senders accepted")
+	}
+}

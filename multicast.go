@@ -1,0 +1,18 @@
+package mobiledist
+
+import "mobiledist/internal/multicast"
+
+// Exactly-once multicast (the paper's reference [1], built on the
+// Section-2 handoff machinery).
+type (
+	// Multicast is an exactly-once, totally-ordered multicast group over
+	// mobile members.
+	Multicast = multicast.Multicast
+	// MulticastOptions configure a multicast group.
+	MulticastOptions = multicast.Options
+)
+
+// NewMulticast registers an exactly-once multicast group over members.
+func NewMulticast(reg Registrar, members []MHID, opts MulticastOptions) (*Multicast, error) {
+	return multicast.New(reg, members, opts)
+}

@@ -1,0 +1,249 @@
+package mobiledist_test
+
+import (
+	"testing"
+
+	"mobiledist"
+)
+
+// TestGrandScenario co-hosts every system of the library on one two-tier
+// network under a mixed workload — mutual exclusion requests, group
+// messages, a multicast feed, mobility, and churn — and checks the global
+// invariants after the network drains. This is the closest thing to the
+// "operational" system the paper sketches: many algorithms sharing the same
+// static tier and the same roaming hosts.
+func TestGrandScenario(t *testing.T) {
+	const (
+		m = 8
+		n = 40
+		g = 10 // members of the group and multicast feed
+	)
+	cfg := mobiledist.DefaultConfig(m, n)
+	cfg.Seed = 2026
+	sys, err := mobiledist.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+
+	// Mutual exclusion over all hosts (L2).
+	holders, peak := 0, 0
+	l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{
+		Hold: 8,
+		OnEnter: func(mobiledist.MHID) {
+			holders++
+			if holders > peak {
+				peak = holders
+			}
+		},
+		OnExit: func(mobiledist.MHID) { holders-- },
+	})
+
+	// A token ring (R2') over the same stations, for a different resource.
+	ringHolders, ringPeak := 0, 0
+	r2, err := mobiledist.NewR2(sys, mobiledist.R2Counter, mobiledist.RingOptions{
+		Hold: 6,
+		OnEnter: func(mobiledist.MHID) {
+			ringHolders++
+			if ringHolders > ringPeak {
+				ringPeak = ringHolders
+			}
+		},
+		OnExit: func(mobiledist.MHID) { ringHolders-- },
+	}, 5, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+
+	// A location-view group over the first g hosts.
+	groupDeliveries := 0
+	lv, err := mobiledist.NewLocationView(sys, mobiledist.AllMHs(g), mobiledist.LocationViewOptions{
+		Options: mobiledist.GroupOptions{
+			OnDeliver: func(mobiledist.MHID, mobiledist.MHID, any) { groupDeliveries++ },
+		},
+		Coordinator:   mobiledist.MSSID(m - 1),
+		CombineWindow: 150,
+	})
+	if err != nil {
+		t.Fatalf("NewLocationView: %v", err)
+	}
+
+	// An exactly-once feed over the same members.
+	feed := make(map[mobiledist.MHID][]int64)
+	mc, err := mobiledist.NewMulticast(sys, mobiledist.AllMHs(g), mobiledist.MulticastOptions{
+		Sequencer: mobiledist.MSSID(0),
+		OnDeliver: func(at mobiledist.MHID, seq int64, _ any) {
+			feed[at] = append(feed[at], seq)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewMulticast: %v", err)
+	}
+
+	// Workloads: everyone requests the mutex once, half request the ring
+	// token, the group chats, the feed publishes, everyone roams, and two
+	// hosts churn.
+	if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+		Interval:      mobiledist.Span{Min: 50, Max: 900},
+		RequestsPerMH: 1,
+	}, l2.Request); err != nil {
+		t.Fatalf("NewRequests(l2): %v", err)
+	}
+	ringRequesters := mobiledist.AllMHs(n)[:n/2]
+	if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+		MHs:           ringRequesters,
+		Interval:      mobiledist.Span{Min: 100, Max: 1_200},
+		RequestsPerMH: 1,
+	}, r2.Request); err != nil {
+		t.Fatalf("NewRequests(r2): %v", err)
+	}
+	const groupMsgs = 6
+	if _, err := mobiledist.NewTraffic(sys, mobiledist.TrafficConfig{
+		Senders:  mobiledist.AllMHs(g),
+		Interval: mobiledist.Span{Min: 800, Max: 2_000},
+		Messages: groupMsgs,
+		Start:    500,
+	}, func(mh mobiledist.MHID, payload any) error { return lv.Send(mh, payload) }); err != nil {
+		t.Fatalf("NewTraffic: %v", err)
+	}
+	const feedItems = 5
+	for i := 0; i < feedItems; i++ {
+		sys.Schedule(mobiledist.Time(700+i*1_100), func() {
+			_ = mc.Publish(mobiledist.MHID(1), i)
+		})
+	}
+	if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+		Interval:   mobiledist.Span{Min: 300, Max: 2_500},
+		MovesPerMH: 2,
+		Locality:   0.6,
+	}); err != nil {
+		t.Fatalf("NewMobility: %v", err)
+	}
+	if _, err := mobiledist.NewChurn(sys, mobiledist.ChurnConfig{
+		MHs:       []mobiledist.MHID{n - 1, n - 2}, // outside group/feed
+		UpFor:     mobiledist.Span{Min: 500, Max: 2_000},
+		DownFor:   mobiledist.Span{Min: 300, Max: 1_000},
+		Cycles:    2,
+		KnowsPrev: true,
+	}); err != nil {
+		t.Fatalf("NewChurn: %v", err)
+	}
+	sys.Schedule(1_000, func() {
+		if err := r2.Start(); err != nil {
+			t.Errorf("r2.Start: %v", err)
+		}
+	})
+
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Invariants.
+	if peak > 1 {
+		t.Errorf("L2 mutual exclusion violated: peak holders %d", peak)
+	}
+	if ringPeak > 1 {
+		t.Errorf("R2' token duplicated: peak holders %d", ringPeak)
+	}
+	if holders != 0 || ringHolders != 0 {
+		t.Errorf("dangling holders after drain: l2=%d r2=%d", holders, ringHolders)
+	}
+	if got := l2.Grants() + l2.FailedGrants(); got != n {
+		t.Errorf("L2 grants+aborts = %d, want %d", got, n)
+	}
+	if got := r2.Grants(); got != int64(len(ringRequesters)) {
+		t.Errorf("R2' grants = %d, want %d", got, len(ringRequesters))
+	}
+	for i := 0; i < g; i++ {
+		seqs := feed[mobiledist.MHID(i)]
+		if int64(len(seqs)) != mc.Published() {
+			t.Errorf("feed member mh%d received %d items, want %d", i, len(seqs), mc.Published())
+			continue
+		}
+		for j, s := range seqs {
+			if s != int64(j) {
+				t.Errorf("feed member mh%d out of order: %v", i, seqs)
+				break
+			}
+		}
+	}
+	// The group view must be exact after drain.
+	wantView := make(map[mobiledist.MSSID]bool)
+	for i := 0; i < g; i++ {
+		at, st := sys.Where(mobiledist.MHID(i))
+		if st != mobiledist.StatusConnected {
+			t.Fatalf("group member mh%d ended %v", i, st)
+		}
+		wantView[at] = true
+	}
+	view := lv.View()
+	if len(view) != len(wantView) {
+		t.Errorf("LV = %v, want cells %v", view, wantView)
+	}
+	for _, id := range view {
+		if !wantView[id] {
+			t.Errorf("LV contains ghost cell mss%d", int(id))
+		}
+	}
+	if groupDeliveries == 0 {
+		t.Error("no group deliveries recorded")
+	}
+
+	// Cost sanity: wireless energy is conserved (rx never exceeds charges).
+	p := cfg.Params
+	total := sys.Meter().TotalCost(p)
+	if total <= 0 {
+		t.Error("no cost recorded")
+	}
+	tx, rx := sys.Meter().TotalEnergy()
+	wireless := sys.Meter().KindTotal(mobiledist.KindWireless)
+	if tx+rx > 2*wireless {
+		t.Errorf("energy bookkeeping broken: tx=%d rx=%d wireless msgs=%d", tx, rx, wireless)
+	}
+	t.Logf("scenario: cost=%.0f, searches=%d, moves=%d, stale=%d, L2 grants=%d, ring grants=%d, group deliveries=%d, feed handoffs=%d",
+		total, sys.Stats().Searches, sys.Stats().Moves, sys.Stats().StaleReroutes,
+		l2.Grants(), r2.Grants(), groupDeliveries, mc.Handoffs())
+}
+
+// TestGrandScenarioDeterministic: the entire mixed scenario is a pure
+// function of the seed.
+func TestGrandScenarioDeterministic(t *testing.T) {
+	run := func() float64 {
+		cfg := mobiledist.DefaultConfig(5, 15)
+		cfg.Seed = 424242
+		sys := mobiledist.MustNewSystem(cfg)
+		l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{Hold: 5})
+		lv, err := mobiledist.NewLocationView(sys, mobiledist.AllMHs(6), mobiledist.LocationViewOptions{
+			Coordinator:   mobiledist.MSSID(4),
+			CombineWindow: 100,
+		})
+		if err != nil {
+			t.Fatalf("NewLocationView: %v", err)
+		}
+		if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+			Interval:      mobiledist.Span{Min: 30, Max: 400},
+			RequestsPerMH: 1,
+		}, l2.Request); err != nil {
+			t.Fatalf("NewRequests: %v", err)
+		}
+		if _, err := mobiledist.NewTraffic(sys, mobiledist.TrafficConfig{
+			Senders:  mobiledist.AllMHs(6),
+			Interval: mobiledist.Span{Min: 200, Max: 700},
+			Messages: 4,
+		}, func(mh mobiledist.MHID, payload any) error { return lv.Send(mh, payload) }); err != nil {
+			t.Fatalf("NewTraffic: %v", err)
+		}
+		if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+			Interval:   mobiledist.Span{Min: 100, Max: 900},
+			MovesPerMH: 3,
+		}); err != nil {
+			t.Fatalf("NewMobility: %v", err)
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return sys.Meter().TotalCost(cfg.Params)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("scenario not deterministic: %v vs %v", a, b)
+	}
+}

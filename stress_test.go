@@ -1,0 +1,172 @@
+package mobiledist_test
+
+import (
+	"testing"
+
+	"mobiledist"
+)
+
+// TestScaleLargePopulation exercises the paper's N >> M regime at a size two
+// orders of magnitude above the unit tests: 500 mobile hosts over 20
+// stations, all requesting the critical section while a quarter of them
+// roam. Verifies liveness, safety and the N-independence of L2's per
+// execution cost at scale.
+func TestScaleLargePopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-population scale test")
+	}
+	const (
+		m = 20
+		n = 500
+	)
+	cfg := mobiledist.DefaultConfig(m, n)
+	cfg.Seed = 31
+	sys, err := mobiledist.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	holders, peak := 0, 0
+	l2 := mobiledist.NewL2(sys, mobiledist.MutexOptions{
+		Hold: 3,
+		OnEnter: func(mobiledist.MHID) {
+			holders++
+			if holders > peak {
+				peak = holders
+			}
+		},
+		OnExit: func(mobiledist.MHID) { holders-- },
+	})
+	if _, err := mobiledist.NewRequests(sys, mobiledist.RequestConfig{
+		Interval:      mobiledist.Span{Min: 10, Max: 5_000},
+		RequestsPerMH: 1,
+	}, l2.Request); err != nil {
+		t.Fatalf("NewRequests: %v", err)
+	}
+	movers := mobiledist.AllMHs(n)[:n/4]
+	if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+		MHs:        movers,
+		Interval:   mobiledist.Span{Min: 500, Max: 8_000},
+		MovesPerMH: 2,
+		Locality:   0.5,
+	}); err != nil {
+		t.Fatalf("NewMobility: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if peak > 1 {
+		t.Errorf("mutual exclusion violated at scale: peak %d", peak)
+	}
+	if got := l2.Grants(); got != n {
+		t.Errorf("grants = %d, want %d", got, n)
+	}
+	// The paper's N-independence: per-execution algorithm cost equals the
+	// closed form even at N=500 with mobility (grant searches are charged
+	// pessimistically, so mobility does not change the count).
+	p := cfg.Params
+	perExec := sys.Meter().CategoryCost(mobiledist.CatAlgorithm, p) / float64(n)
+	want := 3*p.Wireless + p.Fixed + p.Search + 3*float64(m-1)*p.Fixed
+	if perExec != want {
+		t.Errorf("per-execution cost at scale = %v, want %v", perExec, want)
+	}
+}
+
+// TestScaleLargeGroupLocationView runs a 100-member location-view group over
+// 32 cells with heavy mobility and verifies view exactness and message
+// delivery at scale.
+func TestScaleLargeGroupLocationView(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-group scale test")
+	}
+	const (
+		m = 32
+		n = 150
+		g = 100
+	)
+	cfg := mobiledist.DefaultConfig(m, n)
+	cfg.Seed = 37
+	sys, err := mobiledist.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	lv, err := mobiledist.NewLocationView(sys, mobiledist.AllMHs(g), mobiledist.LocationViewOptions{
+		Coordinator:   mobiledist.MSSID(m - 1),
+		CombineWindow: 150,
+	})
+	if err != nil {
+		t.Fatalf("NewLocationView: %v", err)
+	}
+	if _, err := mobiledist.NewMobility(sys, mobiledist.MobilityConfig{
+		MHs:        mobiledist.AllMHs(g),
+		Interval:   mobiledist.Span{Min: 200, Max: 4_000},
+		MovesPerMH: 3,
+		Locality:   0.3,
+	}); err != nil {
+		t.Fatalf("NewMobility: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Exactness at scale.
+	want := make(map[mobiledist.MSSID]bool)
+	for i := 0; i < g; i++ {
+		at, st := sys.Where(mobiledist.MHID(i))
+		if st != mobiledist.StatusConnected {
+			t.Fatalf("mh%d ended %v", i, st)
+		}
+		want[at] = true
+	}
+	view := lv.View()
+	if len(view) != len(want) {
+		t.Fatalf("|LV| = %d, want %d", len(view), len(want))
+	}
+	for _, id := range view {
+		if !want[id] {
+			t.Fatalf("ghost cell mss%d in view", int(id))
+		}
+	}
+
+	// One message reaches all 99 other members.
+	if err := lv.Send(mobiledist.MHID(50), "scale"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := lv.Delivered(); got != g-1 {
+		t.Errorf("delivered = %d, want %d", got, g-1)
+	}
+}
+
+// TestScaleL1StillLinear runs L1 at N=200 as the expensive baseline and
+// checks its cost is exactly the paper's linear form — the measurement that
+// motivates the whole paper.
+func TestScaleL1StillLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("L1 baseline scale test")
+	}
+	const (
+		m = 10
+		n = 200
+	)
+	cfg := mobiledist.DefaultConfig(m, n)
+	cfg.Seed = 41
+	sys := mobiledist.MustNewSystem(cfg)
+	l1, err := mobiledist.NewL1(sys, mobiledist.AllMHs(n), mobiledist.MutexOptions{Hold: 3})
+	if err != nil {
+		t.Fatalf("NewL1: %v", err)
+	}
+	if err := l1.Request(mobiledist.MHID(0)); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	p := cfg.Params
+	got := sys.Meter().CategoryCost(mobiledist.CatAlgorithm, p)
+	want := 3 * float64(n-1) * (2*p.Wireless + p.Search)
+	if got != want {
+		t.Errorf("L1 cost at N=200 = %v, want %v", got, want)
+	}
+}

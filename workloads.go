@@ -1,0 +1,73 @@
+package mobiledist
+
+import (
+	"mobiledist/internal/experiments"
+	"mobiledist/internal/workload"
+)
+
+// Workload generators (deterministic, seeded from the system RNG).
+type (
+	// Span is an inclusive range of virtual-time intervals.
+	Span = workload.Span
+	// MobilityConfig parameterises a mobility process.
+	MobilityConfig = workload.MobilityConfig
+	// Mobility drives random cell switches.
+	Mobility = workload.Mobility
+	// RequestConfig parameterises a request generator.
+	RequestConfig = workload.RequestConfig
+	// Requests drives mutual-exclusion requests.
+	Requests = workload.Requests
+	// ChurnConfig parameterises disconnect/reconnect cycles.
+	ChurnConfig = workload.ChurnConfig
+	// Churn drives voluntary disconnections.
+	Churn = workload.Churn
+	// TrafficConfig parameterises group-message traffic.
+	TrafficConfig = workload.TrafficConfig
+	// Traffic drives group messages.
+	Traffic = workload.Traffic
+)
+
+// FixedSpan returns a degenerate interval range.
+func FixedSpan(d Time) Span { return workload.FixedSpan(d) }
+
+// NewMobility installs a mobility process on sys.
+func NewMobility(sys *System, cfg MobilityConfig) (*Mobility, error) {
+	return workload.NewMobility(sys, cfg)
+}
+
+// NewRequests installs a request generator driving issue.
+func NewRequests(sys *System, cfg RequestConfig, issue func(MHID) error) (*Requests, error) {
+	return workload.NewRequests(sys, cfg, issue)
+}
+
+// NewChurn installs a disconnect/reconnect process on sys.
+func NewChurn(sys *System, cfg ChurnConfig) (*Churn, error) {
+	return workload.NewChurn(sys, cfg)
+}
+
+// NewTraffic installs a group-traffic process driving send.
+func NewTraffic(sys *System, cfg TrafficConfig, send func(MHID, any) error) (*Traffic, error) {
+	return workload.NewTraffic(sys, cfg, send)
+}
+
+// Experiment suite (see DESIGN.md for the index).
+type (
+	// ExperimentTable is one experiment's rendered result.
+	ExperimentTable = experiments.Table
+)
+
+// AllExperiments regenerates every table of the paper's evaluation.
+func AllExperiments(seed uint64) []ExperimentTable { return experiments.All(seed) }
+
+// ExperimentByID regenerates one experiment (ids E1–E11, A1–A2).
+func ExperimentByID(id string, seed uint64) (ExperimentTable, bool) {
+	return experiments.ByID(id, seed)
+}
+
+// ExperimentIDs lists the experiment ids in index order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// VerifyExperiments sweeps every experiment across the given number of
+// seeds and reports whether each paper/measured column pair agreed in every
+// row (bounds checked as inequalities).
+func VerifyExperiments(seeds int) ExperimentTable { return experiments.Verify(seeds) }
