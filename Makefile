@@ -1,0 +1,41 @@
+# Development targets. `make ci` is the gate every change must pass: vet,
+# build, race-enabled tests, and a short benchmark smoke over the kernel
+# hot path (catches accidental allocation regressions without taking
+# benchmark-grade time).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-smoke fuzz tables
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark pass over the perf-tracked surfaces (see DESIGN.md
+# "Performance architecture").
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkKernel' -benchmem ./internal/sim
+	$(GO) test -run xxx -bench 'BenchmarkRouteMHToMH|BenchmarkSystemChurn' -benchmem ./internal/core
+	$(GO) test -run xxx -bench 'BenchmarkAll' -benchmem ./internal/experiments
+
+# Quick smoke: does the kernel hot path still run and stay allocation-free?
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkKernel' -benchtime 100x ./internal/sim
+
+# Short fuzz pass over the kernel heap oracle and scheduler invariants.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzKernelHeapOracle -fuzztime 30s ./internal/sim
+
+# Regenerate the experiment tables (parallel driver, deterministic output).
+tables:
+	$(GO) run ./cmd/mobilexp -markdown

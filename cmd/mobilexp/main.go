@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	mobilexp [-seed N] [-id E4] [-markdown] [-o FILE]
+//	mobilexp [-seed N] [-id E4] [-markdown] [-o FILE] [-parallel W]
 //
-// Without -id every experiment runs in index order. With -markdown the
-// output is GitHub-flavoured markdown (the format EXPERIMENTS.md embeds).
+// Without -id every experiment runs in index order, generated on up to
+// -parallel worker goroutines (default: one per CPU); the tables are
+// byte-identical to a sequential run regardless of worker count. With
+// -markdown the output is GitHub-flavoured markdown (the format
+// EXPERIMENTS.md embeds).
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"mobiledist"
@@ -34,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		markdown = fs.Bool("markdown", false, "emit GitHub-flavoured markdown")
 		outPath  = fs.String("o", "", "write output to FILE instead of stdout")
 		verify   = fs.Int("verify", 0, "instead of tables, sweep every experiment across N seeds and report whether paper == measured held")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for the full suite (output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		tables = []mobiledist.ExperimentTable{t}
 	default:
-		tables = mobiledist.AllExperiments(*seed)
+		tables = mobiledist.AllExperimentsParallel(*seed, *parallel)
 	}
 
 	out := stdout

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"mobiledist/internal/cost"
+)
+
+// benchAlg is a no-op algorithm so benchmarks measure the network layer,
+// not handler work.
+type benchAlg struct{}
+
+func (benchAlg) Name() string                                            { return "bench" }
+func (benchAlg) HandleMSS(ctx Context, at MSSID, from From, msg Message) {}
+func (benchAlg) HandleMH(ctx Context, at MHID, msg Message)              {}
+func (benchAlg) OnDeliveryFailure(ctx Context, at MSSID, mh MHID, msg Message, reason FailReason) {
+}
+
+// BenchmarkRouteMHToMH measures the full MH-to-MH message path — wireless
+// uplink, search, wired forward, wireless downlink, per-pair FIFO reorder —
+// per message, on a stationary population.
+func BenchmarkRouteMHToMH(b *testing.B) {
+	const (
+		m     = 8
+		n     = 64
+		batch = 256
+	)
+	cfg := DefaultConfig(m, n)
+	cfg.StepLimit = 1 << 62
+	sys := MustNewSystem(cfg)
+	ctx := sys.Register(benchAlg{})
+	rng := sys.Kernel().RNG()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			from := MHID(rng.Intn(n))
+			to := MHID(rng.Intn(n))
+			if err := ctx.SendMHToMH(from, to, j, cost.CatAlgorithm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemChurn measures the mobility hot path under a high
+// move/disconnect/reconnect rate with routed traffic racing the churn, the
+// regime that stresses waiter parking, stale reroutes, and the flat FIFO
+// state.
+func BenchmarkSystemChurn(b *testing.B) {
+	const (
+		m     = 8
+		n     = 64
+		batch = 256
+	)
+	cfg := DefaultConfig(m, n)
+	cfg.StepLimit = 1 << 62
+	sys := MustNewSystem(cfg)
+	ctx := sys.Register(benchAlg{})
+	rng := sys.Kernel().RNG()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			mh := MHID(rng.Intn(n))
+			switch _, status := sys.Where(mh); status {
+			case StatusConnected:
+				if rng.Intn(4) == 0 {
+					_ = sys.Disconnect(mh)
+				} else {
+					_ = sys.Move(mh, MSSID(rng.Intn(m)))
+				}
+			case StatusDisconnected:
+				_ = sys.Reconnect(mh, MSSID(rng.Intn(m)), rng.Intn(2) == 0)
+			}
+			// Route a message at the churning host from a random station.
+			ctx.SendToMH(MSSID(rng.Intn(m)), mh, j, cost.CatAlgorithm)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

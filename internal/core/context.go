@@ -65,7 +65,7 @@ func (c *simContext) SendToMSSOfMH(from MSSID, mh MHID, msg Message, cat cost.Ca
 func (c *simContext) IsLocal(mss MSSID, mh MHID) bool {
 	c.s.checkMSS(mss)
 	c.s.checkMH(mh)
-	return c.s.mss[mss].local[mh]
+	return c.s.mss[mss].local.has(mh)
 }
 
 func (c *simContext) LocalMHs(mss MSSID) []MHID {

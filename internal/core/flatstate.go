@@ -1,0 +1,41 @@
+package core
+
+import "sort"
+
+// sortedMHs is a cell's local-membership set kept as a sorted slice. The
+// hot paths — membership tests on every wireless send and full ascending
+// iteration in LocalMHs — are a binary search and a plain slice read, with
+// no per-call allocation or sorting. Insertions and removals shift the
+// tail, which is cheap at realistic cell sizes (N/M hosts per cell).
+type sortedMHs struct {
+	ids []MHID // ascending, no duplicates
+}
+
+// has reports membership.
+func (s *sortedMHs) has(id MHID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// add inserts id, keeping the slice sorted; inserting an existing id is a
+// no-op.
+func (s *sortedMHs) add(id MHID) {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	if i < len(s.ids) && s.ids[i] == id {
+		return
+	}
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+}
+
+// remove deletes id if present.
+func (s *sortedMHs) remove(id MHID) {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	if i < len(s.ids) && s.ids[i] == id {
+		s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	}
+}
+
+// len reports the set size.
+func (s *sortedMHs) len() int { return len(s.ids) }

@@ -31,7 +31,7 @@ func (s *System) Move(mh MHID, to MSSID) error {
 	s.trace("leave", "mh%d leaving mss%d for mss%d", int(mh), int(from), int(to))
 	leaveArrival := s.fifoUp(mh)
 	if err := s.kernel.ScheduleAt(leaveArrival, func() {
-		delete(s.mss[from].local, mh)
+		s.mss[from].local.remove(mh)
 		s.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
 		s.notifyLeave(from, mh)
 
@@ -56,7 +56,7 @@ func (s *System) completeJoin(mh MHID, to, prev MSSID, wasDisconnected bool) {
 	arrival := s.fifoUp(mh)
 	if err := s.kernel.ScheduleAt(arrival, func() {
 		st := &s.mh[mh]
-		s.mss[to].local[mh] = true
+		s.mss[to].local.add(mh)
 		st.status = StatusConnected
 		st.at = to
 		if !wasDisconnected {
@@ -88,7 +88,7 @@ func (s *System) Disconnect(mh MHID) error {
 
 	arrival := s.fifoUp(mh)
 	if err := s.kernel.ScheduleAt(arrival, func() {
-		delete(s.mss[at].local, mh)
+		s.mss[at].local.remove(mh)
 		s.mss[at].disconnected[mh] = true
 		s.stats.Disconnects++
 		s.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
@@ -152,7 +152,7 @@ func (s *System) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
 			repArrival := s.fifoWired(prev, at)
 			if err := s.kernel.ScheduleAt(repArrival, func() {
 				st := &s.mh[mh]
-				s.mss[at].local[mh] = true
+				s.mss[at].local.add(mh)
 				st.status = StatusConnected
 				st.at = at
 				s.stats.Reconnects++

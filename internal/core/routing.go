@@ -48,7 +48,7 @@ func (s *System) broadcastFixed(alg int, from MSSID, msg Message, cat cost.Categ
 func (s *System) sendToLocalMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) error {
 	s.checkMSS(from)
 	s.checkMH(mh)
-	if !s.mss[from].local[mh] {
+	if !s.mss[from].local.has(mh) {
 		return fmt.Errorf("core: mh%d is not local to mss%d", int(mh), int(from))
 	}
 	s.wirelessDown(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat})
@@ -244,9 +244,13 @@ func (s *System) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) er
 	case StatusInTransit:
 		s.waiters[mh] = append(s.waiters[mh], func() {
 			if err := s.sendFromMH(alg, mh, msg, cat); err != nil {
-				// The MH disconnected before ever rejoining; the deferred
-				// send is dropped, as its cell-less transmission would be.
-				return
+				// The MH disconnected before the deferred send could run, so
+				// the transmission never happened. The loss is counted in
+				// FailedDeliveries rather than silently swallowed; no
+				// DeliveryFailureHandler fires because there is no origin MSS
+				// to notify — the message never left the MH.
+				s.stats.FailedDeliveries++
+				s.trace("send-dropped", "mh%d disconnected before deferred send", int(mh))
 			}
 		})
 		return nil

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"mobiledist/internal/cost"
+)
+
+// TestDeferredSendDroppedOnDisconnect pins the drop semantics of a send
+// parked while its MH is between cells: if the MH disconnects after joining
+// but before the deferred send replays, the transmission never happens and
+// the loss is counted in Stats.FailedDeliveries (previously it was
+// swallowed by a dead error check).
+func TestDeferredSendDroppedOnDisconnect(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	// Degenerate delays so event times are exact: leave uplink arrives at
+	// t=2, travel takes 5 (join initiated at t=7), join uplink arrives at
+	// t=9.
+	cfg.Wireless = FixedDelay(2)
+	cfg.Travel = FixedDelay(5)
+	cfg.Wired = FixedDelay(3)
+	sys, p, ctx := func() (*System, *probe, Context) {
+		sys := MustNewSystem(cfg)
+		p := &probe{}
+		return sys, p, sys.Register(p)
+	}()
+
+	if err := sys.Move(0, 1); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	// mh0 is now in transit, so the send parks in the waiter list.
+	if err := ctx.SendFromMH(0, "parked", cost.CatAlgorithm); err != nil {
+		t.Fatalf("SendFromMH while in transit: %v", err)
+	}
+
+	// Arrange a Disconnect that runs at the join instant (t=9), sequenced
+	// after the join event (its scheduling happens at t=8, after the join
+	// arrival was enqueued at t=7) but before the replayed waiter (which the
+	// join schedules at delay 0, so with a later sequence number).
+	sys.Schedule(8, func() {
+		sys.Schedule(1, func() {
+			if err := sys.Disconnect(0); err != nil {
+				t.Errorf("Disconnect at join instant: %v", err)
+			}
+		})
+	})
+
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.Stats().FailedDeliveries; got != 1 {
+		t.Errorf("FailedDeliveries = %d, want 1 (deferred send dropped on disconnect)", got)
+	}
+	for _, ev := range p.mssGot {
+		if ev.Msg == "parked" {
+			t.Errorf("parked message was delivered at t=%d despite the disconnect", ev.T)
+		}
+	}
+}
+
+// TestDeferredSendReplaysAfterJoin is the companion happy path: with no
+// disconnect racing the join, the parked send replays in the new cell and
+// nothing is counted as failed.
+func TestDeferredSendReplaysAfterJoin(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Wireless = FixedDelay(2)
+	cfg.Travel = FixedDelay(5)
+	cfg.Wired = FixedDelay(3)
+	sys := MustNewSystem(cfg)
+	p := &probe{}
+	ctx := sys.Register(p)
+
+	if err := sys.Move(0, 1); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if err := ctx.SendFromMH(0, "parked", cost.CatAlgorithm); err != nil {
+		t.Fatalf("SendFromMH while in transit: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.Stats().FailedDeliveries; got != 0 {
+		t.Errorf("FailedDeliveries = %d, want 0", got)
+	}
+	found := false
+	for _, ev := range p.mssGot {
+		if ev.Msg == "parked" {
+			found = true
+			if ev.At != 1 {
+				t.Errorf("parked message delivered at mss%d, want mss1 (the new cell)", int(ev.At))
+			}
+		}
+	}
+	if !found {
+		t.Error("parked message never delivered after join")
+	}
+}

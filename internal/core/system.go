@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"mobiledist/internal/cost"
 	"mobiledist/internal/sim"
@@ -13,7 +12,7 @@ import (
 const defaultStepLimit = 50_000_000
 
 type mssState struct {
-	local        map[MHID]bool
+	local        sortedMHs
 	disconnected map[MHID]bool
 }
 
@@ -28,15 +27,6 @@ type mhState struct {
 
 type pairKey struct {
 	from, to MHID
-}
-
-type downKey struct {
-	mss MSSID
-	mh  MHID
-}
-
-type wiredKey struct {
-	from, to MSSID
 }
 
 // Stats are model-level counters kept outside the cost meter.
@@ -77,9 +67,14 @@ type System struct {
 	// they fire once it joins a cell.
 	waiters map[MHID][]func()
 
-	lastWired map[wiredKey]sim.Time
-	lastDown  map[downKey]sim.Time
-	lastUp    map[MHID]sim.Time
+	// FIFO high-water marks for every channel, as flat slices indexed by
+	// channel id (from*M+to for wired, mss*N+mh for downlinks, mh for
+	// uplinks). Sized once at construction: lookups on the per-message hot
+	// path are direct array reads with no hashing or allocation. The zero
+	// value means "no prior traffic", matching the old maps' semantics.
+	lastWired []sim.Time // M*M
+	lastDown  []sim.Time // M*N
+	lastUp    []sim.Time // N
 
 	pairSeqNext     map[pairKey]uint64
 	pairDeliverNext map[pairKey]uint64
@@ -112,9 +107,9 @@ func NewSystem(cfg Config) (*System, error) {
 		mss:             make([]mssState, cfg.M),
 		mh:              make([]mhState, cfg.N),
 		waiters:         make(map[MHID][]func()),
-		lastWired:       make(map[wiredKey]sim.Time),
-		lastDown:        make(map[downKey]sim.Time),
-		lastUp:          make(map[MHID]sim.Time),
+		lastWired:       make([]sim.Time, cfg.M*cfg.M),
+		lastDown:        make([]sim.Time, cfg.M*cfg.N),
+		lastUp:          make([]sim.Time, cfg.N),
 		pairSeqNext:     make(map[pairKey]uint64),
 		pairDeliverNext: make(map[pairKey]uint64),
 		pairBuffer:      make(map[pairKey]map[uint64]deferredDelivery),
@@ -122,7 +117,6 @@ func NewSystem(cfg Config) (*System, error) {
 	s.stats.DozeInterruptionsByMH = make(map[MHID]int64)
 	for i := range s.mss {
 		s.mss[i] = mssState{
-			local:        make(map[MHID]bool),
 			disconnected: make(map[MHID]bool),
 		}
 	}
@@ -136,7 +130,7 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: placement of mh%d at invalid mss%d", i, int(at))
 		}
 		s.mh[i] = mhState{status: StatusConnected, at: at}
-		s.mss[at].local[MHID(i)] = true
+		s.mss[at].local.add(MHID(i))
 	}
 	return s, nil
 }
@@ -246,21 +240,21 @@ func (s *System) delay(d Delay) sim.Time {
 // wired channel for a message sent now.
 func (s *System) fifoWired(from, to MSSID) sim.Time {
 	arrival := s.kernel.Now() + s.delay(s.cfg.Wired)
-	key := wiredKey{from: from, to: to}
-	if last := s.lastWired[key]; arrival < last {
+	idx := int(from)*s.cfg.M + int(to)
+	if last := s.lastWired[idx]; arrival < last {
 		arrival = last
 	}
-	s.lastWired[key] = arrival
+	s.lastWired[idx] = arrival
 	return arrival
 }
 
 func (s *System) fifoDown(mss MSSID, mh MHID) sim.Time {
 	arrival := s.kernel.Now() + s.delay(s.cfg.Wireless)
-	key := downKey{mss: mss, mh: mh}
-	if last := s.lastDown[key]; arrival < last {
+	idx := int(mss)*s.cfg.N + int(mh)
+	if last := s.lastDown[idx]; arrival < last {
 		arrival = last
 	}
-	s.lastDown[key] = arrival
+	s.lastDown[idx] = arrival
 	return arrival
 }
 
@@ -338,12 +332,10 @@ func (s *System) fireWaiters(mh MHID) {
 	}
 }
 
+// localMHs returns the cell's membership in ascending order. The slice is
+// the live backing store — callers must not mutate it or hold it across
+// events (see Context.LocalMHs).
 func (s *System) localMHs(mss MSSID) []MHID {
 	s.checkMSS(mss)
-	ids := make([]MHID, 0, len(s.mss[mss].local))
-	for id := range s.mss[mss].local {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return s.mss[mss].local.ids
 }

@@ -225,6 +225,9 @@ type Context interface {
 	// MSS legitimately knows this (its list of local MHs).
 	IsLocal(mss MSSID, mh MHID) bool
 	// LocalMHs returns the MHs currently local to mss, in ascending order.
+	// The returned slice may alias the network's live membership store:
+	// callers must treat it as read-only and must not retain it across
+	// events (mobility invalidates it).
 	LocalMHs(mss MSSID) []MHID
 	// IsDisconnectedHere reports whether mss holds the "disconnected" flag
 	// for mh (i.e. mh disconnected while in mss's cell).

@@ -1,24 +1,77 @@
 package experiments
 
-// All runs every experiment in the suite, in DESIGN.md index order.
-func All(seed uint64) []Table {
-	return []Table{
-		E1LamportCostVsN(seed),
-		E2LamportEnergy(seed),
-		E3LamportDisconnect(seed),
-		E4RingCostVsK(seed),
-		E5RingFairness(seed),
-		E6TokenList(seed),
-		E7RingDisconnect(seed),
-		E8GroupCostVsMobility(seed),
-		E9GroupLocality(seed),
-		E10GroupWireless(seed),
-		E11ProxyTraffic(seed),
-		A1SearchModes(seed),
-		A2Crossover(seed),
-		A3LazyInform(seed),
-		A4MulticastHandoff(seed),
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// tableFuncs lists every experiment in DESIGN.md index order. Each entry
+// builds its own System from the seed alone, so the tables are fully
+// independent and safe to generate concurrently.
+func tableFuncs() []func(uint64) Table {
+	return []func(uint64) Table{
+		E1LamportCostVsN,
+		E2LamportEnergy,
+		E3LamportDisconnect,
+		E4RingCostVsK,
+		E5RingFairness,
+		E6TokenList,
+		E7RingDisconnect,
+		E8GroupCostVsMobility,
+		E9GroupLocality,
+		E10GroupWireless,
+		E11ProxyTraffic,
+		A1SearchModes,
+		A2Crossover,
+		A3LazyInform,
+		A4MulticastHandoff,
 	}
+}
+
+// All runs every experiment in the suite, in DESIGN.md index order. It is
+// the sequential golden reference: AllParallel must produce byte-identical
+// tables for any worker count.
+func All(seed uint64) []Table {
+	return AllParallel(seed, 1)
+}
+
+// AllParallel regenerates the full suite using up to workers goroutines.
+//
+// Determinism contract: every table is a pure function of its (experiment,
+// seed) pair — each experiment constructs private Systems with private
+// kernels and RNGs, shares no state with its siblings, and writes only its
+// own result slot. Worker scheduling therefore cannot influence any table's
+// content, and the result slice is always in DESIGN.md index order, so
+// AllParallel(seed, w) == All(seed) for every w ≥ 1.
+func AllParallel(seed uint64, workers int) []Table {
+	fns := tableFuncs()
+	out := make([]Table, len(fns))
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	if workers <= 1 {
+		for i, fn := range fns {
+			out[i] = fn(seed)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fns) {
+					return
+				}
+				out[i] = fns[i](seed)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // ByID returns the experiment with the given id, or false.

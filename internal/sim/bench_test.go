@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelScheduleRun measures the per-event cost of the kernel hot
+// path: schedule a batch of events with pseudo-random delays (including
+// re-entrant scheduling from inside handlers, as every protocol in this
+// repository does), then drain the queue. Reported per scheduled event.
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	const batch = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		k := NewKernel(uint64(i + 1))
+		rng := k.RNG()
+		fn := func() {}
+		for j := 0; j < batch/2; j++ {
+			d := Time(rng.Intn(1000))
+			k.Schedule(d, func() {
+				// One nested event per top-level event: exercises push into a
+				// partially drained heap.
+				k.Schedule(d%17, fn)
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelHotQueue measures steady-state push/pop on a pre-warmed
+// queue, the regime the experiment suite spends most of its time in.
+func BenchmarkKernelHotQueue(b *testing.B) {
+	k := NewKernel(1)
+	rng := k.RNG()
+	// Pre-warm with a standing population of events.
+	var churn func()
+	churn = func() {
+		k.Schedule(Time(rng.Intn(64)+1), churn)
+	}
+	for j := 0; j < 256; j++ {
+		churn()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.Step() {
+			b.Fatal("queue drained unexpectedly")
+		}
+	}
+}

@@ -45,6 +45,85 @@ func FuzzKernelSchedule(f *testing.F) {
 	})
 }
 
+// FuzzKernelHeapOracle cross-checks the 4-ary heap's pop order against a
+// naive sorted-slice oracle. The op stream interleaves pushes (schedule a
+// uniquely identified event at a delay drawn from the byte) with pops
+// (Step), so the heap is exercised at many shapes and fill levels, and every
+// popped event must match the oracle's front exactly — same id, same time.
+func FuzzKernelHeapOracle(f *testing.F) {
+	f.Add([]byte{10, 0, 30, 3, 5, 7, 3, 3})
+	f.Add([]byte{255, 3, 255, 3, 0, 0, 3, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		type oracleEvent struct {
+			at Time
+			id int
+		}
+		k := NewKernel(1)
+		var oracle []oracleEvent // sorted by (at, insertion order)
+		var fired []int
+		nextID := 0
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		for _, op := range ops {
+			if op%4 == 3 {
+				// Pop: the kernel must fire exactly the oracle's front.
+				if len(oracle) == 0 {
+					if k.Step() {
+						t.Fatal("kernel fired an event the oracle does not have")
+					}
+					continue
+				}
+				want := oracle[0]
+				oracle = oracle[1:]
+				before := len(fired)
+				if !k.Step() {
+					t.Fatalf("kernel empty but oracle holds %d events", len(oracle)+1)
+				}
+				if len(fired) != before+1 || fired[len(fired)-1] != want.id {
+					t.Fatalf("pop order diverged: got id %v, want %d", fired[before:], want.id)
+				}
+				if k.Now() != want.at {
+					t.Fatalf("pop time diverged: kernel at %d, oracle at %d", k.Now(), want.at)
+				}
+			} else {
+				// Push: schedule at now+delay and insert into the oracle
+				// keeping ties in insertion order (the kernel's seq order).
+				id := nextID
+				nextID++
+				at := k.Now() + Time(op)
+				k.Schedule(Time(op), func() { fired = append(fired, id) })
+				pos := len(oracle)
+				for i, ev := range oracle {
+					if at < ev.at {
+						pos = i
+						break
+					}
+				}
+				oracle = append(oracle, oracleEvent{})
+				copy(oracle[pos+1:], oracle[pos:])
+				oracle[pos] = oracleEvent{at: at, id: id}
+			}
+		}
+		// Drain: the remaining pops must also match.
+		for len(oracle) > 0 {
+			want := oracle[0]
+			oracle = oracle[1:]
+			before := len(fired)
+			if !k.Step() {
+				t.Fatalf("kernel drained with %d oracle events left", len(oracle)+1)
+			}
+			if fired[len(fired)-1] != want.id || k.Now() != want.at {
+				t.Fatalf("drain diverged: got id %d at %d, want id %d at %d",
+					fired[before], k.Now(), want.id, want.at)
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("kernel holds %d events the oracle does not", k.Pending())
+		}
+	})
+}
+
 // FuzzRNGDuration checks bounds for arbitrary (seed, min, span) inputs.
 func FuzzRNGDuration(f *testing.F) {
 	f.Add(uint64(1), int64(0), uint8(10))

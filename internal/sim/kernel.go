@@ -6,10 +6,16 @@
 // its inputs and RNG seed. All algorithm state machines in this repository
 // execute on a single kernel goroutine; no locking is required in simulation
 // mode.
+//
+// The event queue is a value-typed 4-ary min-heap ordered by (at, seq).
+// Events are stored inline in a flat slice — no per-event pointer, no
+// interface boxing through container/heap — so scheduling is allocation-free
+// in steady state. Because (at, seq) is a total order, the pop sequence is
+// identical to any correct priority queue over the same events; replacing
+// the previous container/heap binary heap changed no observable schedule.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -17,41 +23,21 @@ import (
 // Time is virtual simulation time in abstract ticks.
 type Time int64
 
-// Event is a scheduled callback.
+// event is a scheduled callback, stored by value in the kernel's heap.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the heap order: earliest time first, scheduling order within a
+// tick. seq is unique, so this is a total order and the pop sequence is
+// fully determined by the scheduled set.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("sim: push of non-event")
-	}
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // ErrNegativeDelay is returned by ScheduleErr when asked to schedule an
@@ -64,7 +50,7 @@ var ErrNegativeDelay = errors.New("sim: negative delay")
 type Kernel struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by (at, seq)
 	rng    *RNG
 
 	// stepLimit bounds the number of events processed by Run as a
@@ -91,6 +77,62 @@ func (k *Kernel) SetStepLimit(n uint64) { k.stepLimit = n }
 // Steps reports how many events have been processed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
 
+// push inserts ev, sifting up with a hole instead of pairwise swaps.
+func (k *Kernel) push(ev event) {
+	h := append(k.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	k.events = h
+}
+
+// pop removes and returns the minimum event. The caller must ensure the
+// heap is non-empty.
+func (k *Kernel) pop() event {
+	h := k.events
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the callback reference
+	h = h[:n]
+	if n > 0 {
+		// Sift last down from the root: at each level pick the smallest of
+		// up to four children, move it up, descend into its slot.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			best := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[best]) {
+					best = j
+				}
+			}
+			if !h[best].before(&last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	k.events = h
+	return min
+}
+
 // Schedule runs fn after delay ticks of virtual time. A zero delay runs fn
 // after all currently executing work, preserving scheduling order.
 // Negative delays panic: they indicate a protocol bug, not a runtime
@@ -110,7 +152,7 @@ func (k *Kernel) ScheduleErr(delay Time, fn func()) error {
 		return errors.New("sim: nil event function")
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.push(event{at: k.now + delay, seq: k.seq, fn: fn})
 	return nil
 }
 
@@ -132,10 +174,7 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&k.events).(*event)
-	if !ok {
-		panic("sim: corrupt event heap")
-	}
+	ev := k.pop()
 	k.now = ev.at
 	k.steps++
 	ev.fn()
@@ -160,9 +199,7 @@ func (k *Kernel) Run() error {
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline Time) error {
 	for len(k.events) > 0 && k.events[0].at <= deadline {
-		if !k.Step() {
-			break
-		}
+		k.Step()
 		if k.stepLimit != 0 && k.steps >= k.stepLimit {
 			return fmt.Errorf("sim: step limit %d reached at t=%d", k.stepLimit, k.now)
 		}

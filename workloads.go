@@ -59,6 +59,13 @@ type (
 // AllExperiments regenerates every table of the paper's evaluation.
 func AllExperiments(seed uint64) []ExperimentTable { return experiments.All(seed) }
 
+// AllExperimentsParallel regenerates the full suite on up to workers
+// goroutines. The tables are byte-identical to AllExperiments(seed) in the
+// same order for any worker count; only wall-clock time changes.
+func AllExperimentsParallel(seed uint64, workers int) []ExperimentTable {
+	return experiments.AllParallel(seed, workers)
+}
+
 // ExperimentByID regenerates one experiment (ids E1–E11, A1–A2).
 func ExperimentByID(id string, seed uint64) (ExperimentTable, bool) {
 	return experiments.ByID(id, seed)
