@@ -1,0 +1,142 @@
+// Package conformance is the cross-substrate test suite of the two-tier
+// model: every property here is asserted against BOTH network drivers — the
+// deterministic simulator (internal/core on the sim kernel) and the live
+// goroutine runtime (internal/rt) — through one driver abstraction. Since
+// both bind the same internal/engine, these tests pin the substrate
+// adapters: scheduling, FIFO transport, and execution-context discipline
+// must not change what the protocol does, only when wall-clock-wise it
+// happens.
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/engine"
+	"mobiledist/internal/rt"
+)
+
+const idleTimeout = 10 * time.Second
+
+// driver abstracts one substrate for scenario scripts. The lifecycle is
+// register (build phase) → start → any mix of do/mobility/pause → settle →
+// reads → stop.
+type driver interface {
+	name() string
+	// registrar hosts algorithm constructors during the build phase.
+	registrar() core.Registrar
+	start()
+	// do runs fn on the substrate's execution context. Side effects (sends,
+	// timers) may still be in flight when it returns.
+	do(fn func())
+	// pause lets currently in-flight traffic land before the next step.
+	pause(t *testing.T)
+	// settle drains the network completely.
+	settle(t *testing.T)
+	move(mh core.MHID, to core.MSSID)
+	disconnect(mh core.MHID)
+	reconnect(mh core.MHID, at core.MSSID)
+	meter() *cost.Meter
+	stats() engine.Stats
+	stop()
+}
+
+// simDriver binds scenarios to the deterministic simulator. Actions inject
+// immediately (the kernel is idle between Run calls, so direct engine calls
+// are the build-phase/event-context calling convention); settle pumps the
+// event loop dry.
+type simDriver struct {
+	sys *core.System
+}
+
+func newSimDriver(m, n int) *simDriver {
+	return &simDriver{sys: core.MustNewSystem(core.DefaultConfig(m, n))}
+}
+
+func (d *simDriver) name() string                                 { return "sim" }
+func (d *simDriver) registrar() core.Registrar                    { return d.sys }
+func (d *simDriver) start()                                       {}
+func (d *simDriver) do(fn func())                                 { fn() }
+func (d *simDriver) move(mh core.MHID, to core.MSSID)             { _ = d.sys.Move(mh, to) }
+func (d *simDriver) disconnect(mh core.MHID)                      { _ = d.sys.Disconnect(mh) }
+func (d *simDriver) reconnect(mh core.MHID, at core.MSSID)        { _ = d.sys.Reconnect(mh, at, true) }
+func (d *simDriver) meter() *cost.Meter                           { return d.sys.Meter() }
+func (d *simDriver) stats() engine.Stats                          { return d.sys.Stats() }
+func (d *simDriver) stop()                                        {}
+
+func (d *simDriver) pause(t *testing.T) {
+	t.Helper()
+	if err := d.sys.RunUntil(d.sys.Now() + 200); err != nil {
+		t.Fatalf("sim pause: %v", err)
+	}
+}
+
+func (d *simDriver) settle(t *testing.T) {
+	t.Helper()
+	if err := d.sys.Run(); err != nil {
+		t.Fatalf("sim settle: %v", err)
+	}
+}
+
+// liveDriver binds scenarios to the goroutine runtime.
+type liveDriver struct {
+	sys *rt.System
+}
+
+func newLiveDriver(t *testing.T, m, n int) *liveDriver {
+	t.Helper()
+	sys, err := rt.NewSystem(rt.DefaultConfig(m, n))
+	if err != nil {
+		t.Fatalf("rt.NewSystem: %v", err)
+	}
+	return &liveDriver{sys: sys}
+}
+
+func (d *liveDriver) name() string                             { return "live" }
+func (d *liveDriver) registrar() core.Registrar                { return d.sys }
+func (d *liveDriver) start()                                   { d.sys.Start() }
+func (d *liveDriver) do(fn func())                             { d.sys.Do(fn) }
+func (d *liveDriver) move(mh core.MHID, to core.MSSID)         { d.sys.Move(mh, to) }
+func (d *liveDriver) disconnect(mh core.MHID)                  { d.sys.Disconnect(mh) }
+func (d *liveDriver) reconnect(mh core.MHID, at core.MSSID)    { d.sys.Reconnect(mh, at) }
+func (d *liveDriver) meter() *cost.Meter                       { return d.sys.Meter() }
+func (d *liveDriver) stats() engine.Stats                      { return d.sys.Stats() }
+func (d *liveDriver) stop()                                    { d.sys.Stop() }
+
+func (d *liveDriver) pause(t *testing.T) {
+	t.Helper()
+	if !d.sys.WaitIdle(idleTimeout) {
+		t.Fatal("live pause: network did not drain")
+	}
+}
+
+func (d *liveDriver) settle(t *testing.T) {
+	t.Helper()
+	if !d.sys.WaitIdle(idleTimeout) {
+		t.Fatal("live settle: network did not drain")
+	}
+}
+
+// forEachSubstrate runs scenario once per substrate as a subtest.
+func forEachSubstrate(t *testing.T, m, n int, scenario func(t *testing.T, d driver)) {
+	t.Run("sim", func(t *testing.T) {
+		d := newSimDriver(m, n)
+		defer d.stop()
+		scenario(t, d)
+	})
+	t.Run("live", func(t *testing.T) {
+		d := newLiveDriver(t, m, n)
+		defer d.stop()
+		scenario(t, d)
+	})
+}
+
+func mhRange(n int) []core.MHID {
+	ids := make([]core.MHID, n)
+	for i := range ids {
+		ids[i] = core.MHID(i)
+	}
+	return ids
+}

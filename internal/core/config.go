@@ -1,30 +1,14 @@
 package core
 
 import (
-	"fmt"
-
 	"mobiledist/internal/cost"
+	"mobiledist/internal/engine"
 	"mobiledist/internal/sim"
 )
 
-// Delay is an inclusive range of virtual-time latencies. Each transmission
-// draws uniformly from the range; FIFO order per channel is preserved
-// regardless of the draw.
-type Delay struct {
-	Min, Max sim.Time
-}
-
-// Fixed returns a degenerate range with a single value.
-func FixedDelay(d sim.Time) Delay { return Delay{Min: d, Max: d} }
-
-func (d Delay) validate(name string) error {
-	if d.Min < 0 || d.Max < d.Min {
-		return fmt.Errorf("core: invalid %s delay range [%d,%d]", name, d.Min, d.Max)
-	}
-	return nil
-}
-
-// Config describes a two-tier network instance.
+// Config describes a two-tier network instance driven by the deterministic
+// simulator. The model parameters mirror engine.Config; Seed and StepLimit
+// are kernel-substrate concerns that only exist here.
 type Config struct {
 	// M is the number of mobile support stations (M >= 1).
 	M int
@@ -83,30 +67,24 @@ func DefaultConfig(m, n int) Config {
 	}
 }
 
+// engineConfig projects the simulator configuration onto the shared engine's
+// substrate-independent parameters.
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		M:                 c.M,
+		N:                 c.N,
+		Params:            c.Params,
+		Wired:             c.Wired,
+		Wireless:          c.Wireless,
+		Travel:            c.Travel,
+		SearchMode:        c.SearchMode,
+		PessimisticSearch: c.PessimisticSearch,
+		Placement:         c.Placement,
+		Trace:             c.Trace,
+	}
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
-	if c.M < 1 {
-		return fmt.Errorf("core: M must be >= 1, got %d", c.M)
-	}
-	if c.N < 1 {
-		return fmt.Errorf("core: N must be >= 1, got %d", c.N)
-	}
-	if err := c.Params.Validate(); err != nil {
-		return err
-	}
-	if err := c.Wired.validate("wired"); err != nil {
-		return err
-	}
-	if err := c.Wireless.validate("wireless"); err != nil {
-		return err
-	}
-	if err := c.Travel.validate("travel"); err != nil {
-		return err
-	}
-	switch c.SearchMode {
-	case SearchAbstract, SearchBroadcast:
-	default:
-		return fmt.Errorf("core: unknown search mode %d", int(c.SearchMode))
-	}
-	return nil
+	return c.engineConfig().Validate()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobiledist/internal/cost"
+	"mobiledist/internal/engine"
 	"mobiledist/internal/sim"
 )
 
@@ -11,128 +12,56 @@ import (
 // experiment in the suite.
 const defaultStepLimit = 50_000_000
 
-type mssState struct {
-	local        sortedMHs
-	disconnected map[MHID]bool
+// simSubstrate binds the engine to the deterministic event kernel. Time is
+// the kernel clock, deferred execution is kernel scheduling (stable
+// submission-order tie-break at equal instants), per-channel FIFO is a flat
+// high-water-mark clamp on arrival times, and randomness is the kernel RNG —
+// so the whole run remains a pure function of the seed.
+type simSubstrate struct {
+	kernel *sim.Kernel
+	fifo   *engine.FIFOClock
 }
 
-type mhState struct {
-	status MHStatus
-	// at is the current cell while connected, the cell holding the
-	// "disconnected" flag while disconnected, and the previous cell while in
-	// transit.
-	at     MSSID
-	dozing bool
+func (s *simSubstrate) Now() sim.Time { return s.kernel.Now() }
+
+func (s *simSubstrate) Enqueue(fn func()) { s.kernel.Schedule(0, fn) }
+
+func (s *simSubstrate) After(d sim.Time, fn func()) { s.kernel.Schedule(d, fn) }
+
+func (s *simSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+	arrival := s.fifo.Arrival(ch, s.kernel.Now(), latency)
+	if err := s.kernel.ScheduleAt(arrival, deliver); err != nil {
+		panic(fmt.Sprintf("core: schedule transmit: %v", err))
+	}
 }
 
-type pairKey struct {
-	from, to MHID
-}
+func (s *simSubstrate) RNG() *sim.RNG { return s.kernel.RNG() }
 
-// Stats are model-level counters kept outside the cost meter.
-type Stats struct {
-	// Searches is the number of searches performed (abstract mode) or
-	// broadcast search rounds (broadcast mode).
-	Searches int64
-	// StaleReroutes counts re-forwards after a destination moved while a
-	// message was in flight (the paper's footnote-2 case).
-	StaleReroutes int64
-	// Moves, Disconnects and Reconnects count completed mobility operations.
-	Moves, Disconnects, Reconnects int64
-	// DozeInterruptions counts wireless deliveries that interrupted a dozing
-	// MH, in total and per MH.
-	DozeInterruptions     int64
-	DozeInterruptionsByMH map[MHID]int64
-	// FailedDeliveries counts routed sends that ended in a disconnected
-	// notification to the sender.
-	FailedDeliveries int64
-}
-
-// System is the deterministic simulation driver of the two-tier model.
-// All methods must be called from the kernel goroutine (i.e. from within
+// System is the deterministic simulation driver of the two-tier model: the
+// shared engine (internal/engine) bound to the sim kernel substrate. All
+// methods must be called from the kernel goroutine (i.e. from within
 // scheduled events, algorithm handlers, or before Run).
 type System struct {
 	cfg    Config
 	kernel *sim.Kernel
-	meter  *cost.Meter
-	rng    *sim.RNG
-
-	mss []mssState
-	mh  []mhState
-
-	algs []Algorithm
-	ctxs []Context
-
-	// waiters holds continuations blocked on a MH that is between cells;
-	// they fire once it joins a cell.
-	waiters map[MHID][]func()
-
-	// FIFO high-water marks for every channel, as flat slices indexed by
-	// channel id (from*M+to for wired, mss*N+mh for downlinks, mh for
-	// uplinks). Sized once at construction: lookups on the per-message hot
-	// path are direct array reads with no hashing or allocation. The zero
-	// value means "no prior traffic", matching the old maps' semantics.
-	lastWired []sim.Time // M*M
-	lastDown  []sim.Time // M*N
-	lastUp    []sim.Time // N
-
-	pairSeqNext     map[pairKey]uint64
-	pairDeliverNext map[pairKey]uint64
-	pairBuffer      map[pairKey]map[uint64]deferredDelivery
-
-	stats Stats
-}
-
-type deferredDelivery struct {
-	alg int
-	msg Message
+	eng    *engine.Engine
 }
 
 // NewSystem builds a system from cfg, placing every MH in its initial cell.
 func NewSystem(cfg Config) (*System, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	k := sim.NewKernel(cfg.Seed)
 	limit := cfg.StepLimit
 	if limit == 0 {
 		limit = defaultStepLimit
 	}
 	k.SetStepLimit(limit)
-	s := &System{
-		cfg:             cfg,
-		kernel:          k,
-		meter:           cost.NewMeter(),
-		rng:             k.RNG(),
-		mss:             make([]mssState, cfg.M),
-		mh:              make([]mhState, cfg.N),
-		waiters:         make(map[MHID][]func()),
-		lastWired:       make([]sim.Time, cfg.M*cfg.M),
-		lastDown:        make([]sim.Time, cfg.M*cfg.N),
-		lastUp:          make([]sim.Time, cfg.N),
-		pairSeqNext:     make(map[pairKey]uint64),
-		pairDeliverNext: make(map[pairKey]uint64),
-		pairBuffer:      make(map[pairKey]map[uint64]deferredDelivery),
+	sub := &simSubstrate{kernel: k}
+	eng, err := engine.New(cfg.engineConfig(), sub)
+	if err != nil {
+		return nil, err
 	}
-	s.stats.DozeInterruptionsByMH = make(map[MHID]int64)
-	for i := range s.mss {
-		s.mss[i] = mssState{
-			disconnected: make(map[MHID]bool),
-		}
-	}
-	place := cfg.Placement
-	if place == nil {
-		place = func(mh MHID) MSSID { return MSSID(int(mh) % cfg.M) }
-	}
-	for i := range s.mh {
-		at := place(MHID(i))
-		if int(at) < 0 || int(at) >= cfg.M {
-			return nil, fmt.Errorf("core: placement of mh%d at invalid mss%d", i, int(at))
-		}
-		s.mh[i] = mhState{status: StatusConnected, at: at}
-		s.mss[at].local.add(MHID(i))
-	}
-	return s, nil
+	sub.fifo = engine.NewFIFOClock(engine.ChannelCount(cfg.M, cfg.N))
+	return &System{cfg: cfg, kernel: k, eng: eng}, nil
 }
 
 // MustNewSystem is NewSystem panicking on configuration errors; intended for
@@ -148,32 +77,20 @@ func MustNewSystem(cfg Config) *System {
 // Register attaches an algorithm to the system and returns the Context its
 // handlers will receive. Algorithms must be registered before any messages
 // are exchanged.
-func (s *System) Register(alg Algorithm) Context {
-	if alg == nil {
-		panic("core: register nil algorithm")
-	}
-	idx := len(s.algs)
-	s.algs = append(s.algs, alg)
-	ctx := &simContext{s: s, alg: idx}
-	s.ctxs = append(s.ctxs, ctx)
-	return ctx
-}
+func (s *System) Register(alg Algorithm) Context { return s.eng.Register(alg) }
+
+// Engine exposes the shared network engine (for conformance tests and
+// cross-substrate tooling).
+func (s *System) Engine() *engine.Engine { return s.eng }
 
 // Kernel exposes the underlying event kernel (for workload drivers).
 func (s *System) Kernel() *sim.Kernel { return s.kernel }
 
 // Meter exposes the cost meter.
-func (s *System) Meter() *cost.Meter { return s.meter }
+func (s *System) Meter() *cost.Meter { return s.eng.Meter() }
 
 // Stats returns a copy of the model-level counters.
-func (s *System) Stats() Stats {
-	cp := s.stats
-	cp.DozeInterruptionsByMH = make(map[MHID]int64, len(s.stats.DozeInterruptionsByMH))
-	for k, v := range s.stats.DozeInterruptionsByMH {
-		cp.DozeInterruptionsByMH[k] = v
-	}
-	return cp
-}
+func (s *System) Stats() Stats { return s.eng.Stats() }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -193,149 +110,30 @@ func (s *System) RunUntil(deadline sim.Time) error { return s.kernel.RunUntil(de
 // Where reports the cell and connectivity status of mh. While disconnected,
 // the returned MSS is the cell holding the "disconnected" flag; while in
 // transit it is the previous cell.
-func (s *System) Where(mh MHID) (MSSID, MHStatus) {
-	s.checkMH(mh)
-	st := s.mh[mh]
-	return st.at, st.status
-}
+func (s *System) Where(mh MHID) (MSSID, MHStatus) { return s.eng.Where(mh) }
 
 // SetDoze marks mh as dozing (or not). Deliveries to a dozing MH still
 // succeed but are counted as interruptions.
-func (s *System) SetDoze(mh MHID, dozing bool) {
-	s.checkMH(mh)
-	s.mh[mh].dozing = dozing
-}
+func (s *System) SetDoze(mh MHID, dozing bool) { s.eng.SetDoze(mh, dozing) }
 
 // IsDozing reports whether mh is in doze mode.
-func (s *System) IsDozing(mh MHID) bool {
-	s.checkMH(mh)
-	return s.mh[mh].dozing
-}
+func (s *System) IsDozing(mh MHID) bool { return s.eng.IsDozing(mh) }
 
-// trace emits a model-level event to the configured trace sink.
-func (s *System) trace(event, format string, args ...any) {
-	if s.cfg.Trace == nil {
-		return
-	}
-	s.cfg.Trace(s.kernel.Now(), event, fmt.Sprintf(format, args...))
-}
+// Move initiates a cell switch: mh sends leave(r) to its current MSS,
+// travels, then sends join(mh, prev) to the new cell's MSS. While between
+// cells the MH neither sends nor receives (Section 2); routed messages park
+// until the join completes. Moving to the current cell is a no-op.
+func (s *System) Move(mh MHID, to MSSID) error { return s.eng.Move(mh, to) }
 
-func (s *System) checkMSS(id MSSID) {
-	if int(id) < 0 || int(id) >= s.cfg.M {
-		panic(fmt.Sprintf("core: invalid mss id %d (M=%d)", int(id), s.cfg.M))
-	}
-}
+// Disconnect performs a voluntary disconnection: mh sends disconnect(r) to
+// its local MSS, which removes it from the local list and sets the
+// "disconnected" flag for it.
+func (s *System) Disconnect(mh MHID) error { return s.eng.Disconnect(mh) }
 
-func (s *System) checkMH(id MHID) {
-	if int(id) < 0 || int(id) >= s.cfg.N {
-		panic(fmt.Sprintf("core: invalid mh id %d (N=%d)", int(id), s.cfg.N))
-	}
-}
-
-func (s *System) delay(d Delay) sim.Time {
-	return s.rng.Duration(d.Min, d.Max)
-}
-
-// fifoWired returns the FIFO-respecting arrival time on the (from, to)
-// wired channel for a message sent now.
-func (s *System) fifoWired(from, to MSSID) sim.Time {
-	arrival := s.kernel.Now() + s.delay(s.cfg.Wired)
-	idx := int(from)*s.cfg.M + int(to)
-	if last := s.lastWired[idx]; arrival < last {
-		arrival = last
-	}
-	s.lastWired[idx] = arrival
-	return arrival
-}
-
-func (s *System) fifoDown(mss MSSID, mh MHID) sim.Time {
-	arrival := s.kernel.Now() + s.delay(s.cfg.Wireless)
-	idx := int(mss)*s.cfg.N + int(mh)
-	if last := s.lastDown[idx]; arrival < last {
-		arrival = last
-	}
-	s.lastDown[idx] = arrival
-	return arrival
-}
-
-func (s *System) fifoUp(mh MHID) sim.Time {
-	arrival := s.kernel.Now() + s.delay(s.cfg.Wireless)
-	if last := s.lastUp[mh]; arrival < last {
-		arrival = last
-	}
-	s.lastUp[mh] = arrival
-	return arrival
-}
-
-func (s *System) dispatchMSS(alg int, at MSSID, from From, msg Message) {
-	h, ok := s.algs[alg].(MSSHandler)
-	if !ok {
-		panic(fmt.Sprintf("core: algorithm %q received MSS message without MSSHandler", s.algs[alg].Name()))
-	}
-	h.HandleMSS(s.ctxs[alg], at, from, msg)
-}
-
-func (s *System) dispatchMH(alg int, at MHID, msg Message) {
-	h, ok := s.algs[alg].(MHHandler)
-	if !ok {
-		panic(fmt.Sprintf("core: algorithm %q received MH message without MHHandler", s.algs[alg].Name()))
-	}
-	h.HandleMH(s.ctxs[alg], at, msg)
-}
-
-func (s *System) notifyJoin(at MSSID, mh MHID, prev MSSID, wasDisconnected bool) {
-	for i, alg := range s.algs {
-		if obs, ok := alg.(MobilityObserver); ok {
-			obs.OnJoin(s.ctxs[i], at, mh, prev, wasDisconnected)
-		}
-	}
-}
-
-func (s *System) notifyLeave(at MSSID, mh MHID) {
-	for i, alg := range s.algs {
-		if obs, ok := alg.(MobilityObserver); ok {
-			obs.OnLeave(s.ctxs[i], at, mh)
-		}
-	}
-}
-
-func (s *System) notifyDisconnect(at MSSID, mh MHID) {
-	for i, alg := range s.algs {
-		if obs, ok := alg.(MobilityObserver); ok {
-			obs.OnDisconnect(s.ctxs[i], at, mh)
-		}
-	}
-}
-
-func (s *System) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason FailReason) {
-	s.stats.FailedDeliveries++
-	s.trace("delivery-failure", "mss%d notified: mh%d %v", int(at), int(mh), reason)
-	h, ok := s.algs[alg].(DeliveryFailureHandler)
-	if !ok {
-		// The algorithm chose not to observe failures; the message is
-		// silently dropped, matching a sender that ignores the notification.
-		return
-	}
-	h.OnDeliveryFailure(s.ctxs[alg], at, mh, msg, reason)
-}
-
-func (s *System) fireWaiters(mh MHID) {
-	pending := s.waiters[mh]
-	if len(pending) == 0 {
-		return
-	}
-	delete(s.waiters, mh)
-	for _, fn := range pending {
-		// Re-enter through the kernel so continuations observe a settled
-		// network state and deterministic ordering.
-		s.kernel.Schedule(0, fn)
-	}
-}
-
-// localMHs returns the cell's membership in ascending order. The slice is
-// the live backing store — callers must not mutate it or hold it across
-// events (see Context.LocalMHs).
-func (s *System) localMHs(mss MSSID) []MHID {
-	s.checkMSS(mss)
-	return s.mss[mss].local.ids
+// Reconnect re-attaches a disconnected MH at the given MSS with a
+// reconnect(mh-id, prev mss-id) message. If knowsPrev is false the MH could
+// not supply its previous location, and the new MSS queries every other
+// fixed host to find it before running the handoff (Section 2).
+func (s *System) Reconnect(mh MHID, at MSSID, knowsPrev bool) error {
+	return s.eng.Reconnect(mh, at, knowsPrev)
 }

@@ -1,235 +1,83 @@
-// Package core implements the paper's two-tier operational system model
-// (Section 2): a wired network of M mobile support stations (MSSs) and N
-// mobile hosts (MHs), each attached to at most one cell at a time.
+// Package core binds the shared network engine (internal/engine) to the
+// deterministic simulation kernel (internal/sim). The engine owns the
+// paper's Section-2 system model — MSS/MH registries and status machine,
+// FIFO wired and wireless channels, routing with search and retry, the
+// leave/join/disconnect/reconnect mobility protocol with handoff hooks,
+// and cost accounting; this package contributes only the substrate: virtual
+// time, event scheduling, and flat per-channel FIFO arrival clamping on the
+// kernel's event queue.
 //
-// The package provides:
-//
-//   - reliable FIFO wired channels between MSSs with arbitrary latency;
-//   - FIFO wireless channels between an MSS and the MHs local to its cell,
-//     with the paper's prefix-delivery semantics across moves;
-//   - the leave/join/disconnect/reconnect mobility protocol, including
-//     handoff hooks so algorithms can migrate per-MH state between MSSs;
-//   - routing to mobile hosts with a pluggable search service and the cost
-//     accounting of the paper's model (Cfixed, Cwireless, Csearch);
-//   - registration and dispatch for algorithm state machines.
-//
-// Algorithms are written against the Context interface, so the deterministic
-// simulation driver in this package and the goroutine-based live runtime in
-// internal/rt can host the same implementations. Per-node algorithm state
+// Algorithms are written against the engine's Context interface (re-exported
+// here), so this deterministic driver and the goroutine-based live runtime
+// in internal/rt host the same implementations. Per-node algorithm state
 // must live in per-node slots (slices indexed by id) so that in the live
 // runtime each slot is touched only by its owning node's goroutine.
+//
+// The model vocabulary (ids, statuses, handler interfaces, Context) is
+// defined once in internal/engine and aliased here, so existing importers
+// keep using core.MHID, core.Context, and friends unchanged.
 package core
 
 import (
-	"fmt"
-
-	"mobiledist/internal/cost"
+	"mobiledist/internal/engine"
 	"mobiledist/internal/sim"
 )
 
-// MSSID identifies a mobile support station (fixed host), in [0, M).
-type MSSID int
+// Model vocabulary, owned by internal/engine and re-exported for importers.
+type (
+	// MSSID identifies a mobile support station (fixed host), in [0, M).
+	MSSID = engine.MSSID
+	// MHID identifies a mobile host, in [0, N).
+	MHID = engine.MHID
+	// Message is an algorithm-defined payload exchanged between nodes.
+	Message = engine.Message
+	// From identifies the immediate sender of a message delivered to an MSS.
+	From = engine.From
+	// MHStatus is the connectivity state of a mobile host.
+	MHStatus = engine.MHStatus
+	// FailReason explains why a routed message could not be delivered.
+	FailReason = engine.FailReason
+	// SearchMode selects how the network locates a mobile host.
+	SearchMode = engine.SearchMode
+	// Delay is an inclusive range of virtual-time latencies.
+	Delay = engine.Delay
+	// Stats are model-level counters kept outside the cost meter.
+	Stats = engine.Stats
 
-// MHID identifies a mobile host, in [0, N).
-type MHID int
-
-// Message is an algorithm-defined payload exchanged between nodes.
-type Message any
-
-// From identifies the immediate sender of a message delivered to an MSS.
-type From struct {
-	MSS  MSSID // valid when !IsMH
-	MH   MHID  // valid when IsMH
-	IsMH bool
-}
-
-// String renders the sender address.
-func (f From) String() string {
-	if f.IsMH {
-		return fmt.Sprintf("mh%d", int(f.MH))
-	}
-	return fmt.Sprintf("mss%d", int(f.MSS))
-}
-
-// MHStatus is the connectivity state of a mobile host.
-type MHStatus int
+	// Algorithm is a distributed algorithm hosted on the two-tier network.
+	Algorithm = engine.Algorithm
+	// MSSHandler receives messages addressed to MSS-side algorithm state.
+	MSSHandler = engine.MSSHandler
+	// MHHandler receives messages delivered to a mobile host.
+	MHHandler = engine.MHHandler
+	// MobilityObserver is notified of mobility protocol events.
+	MobilityObserver = engine.MobilityObserver
+	// DeliveryFailureHandler is notified of failed routed deliveries.
+	DeliveryFailureHandler = engine.DeliveryFailureHandler
+	// Context is the capability surface algorithms use to interact with the
+	// network. Both substrates hand out the engine's single implementation.
+	Context = engine.Context
+	// Registrar is implemented by network drivers that can host algorithms.
+	Registrar = engine.Registrar
+)
 
 // Mobile host connectivity states.
 const (
-	// StatusConnected means the MH is local to some cell.
-	StatusConnected MHStatus = iota + 1
-	// StatusInTransit means the MH has left its cell and not yet joined a
-	// new one. The paper guarantees it will eventually join some cell.
-	StatusInTransit
-	// StatusDisconnected means the MH has voluntarily disconnected; its last
-	// MSS holds a "disconnected" flag for it.
-	StatusDisconnected
+	StatusConnected    = engine.StatusConnected
+	StatusInTransit    = engine.StatusInTransit
+	StatusDisconnected = engine.StatusDisconnected
 )
-
-// String returns the status name.
-func (s MHStatus) String() string {
-	switch s {
-	case StatusConnected:
-		return "connected"
-	case StatusInTransit:
-		return "in-transit"
-	case StatusDisconnected:
-		return "disconnected"
-	default:
-		return fmt.Sprintf("MHStatus(%d)", int(s))
-	}
-}
-
-// FailReason explains why a routed message could not be delivered to a MH.
-type FailReason int
 
 // Delivery failure reasons.
 const (
-	// FailDisconnected means the destination MH has disconnected; the MSS of
-	// the cell where it disconnected informed the sender (Section 2).
-	FailDisconnected FailReason = iota + 1
+	FailDisconnected = engine.FailDisconnected
 )
-
-// String returns the reason name.
-func (r FailReason) String() string {
-	switch r {
-	case FailDisconnected:
-		return "disconnected"
-	default:
-		return fmt.Sprintf("FailReason(%d)", int(r))
-	}
-}
-
-// SearchMode selects how the network locates a mobile host.
-type SearchMode int
 
 // Search modes.
 const (
-	// SearchAbstract charges the paper's fixed Csearch per search and uses
-	// the network's location registry as the oracle. This is the
-	// paper-faithful mode used by the experiment suite.
-	SearchAbstract SearchMode = iota + 1
-	// SearchBroadcast exchanges real messages: the searching MSS queries
-	// every other MSS (M-1 fixed messages), the hosting MSS replies (one
-	// fixed message), and the payload is forwarded (one fixed message). No
-	// Csearch is charged; the cost shows up as fixed-channel traffic. Used
-	// by the A1 ablation to exhibit the Csearch <= (M-1)*Cfixed bound.
-	SearchBroadcast
+	SearchAbstract  = engine.SearchAbstract
+	SearchBroadcast = engine.SearchBroadcast
 )
 
-// Algorithm is a distributed algorithm hosted on the two-tier network. The
-// interface carries only identification; message handling and mobility
-// hooks are optional capabilities declared by implementing the narrower
-// interfaces below.
-type Algorithm interface {
-	// Name identifies the algorithm in reports and panics.
-	Name() string
-}
-
-// MSSHandler receives messages addressed to MSS-side algorithm state.
-type MSSHandler interface {
-	HandleMSS(ctx Context, at MSSID, from From, msg Message)
-}
-
-// MHHandler receives messages delivered to a mobile host over its wireless
-// link.
-type MHHandler interface {
-	HandleMH(ctx Context, at MHID, msg Message)
-}
-
-// MobilityObserver is notified of mobility protocol events. Callbacks run
-// at the MSS processing the event, after the network's own bookkeeping.
-type MobilityObserver interface {
-	// OnJoin fires when mh completes a join at mss. prev is the MSS of the
-	// previous cell (supplied with the join message, Section 2), or -1 for
-	// the initial placement. wasDisconnected distinguishes reconnect()
-	// from an ordinary cell switch.
-	OnJoin(ctx Context, mss MSSID, mh MHID, prev MSSID, wasDisconnected bool)
-	// OnLeave fires when mss processes mh's leave() message.
-	OnLeave(ctx Context, mss MSSID, mh MHID)
-	// OnDisconnect fires when mss processes mh's disconnect() message and
-	// has set the "disconnected" flag.
-	OnDisconnect(ctx Context, mss MSSID, mh MHID)
-}
-
-// DeliveryFailureHandler is notified at the sending MSS when a message
-// routed with SendToMH could not be delivered because the destination
-// disconnected. The undelivered payload is returned so algorithms such as
-// R2 can, for example, reclaim the token.
-type DeliveryFailureHandler interface {
-	OnDeliveryFailure(ctx Context, at MSSID, mh MHID, msg Message, reason FailReason)
-}
-
-// Context is the capability surface algorithms use to interact with the
-// network. It is implemented by the simulation driver in this package and
-// by the live runtime in internal/rt.
-type Context interface {
-	// Now returns the current virtual time.
-	Now() sim.Time
-	// After schedules fn to run on this node's execution context after d.
-	After(d sim.Time, fn func())
-	// RNG returns a deterministic random source.
-	RNG() *sim.RNG
-
-	// M returns the number of mobile support stations.
-	M() int
-	// N returns the number of mobile hosts.
-	N() int
-	// Params returns the cost model constants.
-	Params() cost.Params
-
-	// SendFixed sends msg from MSS from to MSS to over the wired network
-	// (FIFO, arbitrary latency, cost Cfixed). Self-sends are permitted and
-	// charged, matching the paper's unconditional cost terms.
-	SendFixed(from, to MSSID, msg Message, cat cost.Category)
-	// BroadcastFixed sends msg from from to every other MSS ((M-1) fixed
-	// messages).
-	BroadcastFixed(from MSSID, msg Message, cat cost.Category)
-	// SendToMH routes msg from MSS from to mobile host mh, searching for it
-	// if necessary and retrying across moves until delivered, or reporting
-	// failure via DeliveryFailureHandler if mh has disconnected.
-	SendToMH(from MSSID, mh MHID, msg Message, cat cost.Category)
-	// SendToLocalMH delivers msg over the local wireless channel only. It
-	// returns an error if mh is not currently local to from.
-	SendToLocalMH(from MSSID, mh MHID, msg Message, cat cost.Category) error
-	// SendFromMH transmits msg from mh to its current local MSS. If mh is
-	// between cells the send is deferred until it joins one. It returns an
-	// error if mh has disconnected.
-	SendFromMH(mh MHID, msg Message, cat cost.Category) error
-	// SendMHToMH sends msg from one mobile host to another: wireless uplink,
-	// routing with search, wireless downlink. Deliveries for each ordered
-	// (from, to) pair are FIFO (the burden algorithm L1 places on the
-	// network layer, Section 3.1.1).
-	SendMHToMH(from, to MHID, msg Message, cat cost.Category) error
-	// SendMHViaMSS sends msg from mobile host from to mobile host to by way
-	// of the MSS a location directory names (the always-inform strategy of
-	// Section 4.2): wireless uplink, one fixed hop to via (charged even if
-	// via is the sender's own MSS), wireless downlink — no search. If the
-	// directory entry is stale (to is no longer at via) the message is
-	// re-routed with a search charged to cost.CatStale.
-	SendMHViaMSS(from MHID, via MSSID, to MHID, msg Message, cat cost.Category) error
-	// SendToMHVia delivers msg from MSS from to mobile host to through the
-	// MSS a directory names: one fixed hop (charged unconditionally) plus
-	// the wireless downlink, no search. A stale directory entry falls back
-	// to a search charged to cost.CatStale. This is how a fixed (home)
-	// proxy that is kept informed of its MH's location reaches it
-	// (Section 5).
-	SendToMHVia(from, via MSSID, to MHID, msg Message, cat cost.Category)
-	// SendToMSSOfMH locates mh and delivers msg to the MSS currently
-	// serving it — the literal operation the paper prices at Csearch
-	// ("locate a MH and forward a message to its current local MSS"). If mh
-	// has disconnected the sender is notified via DeliveryFailureHandler.
-	SendToMSSOfMH(from MSSID, mh MHID, msg Message, cat cost.Category)
-
-	// IsLocal reports whether mh is currently in mss's cell. Only the local
-	// MSS legitimately knows this (its list of local MHs).
-	IsLocal(mss MSSID, mh MHID) bool
-	// LocalMHs returns the MHs currently local to mss, in ascending order.
-	// The returned slice may alias the network's live membership store:
-	// callers must treat it as read-only and must not retain it across
-	// events (mobility invalidates it).
-	LocalMHs(mss MSSID) []MHID
-	// IsDisconnectedHere reports whether mss holds the "disconnected" flag
-	// for mh (i.e. mh disconnected while in mss's cell).
-	IsDisconnectedHere(mss MSSID, mh MHID) bool
-}
+// FixedDelay returns a degenerate range with a single value.
+func FixedDelay(d sim.Time) Delay { return engine.FixedDelay(d) }

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// Delay is an inclusive range of virtual-time latencies. Each transmission
+// draws uniformly from the range; FIFO order per channel is preserved
+// regardless of the draw.
+type Delay struct {
+	Min, Max sim.Time
+}
+
+// FixedDelay returns a degenerate range with a single value.
+func FixedDelay(d sim.Time) Delay { return Delay{Min: d, Max: d} }
+
+// Validate reports whether the range is usable, naming the range in errors.
+func (d Delay) Validate(name string) error {
+	if d.Min < 0 || d.Max < d.Min {
+		return fmt.Errorf("engine: invalid %s delay range [%d,%d]", name, d.Min, d.Max)
+	}
+	return nil
+}
+
+// Config describes the substrate-independent parameters of a two-tier
+// network: sizes, cost constants, link latency ranges, the search service,
+// and initial placement. Substrate-specific knobs (the simulator's seed and
+// step limit, the live runtime's tick) live in the adapters' configs.
+type Config struct {
+	// M is the number of mobile support stations (M >= 1).
+	M int
+	// N is the number of mobile hosts (N >= 1). The paper assumes N >> M but
+	// the model does not require it.
+	N int
+	// Params are the message cost constants.
+	Params cost.Params
+
+	// Wired is the MSS-to-MSS latency range.
+	Wired Delay
+	// Wireless is the MH<->MSS latency range.
+	Wireless Delay
+	// Travel is how long a MH spends between leaving one cell and joining
+	// the next.
+	Travel Delay
+
+	// SearchMode selects the search service (abstract Csearch vs broadcast).
+	SearchMode SearchMode
+	// PessimisticSearch, when true, charges Csearch on every routed delivery
+	// to a MH even if it happens to still be local — the paper's "any
+	// message destined for a mobile host incurs a fixed search cost"
+	// assumption, under which the analytic expressions are exact. When
+	// false, search is charged only for genuinely non-local destinations.
+	PessimisticSearch bool
+
+	// Placement maps each MH to its initial cell. Nil means round-robin
+	// (mh i starts at MSS i mod M).
+	Placement func(mh MHID) MSSID
+
+	// Trace, when non-nil, receives one line per model-level event
+	// (mobility protocol steps, searches, delivery failures). Useful for
+	// debugging protocol runs; adds no cost charges.
+	Trace func(t sim.Time, event, detail string)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.M < 1 {
+		return fmt.Errorf("engine: M must be >= 1, got %d", c.M)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("engine: N must be >= 1, got %d", c.N)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Wired.Validate("wired"); err != nil {
+		return err
+	}
+	if err := c.Wireless.Validate("wireless"); err != nil {
+		return err
+	}
+	if err := c.Travel.Validate("travel"); err != nil {
+		return err
+	}
+	switch c.SearchMode {
+	case SearchAbstract, SearchBroadcast:
+	default:
+		return fmt.Errorf("engine: unknown search mode %d", int(c.SearchMode))
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// The substrate adapters (internal/core, internal/rt) must stay thin: the
+// protocol lives here, once. This guard fails if an adapter grows a local
+// re-declaration of engine-owned logic — the exact duplication this package
+// was extracted to eliminate. If this test fires, move the logic into the
+// engine (or rename honestly, if it truly is substrate plumbing).
+var forbiddenAdapterDecls = map[string]string{
+	// routing
+	"routeToMH":                "MH routing with search/retry/chase is engine-owned",
+	"routeToMSSOfMH":           "MSS-of-MH routing is engine-owned",
+	"wirelessDown":             "downlink delivery with prefix semantics is engine-owned",
+	"deliverToMH":              "per-pair FIFO reorder delivery is engine-owned",
+	"chargeSearch":             "search accounting is engine-owned",
+	"reclassifyWastedWireless": "stale-transmission reclassification is engine-owned",
+	"sendFixed":                "wired sends are engine-owned",
+	"broadcastFixed":           "wired broadcast is engine-owned",
+	"sendToMH":                 "routed sends are engine-owned",
+	"sendToLocalMH":            "local wireless sends are engine-owned",
+	"sendFromMH":               "uplink sends (and their deferred replay) are engine-owned",
+	"sendMHToMH":               "MH-to-MH send pipeline is engine-owned",
+	"sendMHViaMSS":             "via-MSS MH sends are engine-owned",
+	"sendToMHVia":              "directory-forwarded sends are engine-owned",
+	"forwardViaMSS":            "directory forwarding is engine-owned",
+	// mobility
+	"completeJoin":        "the join half of the mobility protocol is engine-owned",
+	"runReconnectHandoff": "the reconnect handoff is engine-owned",
+	"fireWaiters":         "in-transit waiter queues are engine-owned",
+	"notifyJoin":          "mobility observer dispatch is engine-owned",
+	"notifyLeave":         "mobility observer dispatch is engine-owned",
+	"notifyDisconnect":    "mobility observer dispatch is engine-owned",
+	"notifyFailure":       "delivery-failure dispatch is engine-owned",
+	// dispatch and state
+	"dispatchMSS":       "handler dispatch is engine-owned",
+	"dispatchMH":        "handler dispatch is engine-owned",
+	"localMHs":          "cell membership state is engine-owned",
+	"mssState":          "MSS registry state is engine-owned",
+	"mhState":           "MH status machine state is engine-owned",
+	"pairKey":           "per-pair FIFO state is engine-owned",
+	"pairState":         "per-pair FIFO state is engine-owned",
+	"deferredDelivery":  "per-pair FIFO state is engine-owned",
+	"sortedMHs":         "sorted-slice membership is engine-owned",
+	"routeOpts":         "routing context is engine-owned",
+	"waiters":           "in-transit waiter queues are engine-owned",
+	// per-channel FIFO bookkeeping (substrates use FIFOClock or pipes)
+	"fifoWired": "FIFO arrival clamping lives in engine.FIFOClock",
+	"fifoDown":  "FIFO arrival clamping lives in engine.FIFOClock",
+	"fifoUp":    "FIFO arrival clamping lives in engine.FIFOClock",
+	"lastWired": "FIFO high-water marks live in engine.FIFOClock",
+	"lastDown":  "FIFO high-water marks live in engine.FIFOClock",
+	"lastUp":    "FIFO high-water marks live in engine.FIFOClock",
+	// contexts (both substrates must hand out the engine's algContext)
+	"simContext": "core must hand out the engine's Context implementation",
+	"rtContext":  "rt must hand out the engine's Context implementation",
+}
+
+func TestSubstrateAdaptersDoNotRedeclareEngineLogic(t *testing.T) {
+	for _, dir := range []string{"../core", "../rt"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no Go sources found in %s", dir)
+		}
+		for _, file := range files {
+			if filepath.Ext(file) != ".go" || isTestFile(file) {
+				continue
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, file, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", file, err)
+			}
+			checkDecls(t, fset, f)
+		}
+	}
+}
+
+func isTestFile(path string) bool {
+	base := filepath.Base(path)
+	return len(base) > len("_test.go") && base[len(base)-len("_test.go"):] == "_test.go"
+}
+
+func checkDecls(t *testing.T, fset *token.FileSet, f *ast.File) {
+	t.Helper()
+	flag := func(name string, pos token.Pos) {
+		if reason, bad := forbiddenAdapterDecls[name]; bad {
+			t.Errorf("%s: declares %q — %s; delete the duplicate and call the engine",
+				fset.Position(pos), name, reason)
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			flag(d.Name.Name, d.Name.Pos())
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					flag(sp.Name.Name, sp.Name.Pos())
+					if st, ok := sp.Type.(*ast.StructType); ok {
+						for _, field := range st.Fields.List {
+							for _, fn := range field.Names {
+								flag(fn.Name, fn.Pos())
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, vn := range sp.Names {
+						flag(vn.Name, vn.Pos())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package engine implements the paper's two-tier operational system model
+// (Section 2) once, for every execution substrate: a wired network of M
+// mobile support stations (MSSs) and N mobile hosts (MHs), each attached to
+// at most one cell at a time.
+//
+// The engine owns the full model:
+//
+//   - MSS/MH registries and the connected / in-transit / disconnected
+//     status machine, with sorted-slice cell membership;
+//   - reliable FIFO wired channels between MSSs and FIFO wireless channels
+//     between an MSS and the MHs local to its cell, with the paper's
+//     prefix-delivery semantics across moves;
+//   - routing to mobile hosts with a pluggable search service, retry across
+//     moves (search-and-chase), and in-transit waiter queues;
+//   - the leave/join/disconnect/reconnect mobility protocol, including
+//     handoff hooks so algorithms can migrate per-MH state between MSSs;
+//   - the cost accounting of the paper's model (Cfixed, Cwireless, Csearch)
+//     and model-level Stats counters;
+//   - registration and dispatch for algorithm state machines.
+//
+// What the engine does not own is execution: time, deferred callbacks,
+// per-channel FIFO transport, and randomness come from a small Substrate
+// interface. internal/core binds the engine to the deterministic simulation
+// kernel; internal/rt binds it to a goroutine/channel runtime. Because both
+// adapters share this single implementation, every protocol fix, race
+// repair, and hot-path optimization lands on both substrates by
+// construction.
+//
+// All Engine methods must be called from the substrate's execution context
+// (the kernel goroutine, or the rt executor), or during the single-threaded
+// build phase before events flow.
+package engine
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+type mssState struct {
+	local        sortedMHs
+	disconnected map[MHID]bool
+}
+
+type mhState struct {
+	status MHStatus
+	// at is the current cell while connected, the cell holding the
+	// "disconnected" flag while disconnected, and the previous cell while in
+	// transit.
+	at     MSSID
+	dozing bool
+}
+
+// Stats are model-level counters kept outside the cost meter.
+type Stats struct {
+	// Searches is the number of searches performed (abstract mode) or
+	// broadcast search rounds (broadcast mode).
+	Searches int64
+	// StaleReroutes counts re-forwards after a destination moved while a
+	// message was in flight (the paper's footnote-2 case).
+	StaleReroutes int64
+	// Moves, Disconnects and Reconnects count completed mobility operations.
+	Moves, Disconnects, Reconnects int64
+	// DozeInterruptions counts wireless deliveries that interrupted a dozing
+	// MH, in total and per MH.
+	DozeInterruptions     int64
+	DozeInterruptionsByMH map[MHID]int64
+	// FailedDeliveries counts routed sends that ended in a disconnected
+	// notification to the sender, plus deferred MH sends dropped because the
+	// MH disconnected before they could replay.
+	FailedDeliveries int64
+}
+
+// Engine is the substrate-independent driver of the two-tier model. Exactly
+// one Engine exists per network instance; internal/core and internal/rt
+// wrap it with their substrate bindings and lifecycle APIs.
+type Engine struct {
+	cfg   Config
+	sub   Substrate
+	meter *cost.Meter
+
+	mss []mssState
+	mh  []mhState
+
+	algs []Algorithm
+	ctxs []Context
+
+	// waiters holds continuations blocked on a MH that is between cells;
+	// they fire once it joins a cell.
+	waiters map[MHID][]func()
+
+	// pairs is the per-ordered-(MH,MH)-pair FIFO reorder state for
+	// SendMHToMH traffic.
+	pairs map[pairKey]*pairState
+
+	stats Stats
+}
+
+var _ Registrar = (*Engine)(nil)
+
+// New builds an engine from cfg on the given substrate, placing every MH in
+// its initial cell.
+func New(cfg Config, sub Substrate) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sub == nil {
+		return nil, fmt.Errorf("engine: nil substrate")
+	}
+	e := &Engine{
+		cfg:     cfg,
+		sub:     sub,
+		meter:   cost.NewMeter(),
+		mss:     make([]mssState, cfg.M),
+		mh:      make([]mhState, cfg.N),
+		waiters: make(map[MHID][]func()),
+		pairs:   make(map[pairKey]*pairState),
+	}
+	e.stats.DozeInterruptionsByMH = make(map[MHID]int64)
+	for i := range e.mss {
+		e.mss[i] = mssState{
+			disconnected: make(map[MHID]bool),
+		}
+	}
+	place := cfg.Placement
+	if place == nil {
+		place = func(mh MHID) MSSID { return MSSID(int(mh) % cfg.M) }
+	}
+	for i := range e.mh {
+		at := place(MHID(i))
+		if int(at) < 0 || int(at) >= cfg.M {
+			return nil, fmt.Errorf("engine: placement of mh%d at invalid mss%d", i, int(at))
+		}
+		e.mh[i] = mhState{status: StatusConnected, at: at}
+		e.mss[at].local.add(MHID(i))
+	}
+	return e, nil
+}
+
+// Register attaches an algorithm to the engine and returns the Context its
+// handlers will receive. Algorithms must be registered before any messages
+// are exchanged.
+func (e *Engine) Register(alg Algorithm) Context {
+	if alg == nil {
+		panic("engine: register nil algorithm")
+	}
+	idx := len(e.algs)
+	e.algs = append(e.algs, alg)
+	ctx := &algContext{e: e, alg: idx}
+	e.ctxs = append(e.ctxs, ctx)
+	return ctx
+}
+
+// Meter exposes the cost meter.
+func (e *Engine) Meter() *cost.Meter { return e.meter }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a copy of the model-level counters.
+func (e *Engine) Stats() Stats {
+	cp := e.stats
+	cp.DozeInterruptionsByMH = make(map[MHID]int64, len(e.stats.DozeInterruptionsByMH))
+	for k, v := range e.stats.DozeInterruptionsByMH {
+		cp.DozeInterruptionsByMH[k] = v
+	}
+	return cp
+}
+
+// Where reports the cell and connectivity status of mh. While disconnected,
+// the returned MSS is the cell holding the "disconnected" flag; while in
+// transit it is the previous cell.
+func (e *Engine) Where(mh MHID) (MSSID, MHStatus) {
+	e.checkMH(mh)
+	st := e.mh[mh]
+	return st.at, st.status
+}
+
+// SetDoze marks mh as dozing (or not). Deliveries to a dozing MH still
+// succeed but are counted as interruptions.
+func (e *Engine) SetDoze(mh MHID, dozing bool) {
+	e.checkMH(mh)
+	e.mh[mh].dozing = dozing
+}
+
+// IsDozing reports whether mh is in doze mode.
+func (e *Engine) IsDozing(mh MHID) bool {
+	e.checkMH(mh)
+	return e.mh[mh].dozing
+}
+
+// trace emits a model-level event to the configured trace sink.
+func (e *Engine) trace(event, format string, args ...any) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace(e.sub.Now(), event, fmt.Sprintf(format, args...))
+}
+
+func (e *Engine) checkMSS(id MSSID) {
+	if int(id) < 0 || int(id) >= e.cfg.M {
+		panic(fmt.Sprintf("engine: invalid mss id %d (M=%d)", int(id), e.cfg.M))
+	}
+}
+
+func (e *Engine) checkMH(id MHID) {
+	if int(id) < 0 || int(id) >= e.cfg.N {
+		panic(fmt.Sprintf("engine: invalid mh id %d (N=%d)", int(id), e.cfg.N))
+	}
+}
+
+func (e *Engine) delay(d Delay) sim.Time {
+	return e.sub.RNG().Duration(d.Min, d.Max)
+}
+
+// transmitWired sends deliver over the (from, to) wired channel: draw the
+// link latency, then hand the delivery to the substrate's FIFO transport.
+func (e *Engine) transmitWired(from, to MSSID, deliver func()) {
+	e.sub.Transmit(e.chanWired(from, to), e.delay(e.cfg.Wired), deliver)
+}
+
+// transmitDown sends deliver over the (mss, mh) wireless downlink.
+func (e *Engine) transmitDown(mss MSSID, mh MHID, deliver func()) {
+	e.sub.Transmit(e.chanDown(mss, mh), e.delay(e.cfg.Wireless), deliver)
+}
+
+// transmitUp sends deliver over mh's wireless uplink.
+func (e *Engine) transmitUp(mh MHID, deliver func()) {
+	e.sub.Transmit(e.chanUp(mh), e.delay(e.cfg.Wireless), deliver)
+}
+
+func (e *Engine) dispatchMSS(alg int, at MSSID, from From, msg Message) {
+	h, ok := e.algs[alg].(MSSHandler)
+	if !ok {
+		panic(fmt.Sprintf("engine: algorithm %q received MSS message without MSSHandler", e.algs[alg].Name()))
+	}
+	h.HandleMSS(e.ctxs[alg], at, from, msg)
+}
+
+func (e *Engine) dispatchMH(alg int, at MHID, msg Message) {
+	h, ok := e.algs[alg].(MHHandler)
+	if !ok {
+		panic(fmt.Sprintf("engine: algorithm %q received MH message without MHHandler", e.algs[alg].Name()))
+	}
+	h.HandleMH(e.ctxs[alg], at, msg)
+}
+
+func (e *Engine) notifyJoin(at MSSID, mh MHID, prev MSSID, wasDisconnected bool) {
+	for i, alg := range e.algs {
+		if obs, ok := alg.(MobilityObserver); ok {
+			obs.OnJoin(e.ctxs[i], at, mh, prev, wasDisconnected)
+		}
+	}
+}
+
+func (e *Engine) notifyLeave(at MSSID, mh MHID) {
+	for i, alg := range e.algs {
+		if obs, ok := alg.(MobilityObserver); ok {
+			obs.OnLeave(e.ctxs[i], at, mh)
+		}
+	}
+}
+
+func (e *Engine) notifyDisconnect(at MSSID, mh MHID) {
+	for i, alg := range e.algs {
+		if obs, ok := alg.(MobilityObserver); ok {
+			obs.OnDisconnect(e.ctxs[i], at, mh)
+		}
+	}
+}
+
+func (e *Engine) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason FailReason) {
+	e.stats.FailedDeliveries++
+	e.trace("delivery-failure", "mss%d notified: mh%d %v", int(at), int(mh), reason)
+	h, ok := e.algs[alg].(DeliveryFailureHandler)
+	if !ok {
+		// The algorithm chose not to observe failures; the message is
+		// silently dropped, matching a sender that ignores the notification.
+		return
+	}
+	h.OnDeliveryFailure(e.ctxs[alg], at, mh, msg, reason)
+}
+
+func (e *Engine) fireWaiters(mh MHID) {
+	pending := e.waiters[mh]
+	if len(pending) == 0 {
+		return
+	}
+	delete(e.waiters, mh)
+	for _, fn := range pending {
+		// Re-enter through the substrate so continuations observe a settled
+		// network state and deterministic ordering.
+		e.sub.Enqueue(fn)
+	}
+}
+
+// localMHs returns the cell's membership in ascending order. The slice is
+// the live backing store — callers must not mutate it or hold it across
+// events (see Context.LocalMHs).
+func (e *Engine) localMHs(mss MSSID) []MHID {
+	e.checkMSS(mss)
+	return e.mss[mss].local.ids
+}

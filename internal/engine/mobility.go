@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// Move initiates a cell switch: mh sends leave(r) to its current MSS,
+// travels, then sends join(mh, prev) to the new cell's MSS. While between
+// cells the MH neither sends nor receives (Section 2); routed messages park
+// until the join completes. Moving to the current cell is a no-op.
+func (e *Engine) Move(mh MHID, to MSSID) error {
+	e.checkMH(mh)
+	e.checkMSS(to)
+	st := &e.mh[mh]
+	if st.status != StatusConnected {
+		return fmt.Errorf("engine: mh%d cannot move while %s", int(mh), st.status)
+	}
+	from := st.at
+	if from == to {
+		return nil
+	}
+
+	// leave(r): one wireless uplink transmission, control traffic.
+	e.meter.Charge(cost.CatControl, cost.KindWireless)
+	e.meter.WirelessTx(int(mh))
+	st.status = StatusInTransit
+	st.at = from // remembered as the previous cell for the join message
+
+	e.trace("leave", "mh%d leaving mss%d for mss%d", int(mh), int(from), int(to))
+	e.transmitUp(mh, func() {
+		e.mss[from].local.remove(mh)
+		e.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
+		e.notifyLeave(from, mh)
+
+		// The MH travels, then announces itself in the new cell. Joining is
+		// sequenced after the leave is processed so a MH is never in two
+		// local lists at once.
+		travel := e.delay(e.cfg.Travel)
+		e.sub.After(travel, func() {
+			e.completeJoin(mh, to, from, false)
+		})
+	})
+	return nil
+}
+
+// completeJoin performs the join(mh, prev) exchange in the new cell.
+func (e *Engine) completeJoin(mh MHID, to, prev MSSID, wasDisconnected bool) {
+	// join(mh-id, prev): one wireless uplink transmission in the new cell.
+	e.meter.Charge(cost.CatControl, cost.KindWireless)
+	e.meter.WirelessTx(int(mh))
+	e.transmitUp(mh, func() {
+		st := &e.mh[mh]
+		e.mss[to].local.add(mh)
+		st.status = StatusConnected
+		st.at = to
+		if !wasDisconnected {
+			e.stats.Moves++
+		}
+		e.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
+		e.notifyJoin(to, mh, prev, wasDisconnected)
+		e.fireWaiters(mh)
+	})
+}
+
+// Disconnect performs a voluntary disconnection: mh sends disconnect(r) to
+// its local MSS, which removes it from the local list and sets the
+// "disconnected" flag for it.
+func (e *Engine) Disconnect(mh MHID) error {
+	e.checkMH(mh)
+	st := &e.mh[mh]
+	if st.status != StatusConnected {
+		return fmt.Errorf("engine: mh%d cannot disconnect while %s", int(mh), st.status)
+	}
+	at := st.at
+
+	e.meter.Charge(cost.CatControl, cost.KindWireless)
+	e.meter.WirelessTx(int(mh))
+	// The MH is unreachable from the instant it decides to disconnect.
+	st.status = StatusDisconnected
+
+	e.transmitUp(mh, func() {
+		e.mss[at].local.remove(mh)
+		e.mss[at].disconnected[mh] = true
+		e.stats.Disconnects++
+		e.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
+		e.notifyDisconnect(at, mh)
+	})
+	return nil
+}
+
+// Reconnect re-attaches a disconnected MH at the given MSS with a
+// reconnect(mh-id, prev mss-id) message. If knowsPrev is false the MH could
+// not supply its previous location, and the new MSS queries every other
+// fixed host to find it before running the handoff (Section 2).
+func (e *Engine) Reconnect(mh MHID, at MSSID, knowsPrev bool) error {
+	e.checkMH(mh)
+	e.checkMSS(at)
+	st := &e.mh[mh]
+	if st.status != StatusDisconnected {
+		return fmt.Errorf("engine: mh%d cannot reconnect while %s", int(mh), st.status)
+	}
+	prev := st.at
+
+	// The MH is reconnecting: from the model's perspective it is between
+	// cells until the handoff completes, so routed messages park rather
+	// than bounce as disconnected, and duplicate Reconnect/Move/Disconnect
+	// calls are rejected.
+	st.status = StatusInTransit
+
+	// reconnect(): one wireless uplink transmission in the new cell.
+	e.meter.Charge(cost.CatControl, cost.KindWireless)
+	e.meter.WirelessTx(int(mh))
+	e.transmitUp(mh, func() {
+		e.runReconnectHandoff(mh, at, prev, knowsPrev)
+	})
+	return nil
+}
+
+// runReconnectHandoff executes the locate-and-handoff exchange at the new
+// MSS: optionally a broadcast query for the previous location, then a
+// request/reply with the previous MSS to clear the "disconnected" flag.
+func (e *Engine) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
+	var locate sim.Time
+	if !knowsPrev {
+		// Query each other fixed host; only the flag holder replies.
+		e.meter.ChargeN(cost.CatControl, cost.KindFixed, int64(e.cfg.M-1))
+		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		locate = e.delay(e.cfg.Wired) + e.delay(e.cfg.Wired)
+	}
+	e.sub.After(locate, func() {
+		// Handoff request to the previous MSS.
+		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		e.transmitWired(at, prev, func() {
+			delete(e.mss[prev].disconnected, mh)
+			// Handoff reply back to the new MSS.
+			e.meter.Charge(cost.CatControl, cost.KindFixed)
+			e.transmitWired(prev, at, func() {
+				st := &e.mh[mh]
+				e.mss[at].local.add(mh)
+				st.status = StatusConnected
+				st.at = at
+				e.stats.Reconnects++
+				e.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
+				e.notifyJoin(at, mh, prev, true)
+				e.fireWaiters(mh)
+			})
+		})
+	})
+}

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"fmt"
+
+	"mobiledist/internal/cost"
+)
+
+// routeOpts carries routing context through retries.
+type routeOpts struct {
+	alg    int
+	origin MSSID // MSS that initiated the routed send (receives failures)
+	cat    cost.Category
+	// pair/seq implement the per-(MH,MH)-pair FIFO reorder buffer when the
+	// final destination delivery came from SendMHToMH.
+	pair *pairKey
+	seq  uint64
+}
+
+type pairKey struct {
+	from, to MHID
+}
+
+// pairState is the per-ordered-pair FIFO reorder buffer.
+type pairState struct {
+	nextSeq     uint64
+	nextDeliver uint64
+	buffer      map[uint64]deferredDelivery
+}
+
+type deferredDelivery struct {
+	alg int
+	msg Message
+}
+
+func (e *Engine) pairState(key pairKey) *pairState {
+	ps, ok := e.pairs[key]
+	if !ok {
+		ps = &pairState{buffer: make(map[uint64]deferredDelivery)}
+		e.pairs[key] = ps
+	}
+	return ps
+}
+
+// sendFixed transmits msg on the wired network. Self-sends are allowed and
+// charged, matching the paper's unconditional Cfixed terms.
+func (e *Engine) sendFixed(alg int, from, to MSSID, msg Message, cat cost.Category) {
+	e.checkMSS(from)
+	e.checkMSS(to)
+	e.meter.Charge(cat, cost.KindFixed)
+	sender := From{MSS: from}
+	e.transmitWired(from, to, func() {
+		e.dispatchMSS(alg, to, sender, msg)
+	})
+}
+
+// broadcastFixed sends msg from from to every other MSS.
+func (e *Engine) broadcastFixed(alg int, from MSSID, msg Message, cat cost.Category) {
+	e.checkMSS(from)
+	for i := 0; i < e.cfg.M; i++ {
+		if MSSID(i) == from {
+			continue
+		}
+		e.sendFixed(alg, from, MSSID(i), msg, cat)
+	}
+}
+
+// sendToLocalMH delivers over the local wireless channel only.
+func (e *Engine) sendToLocalMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) error {
+	e.checkMSS(from)
+	e.checkMH(mh)
+	if !e.mss[from].local.has(mh) {
+		return fmt.Errorf("engine: mh%d is not local to mss%d", int(mh), int(from))
+	}
+	e.wirelessDown(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat})
+	return nil
+}
+
+// sendToMH routes msg to mh, searching as needed.
+func (e *Engine) sendToMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) {
+	e.checkMSS(from)
+	e.checkMH(mh)
+	e.routeToMH(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat}, false)
+}
+
+// routeToMH implements delivery with search and retry-across-moves. via is
+// the MSS currently holding the message. stale marks retries caused by the
+// destination moving while the message was in flight; their search charges
+// go to cost.CatStale so the primary accounting matches the paper's
+// footnote-2 assumption.
+func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stale bool) {
+	st := &e.mh[mh]
+	switch st.status {
+	case StatusInTransit:
+		// The model guarantees the MH eventually joins some cell; park the
+		// message until it does, then retry. No charge is incurred for
+		// waiting.
+		e.waiters[mh] = append(e.waiters[mh], func() {
+			e.routeToMH(via, mh, msg, opts, stale)
+		})
+		return
+
+	case StatusDisconnected:
+		// The MSS of the cell where the MH disconnected informs the
+		// searcher of its status (Section 2). The search that discovered
+		// this is charged; the notification is control traffic.
+		holder := st.at
+		e.chargeSearch(opts, stale)
+		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		e.transmitWired(holder, opts.origin, func() {
+			e.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
+		})
+		return
+
+	case StatusConnected:
+		target := st.at
+		if target == via {
+			// Local delivery. Under the paper's pessimistic assumption every
+			// routed delivery to a MH still incurs the fixed search cost.
+			if e.cfg.PessimisticSearch && e.cfg.SearchMode == SearchAbstract {
+				e.chargeSearch(opts, stale)
+			}
+			e.wirelessDown(via, mh, msg, opts)
+			return
+		}
+		e.chargeSearch(opts, stale)
+		e.transmitWired(via, target, func() {
+			// Re-check on arrival: the MH may have moved on while the
+			// message crossed the wired network.
+			cur := &e.mh[mh]
+			if cur.status == StatusConnected && cur.at == target {
+				e.wirelessDown(target, mh, msg, opts)
+				return
+			}
+			e.stats.StaleReroutes++
+			e.routeToMH(target, mh, msg, opts, true)
+		})
+		return
+
+	default:
+		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(mh), int(st.status)))
+	}
+}
+
+// reclassifyWastedWireless moves one wireless charge from cat to the stale
+// account after the prefix rule discarded the transmission.
+func (e *Engine) reclassifyWastedWireless(cat cost.Category) {
+	if cat == cost.CatStale {
+		return
+	}
+	e.meter.ChargeN(cat, cost.KindWireless, -1)
+	e.meter.Charge(cost.CatStale, cost.KindWireless)
+}
+
+// chargeSearch records one search under the configured search mode.
+func (e *Engine) chargeSearch(opts routeOpts, stale bool) {
+	e.stats.Searches++
+	e.trace("search", "origin mss%d (stale=%v)", int(opts.origin), stale)
+	cat := opts.cat
+	if stale {
+		cat = cost.CatStale
+	}
+	switch e.cfg.SearchMode {
+	case SearchAbstract:
+		e.meter.Charge(cat, cost.KindSearch)
+	case SearchBroadcast:
+		// Query every other MSS, one reply from the hosting MSS, one
+		// forward of the payload. Message counts are charged here; the
+		// wired legs' latency is already modelled by the forward hop in
+		// routeToMH (queries proceed in parallel with it).
+		e.meter.ChargeN(cat, cost.KindFixed, int64(e.cfg.M-1))
+		e.meter.ChargeN(cat, cost.KindFixed, 2)
+	default:
+		panic(fmt.Sprintf("engine: unknown search mode %d", int(e.cfg.SearchMode)))
+	}
+}
+
+// wirelessDown transmits msg from mss to mh over the cell's wireless
+// channel. Prefix semantics: if the MH left the cell (or disconnected)
+// before the transmission completes, the message is not delivered there; it
+// is re-routed (or a failure is reported).
+func (e *Engine) wirelessDown(mss MSSID, mh MHID, msg Message, opts routeOpts) {
+	e.meter.Charge(opts.cat, cost.KindWireless)
+	e.transmitDown(mss, mh, func() {
+		st := &e.mh[mh]
+		if st.status == StatusConnected && st.at == mss {
+			e.meter.WirelessRx(int(mh))
+			if st.dozing {
+				e.stats.DozeInterruptions++
+				e.stats.DozeInterruptionsByMH[mh]++
+			}
+			e.deliverToMH(mh, msg, opts)
+			return
+		}
+		if st.status == StatusDisconnected && st.at == mss {
+			// Disconnected in this very cell before the transmission
+			// completed: the transmission was wasted (reclassified as
+			// stale) and the local MSS notifies the sender.
+			e.reclassifyWastedWireless(opts.cat)
+			e.meter.Charge(cost.CatControl, cost.KindFixed)
+			e.transmitWired(mss, opts.origin, func() {
+				e.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
+			})
+			return
+		}
+		// Left the cell: the wireless message fell outside the received
+		// prefix (Section 2). The wasted transmission moves to the stale
+		// account (the paper's footnote-2 "second copy" case) and the
+		// message is routed onwards from here; the eventual successful
+		// delivery stays in the primary category, so primary accounting
+		// charges exactly one delivery per message.
+		e.reclassifyWastedWireless(opts.cat)
+		e.stats.StaleReroutes++
+		e.routeToMH(mss, mh, msg, opts, true)
+	})
+}
+
+// deliverToMH hands msg to the destination's handler, applying the
+// per-pair reorder buffer for MH-to-MH traffic.
+func (e *Engine) deliverToMH(mh MHID, msg Message, opts routeOpts) {
+	if opts.pair == nil {
+		e.dispatchMH(opts.alg, mh, msg)
+		return
+	}
+	ps := e.pairState(*opts.pair)
+	ps.buffer[opts.seq] = deferredDelivery{alg: opts.alg, msg: msg}
+	for {
+		d, ok := ps.buffer[ps.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(ps.buffer, ps.nextDeliver)
+		ps.nextDeliver++
+		e.dispatchMH(d.alg, mh, d.msg)
+	}
+}
+
+// sendFromMH transmits msg from mh to its current local MSS. Sends from a
+// MH in transit are deferred until it joins a cell (it "neither sends nor
+// receives" between cells).
+func (e *Engine) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) error {
+	e.checkMH(mh)
+	st := &e.mh[mh]
+	switch st.status {
+	case StatusDisconnected:
+		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(mh))
+	case StatusInTransit:
+		e.waiters[mh] = append(e.waiters[mh], func() {
+			if err := e.sendFromMH(alg, mh, msg, cat); err != nil {
+				// The MH disconnected before the deferred send could run, so
+				// the transmission never happened. The loss is counted in
+				// FailedDeliveries rather than silently swallowed; no
+				// DeliveryFailureHandler fires because there is no origin MSS
+				// to notify — the message never left the MH.
+				e.stats.FailedDeliveries++
+				e.trace("send-dropped", "mh%d disconnected before deferred send", int(mh))
+			}
+		})
+		return nil
+	case StatusConnected:
+		at := st.at
+		e.meter.Charge(cat, cost.KindWireless)
+		e.meter.WirelessTx(int(mh))
+		sender := From{MH: mh, IsMH: true}
+		e.transmitUp(mh, func() {
+			// The message was transmitted before any subsequent leave(), so
+			// the MSS of the cell it was sent in processes it.
+			e.dispatchMSS(alg, at, sender, msg)
+		})
+		return nil
+	default:
+		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(mh), int(st.status)))
+	}
+}
+
+// forwardViaMSS routes msg to MH `to` through the MSS a directory names:
+// one fixed hop (charged unconditionally) then the wireless downlink. A
+// stale directory entry falls back to a search charged to cost.CatStale.
+func (e *Engine) forwardViaMSS(origin, via MSSID, to MHID, msg Message, opts routeOpts) {
+	e.meter.Charge(opts.cat, cost.KindFixed)
+	e.transmitWired(origin, via, func() {
+		cur := &e.mh[to]
+		if cur.status == StatusConnected && cur.at == via {
+			e.wirelessDown(via, to, msg, opts)
+			return
+		}
+		// Stale directory entry: the destination moved (or is moving, or
+		// disconnected); fall back to a search.
+		e.stats.StaleReroutes++
+		e.routeToMH(via, to, msg, opts, true)
+	})
+}
+
+// sendToMHVia implements directory-routed MSS-to-MH messaging (a fixed
+// proxy reaching its mobile host, Section 5).
+func (e *Engine) sendToMHVia(alg int, from, via MSSID, to MHID, msg Message, cat cost.Category) {
+	e.checkMSS(from)
+	e.checkMSS(via)
+	e.checkMH(to)
+	e.forwardViaMSS(from, via, to, msg, routeOpts{alg: alg, origin: from, cat: cat})
+}
+
+// sendMHViaMSS implements directory-routed MH-to-MH messaging: the sender
+// believes `to` is located at `via` and routes there directly, with one
+// fixed hop charged unconditionally (Section 4.2's 2·Cwireless + Cfixed per
+// member). A stale directory entry falls back to a search charged to
+// cost.CatStale.
+func (e *Engine) sendMHViaMSS(alg int, from MHID, via MSSID, to MHID, msg Message, cat cost.Category) error {
+	e.checkMH(from)
+	e.checkMSS(via)
+	e.checkMH(to)
+	st := &e.mh[from]
+	switch st.status {
+	case StatusDisconnected:
+		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(from))
+	case StatusInTransit:
+		e.waiters[from] = append(e.waiters[from], func() {
+			_ = e.sendMHViaMSS(alg, from, via, to, msg, cat)
+		})
+		return nil
+	case StatusConnected:
+		at := st.at
+		e.meter.Charge(cat, cost.KindWireless)
+		e.meter.WirelessTx(int(from))
+		opts := routeOpts{alg: alg, origin: at, cat: cat}
+		e.transmitUp(from, func() {
+			// One fixed hop to the directory's MSS, charged even when the
+			// sender's own MSS is the target.
+			e.forwardViaMSS(at, via, to, msg, opts)
+		})
+		return nil
+	default:
+		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(from), int(st.status)))
+	}
+}
+
+// sendToMSSOfMH locates mh and delivers msg to the MSS currently serving it
+// — the operation the paper prices at Csearch. If mh has disconnected the
+// sender is notified via DeliveryFailureHandler.
+func (e *Engine) sendToMSSOfMH(alg int, from MSSID, mh MHID, msg Message, cat cost.Category) {
+	e.checkMSS(from)
+	e.checkMH(mh)
+	e.routeToMSSOfMH(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat}, false)
+}
+
+// routeToMSSOfMH is routeToMH with the MSS itself as the final recipient.
+func (e *Engine) routeToMSSOfMH(via MSSID, mh MHID, msg Message, opts routeOpts, stale bool) {
+	st := &e.mh[mh]
+	switch st.status {
+	case StatusInTransit:
+		e.waiters[mh] = append(e.waiters[mh], func() {
+			e.routeToMSSOfMH(via, mh, msg, opts, stale)
+		})
+		return
+
+	case StatusDisconnected:
+		holder := st.at
+		e.chargeSearch(opts, stale)
+		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		e.transmitWired(holder, opts.origin, func() {
+			e.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
+		})
+		return
+
+	case StatusConnected:
+		target := st.at
+		sender := From{MSS: opts.origin}
+		if target == via {
+			if e.cfg.PessimisticSearch && e.cfg.SearchMode == SearchAbstract {
+				e.chargeSearch(opts, stale)
+			}
+			e.sub.Enqueue(func() {
+				e.dispatchMSS(opts.alg, target, sender, msg)
+			})
+			return
+		}
+		e.chargeSearch(opts, stale)
+		e.transmitWired(via, target, func() {
+			cur := &e.mh[mh]
+			if cur.status == StatusConnected && cur.at == target {
+				e.dispatchMSS(opts.alg, target, sender, msg)
+				return
+			}
+			e.stats.StaleReroutes++
+			e.routeToMSSOfMH(target, mh, msg, opts, true)
+		})
+		return
+
+	default:
+		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(mh), int(st.status)))
+	}
+}
+
+// sendMHToMH implements MH-to-MH messaging: wireless uplink, routed
+// forwarding with search, wireless downlink, with per-ordered-pair FIFO
+// delivery.
+func (e *Engine) sendMHToMH(alg int, from, to MHID, msg Message, cat cost.Category) error {
+	e.checkMH(from)
+	e.checkMH(to)
+	st := &e.mh[from]
+	switch st.status {
+	case StatusDisconnected:
+		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(from))
+	case StatusInTransit:
+		e.waiters[from] = append(e.waiters[from], func() {
+			_ = e.sendMHToMH(alg, from, to, msg, cat)
+		})
+		return nil
+	case StatusConnected:
+		at := st.at
+		key := pairKey{from: from, to: to}
+		ps := e.pairState(key)
+		seq := ps.nextSeq
+		ps.nextSeq++
+		e.meter.Charge(cat, cost.KindWireless)
+		e.meter.WirelessTx(int(from))
+		opts := routeOpts{alg: alg, origin: at, cat: cat, pair: &key, seq: seq}
+		e.transmitUp(from, func() {
+			e.routeToMH(at, to, msg, opts, false)
+		})
+		return nil
+	default:
+		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(from), int(st.status)))
+	}
+}

@@ -1,0 +1,78 @@
+package engine
+
+import "mobiledist/internal/sim"
+
+// Substrate is the execution backend an Engine drives. The engine owns the
+// entire protocol model — registries, status machine, routing, mobility,
+// cost accounting — and calls into the substrate for exactly four services:
+// time, deferred execution, per-channel FIFO transport, and randomness.
+//
+// Two substrates exist: the deterministic simulation kernel (internal/core
+// binds sim.Kernel) and the goroutine live runtime (internal/rt binds its
+// executor and channel pipes). Every Substrate method is invoked from the
+// engine's execution context (the kernel goroutine or the rt executor), and
+// every callback handed to the substrate must be run back on that same
+// execution context.
+type Substrate interface {
+	// Now returns the current virtual time.
+	Now() sim.Time
+	// Enqueue runs fn on the execution context as soon as possible,
+	// preserving submission order among Enqueue calls.
+	Enqueue(fn func())
+	// After runs fn on the execution context after d ticks of virtual time.
+	After(d sim.Time, fn func())
+	// Transmit delivers one message on FIFO channel ch: run deliver on the
+	// execution context after the drawn link latency, never overtaking an
+	// earlier Transmit on the same channel. Channel ids are the engine's
+	// flat numbering (see ChannelCount).
+	Transmit(ch int, latency sim.Time, deliver func())
+	// RNG returns the deterministic random source latencies are drawn from.
+	RNG() *sim.RNG
+}
+
+// ChannelCount returns the number of distinct FIFO channels in an (m, n)
+// network: m*m ordered wired MSS pairs, m*n wireless downlinks, and n
+// wireless uplinks. The engine numbers them contiguously in that order, so
+// a substrate can size flat per-channel state once at construction.
+func ChannelCount(m, n int) int { return m*m + m*n + n }
+
+// Flat channel numbering. The zero-allocation arithmetic here is the
+// per-message replacement for hashing a (kind, a, b) key.
+func (e *Engine) chanWired(from, to MSSID) int {
+	return int(from)*e.cfg.M + int(to)
+}
+
+func (e *Engine) chanDown(mss MSSID, mh MHID) int {
+	return e.cfg.M*e.cfg.M + int(mss)*e.cfg.N + int(mh)
+}
+
+func (e *Engine) chanUp(mh MHID) int {
+	return e.cfg.M*e.cfg.M + e.cfg.M*e.cfg.N + int(mh)
+}
+
+// FIFOClock computes FIFO-respecting arrival times for virtual-time
+// substrates: per-channel high-water marks in one flat slice indexed by the
+// engine's channel numbering, so the per-message lookup is an array read
+// with no hashing or allocation. The zero value of an entry means "no prior
+// traffic". Substrates that serialize channels physically (one goroutine
+// per channel, as internal/rt does) do not need it.
+type FIFOClock struct {
+	last []sim.Time
+}
+
+// NewFIFOClock returns a clock for the given channel count (ChannelCount).
+func NewFIFOClock(channels int) *FIFOClock {
+	return &FIFOClock{last: make([]sim.Time, channels)}
+}
+
+// Arrival returns the delivery time for a message sent now with the given
+// latency on channel ch, clamped so it never precedes an earlier message on
+// the same channel, and records it as the channel's new high-water mark.
+func (c *FIFOClock) Arrival(ch int, now, latency sim.Time) sim.Time {
+	arrival := now + latency
+	if last := c.last[ch]; arrival < last {
+		arrival = last
+	}
+	c.last[ch] = arrival
+	return arrival
+}

@@ -1,0 +1,89 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
+)
+
+// benchAlg is a no-op algorithm so benchmarks measure the runtime, not
+// handler work.
+type benchAlg struct{}
+
+func (benchAlg) Name() string { return "bench" }
+func (benchAlg) HandleMSS(ctx core.Context, at core.MSSID, from core.From, msg core.Message) {
+}
+func (benchAlg) HandleMH(ctx core.Context, at core.MHID, msg core.Message) {}
+func (benchAlg) OnDeliveryFailure(ctx core.Context, at core.MSSID, mh core.MHID, msg core.Message, reason core.FailReason) {
+}
+
+// BenchmarkRTRouteMHToMH measures the full MH-to-MH message path on the live
+// runtime — wireless uplink, search, wired forward, wireless downlink,
+// per-pair FIFO reorder — across pipe goroutines and the executor. It is the
+// live counterpart of core's BenchmarkRouteMHToMH, on the same (m, n)
+// population with a tick small enough that latency sleeps don't dominate.
+func BenchmarkRTRouteMHToMH(b *testing.B) {
+	const (
+		m     = 8
+		n     = 64
+		batch = 256
+	)
+	cfg := DefaultConfig(m, n)
+	cfg.Tick = time.Nanosecond
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := sys.Register(benchAlg{})
+	rng := sim.NewRNG(7)
+	sys.Start()
+	defer sys.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		sys.Do(func() {
+			for j := 0; j < batch; j++ {
+				from := core.MHID(rng.Intn(n))
+				to := core.MHID(rng.Intn(n))
+				if err := ctx.SendMHToMH(from, to, j, cost.CatAlgorithm); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		if !sys.WaitIdle(idleTimeout) {
+			b.Fatal("network did not drain")
+		}
+	}
+}
+
+// TestSteadyStateMembershipAllocFree proves the engine-side membership reads
+// on the routing hot path — cell membership tests and full LocalMHs scans —
+// allocate nothing. Before the engine port, the live runtime kept membership
+// in a map and LocalMHs allocated and insertion-sorted a fresh slice per
+// call; the engine's sorted-slice state makes both a plain read.
+func TestSteadyStateMembershipAllocFree(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(4, 32))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	// Pre-Start the build phase is single-threaded, so contexts are safe to
+	// use directly.
+	ctx := sys.Register(benchAlg{})
+	allocs := testing.AllocsPerRun(200, func() {
+		for mss := 0; mss < 4; mss++ {
+			ids := ctx.LocalMHs(core.MSSID(mss))
+			for _, id := range ids {
+				if !ctx.IsLocal(core.MSSID(mss), id) {
+					t.Fatal("member not local")
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("membership reads allocated %v times per run, want 0", allocs)
+	}
+}

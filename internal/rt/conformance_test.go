@@ -2,139 +2,16 @@ package rt
 
 import (
 	"testing"
-	"time"
 
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
-	"mobiledist/internal/group"
-	"mobiledist/internal/mutex/ring"
 	"mobiledist/internal/proxy"
 )
 
-// Conformance tests: the same protocol scenario executed on the
-// deterministic simulator and on the live goroutine runtime must charge
-// exactly the same message counts — the cost model depends on what is sent,
-// never on timing.
-
-func simMeterR2(t *testing.T, m, n, k int) *cost.Meter {
-	t.Helper()
-	cfg := core.DefaultConfig(m, n)
-	sys := core.MustNewSystem(cfg)
-	r2, err := ring.NewR2(sys, ring.VariantCounter, ring.Options{Hold: 2}, 2, nil)
-	if err != nil {
-		t.Fatalf("NewR2: %v", err)
-	}
-	for i := 0; i < k; i++ {
-		if err := r2.Request(core.MHID(i)); err != nil {
-			t.Fatalf("Request: %v", err)
-		}
-	}
-	sys.Schedule(200, func() {
-		if err := r2.Start(); err != nil {
-			t.Errorf("Start: %v", err)
-		}
-	})
-	if err := sys.Run(); err != nil {
-		t.Fatalf("Run: %v", err)
-	}
-	return sys.Meter()
-}
-
-func liveMeterR2(t *testing.T, m, n, k int) *cost.Meter {
-	t.Helper()
-	sys, err := NewSystem(DefaultConfig(m, n))
-	if err != nil {
-		t.Fatalf("NewSystem: %v", err)
-	}
-	r2, err := ring.NewR2(sys, ring.VariantCounter, ring.Options{Hold: 2}, 2, nil)
-	if err != nil {
-		t.Fatalf("NewR2: %v", err)
-	}
-	sys.Start()
-	defer sys.Stop()
-	sys.Do(func() {
-		for i := 0; i < k; i++ {
-			if err := r2.Request(core.MHID(i)); err != nil {
-				t.Errorf("Request: %v", err)
-			}
-		}
-	})
-	time.Sleep(2 * time.Millisecond) // let requests reach their stations
-	sys.Do(func() {
-		if err := r2.Start(); err != nil {
-			t.Errorf("Start: %v", err)
-		}
-	})
-	if !sys.WaitIdle(idleTimeout) {
-		t.Fatal("network did not drain")
-	}
-	return sys.Meter()
-}
-
-func assertSameAlgorithmCounts(t *testing.T, sim, live *cost.Meter) {
-	t.Helper()
-	for _, kind := range cost.Kinds() {
-		s := sim.Count(cost.CatAlgorithm, kind)
-		l := live.Count(cost.CatAlgorithm, kind)
-		if s != l {
-			t.Errorf("%v messages: sim %d vs live %d", kind, s, l)
-		}
-	}
-}
-
-func TestConformanceR2Traversal(t *testing.T) {
-	const (
-		m = 5
-		n = 10
-		k = 4
-	)
-	assertSameAlgorithmCounts(t, simMeterR2(t, m, n, k), liveMeterR2(t, m, n, k))
-}
-
-func TestConformanceLocationViewSend(t *testing.T) {
-	const (
-		m = 5
-		n = 10
-		g = 6
-	)
-	simRun := func() *cost.Meter {
-		cfg := core.DefaultConfig(m, n)
-		sys := core.MustNewSystem(cfg)
-		lv, err := group.NewLocationView(sys, mhRange(g), group.LocationViewOptions{Coordinator: core.MSSID(m - 1)})
-		if err != nil {
-			t.Fatalf("NewLocationView: %v", err)
-		}
-		if err := lv.Send(core.MHID(0), "x"); err != nil {
-			t.Fatalf("Send: %v", err)
-		}
-		if err := sys.Run(); err != nil {
-			t.Fatalf("Run: %v", err)
-		}
-		return sys.Meter()
-	}
-	liveRun := func() *cost.Meter {
-		sys, err := NewSystem(DefaultConfig(m, n))
-		if err != nil {
-			t.Fatalf("NewSystem: %v", err)
-		}
-		lv, err := group.NewLocationView(sys, mhRange(g), group.LocationViewOptions{Coordinator: core.MSSID(m - 1)})
-		if err != nil {
-			t.Fatalf("NewLocationView: %v", err)
-		}
-		sys.Start()
-		defer sys.Stop()
-		sys.Do(func() {
-			if err := lv.Send(core.MHID(0), "x"); err != nil {
-				t.Errorf("Send: %v", err)
-			}
-		})
-		if !sys.WaitIdle(idleTimeout) {
-			t.Fatal("network did not drain")
-		}
-		return sys.Meter()
-	}
-	assertSameAlgorithmCounts(t, simRun(), liveRun())
-}
+// Runtime-specific behaviour tests. The cross-substrate conformance suite
+// (cost parity with the simulator, mutual exclusion, FIFO and prefix
+// delivery, mobility-state partitioning) lives in internal/conformance and
+// runs this runtime side by side with internal/core.
 
 func TestLiveProxyLocalScopeUsesSearchedInterProxyMessages(t *testing.T) {
 	// The local-scope proxy routes inter-process messages with

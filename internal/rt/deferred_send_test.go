@@ -1,0 +1,120 @@
+package rt
+
+import (
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+)
+
+// mobProbe is a test algorithm exposing the engine's protocol hooks so
+// scenarios can inject actions at exact protocol instants (on the executor,
+// where direct engine calls are safe).
+type mobProbe struct {
+	onLeave func(ctx core.Context, at core.MSSID, mh core.MHID)
+	onJoin  func(ctx core.Context, at core.MSSID, mh core.MHID, prev core.MSSID, wasDisconnected bool)
+	onMSS   func(at core.MSSID, from core.From, msg core.Message)
+}
+
+func (p *mobProbe) Name() string { return "mob-probe" }
+
+func (p *mobProbe) HandleMSS(ctx core.Context, at core.MSSID, from core.From, msg core.Message) {
+	if p.onMSS != nil {
+		p.onMSS(at, from, msg)
+	}
+}
+
+func (p *mobProbe) OnJoin(ctx core.Context, at core.MSSID, mh core.MHID, prev core.MSSID, wasDisconnected bool) {
+	if p.onJoin != nil {
+		p.onJoin(ctx, at, mh, prev, wasDisconnected)
+	}
+}
+
+func (p *mobProbe) OnLeave(ctx core.Context, at core.MSSID, mh core.MHID) {
+	if p.onLeave != nil {
+		p.onLeave(ctx, at, mh)
+	}
+}
+
+func (p *mobProbe) OnDisconnect(core.Context, core.MSSID, core.MHID) {}
+
+// TestDeferredSendReplaysAfterJoin pins the replay path: a SendFromMH issued
+// while the MH is between cells parks, then replays after the join and is
+// delivered at the NEW cell's MSS.
+func TestDeferredSendReplaysAfterJoin(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	var deliveredAt []core.MSSID
+	p := &mobProbe{
+		onLeave: func(ctx core.Context, at core.MSSID, mh core.MHID) {
+			// The MH is in transit here, so this send must park.
+			if err := ctx.SendFromMH(mh, "parked", cost.CatAlgorithm); err != nil {
+				t.Errorf("SendFromMH while in transit: %v", err)
+			}
+		},
+		onMSS: func(at core.MSSID, from core.From, msg core.Message) {
+			deliveredAt = append(deliveredAt, at)
+		},
+	}
+	sys.Register(p)
+	sys.Start()
+	defer sys.Stop()
+
+	sys.Move(0, 1)
+	if !sys.WaitIdle(idleTimeout) {
+		t.Fatal("network did not drain")
+	}
+	if len(deliveredAt) != 1 || deliveredAt[0] != 1 {
+		t.Errorf("delivered at %v, want exactly one delivery at mss1", deliveredAt)
+	}
+	if got := sys.Stats().FailedDeliveries; got != 0 {
+		t.Errorf("FailedDeliveries = %d, want 0", got)
+	}
+}
+
+// TestDeferredSendDropCountedOnDisconnect pins the drop path: a SendFromMH
+// parked during a move is dropped if the MH disconnects the instant it
+// rejoins, and the loss is counted in Stats.FailedDeliveries instead of
+// being silently swallowed.
+func TestDeferredSendDropCountedOnDisconnect(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	var delivered int
+	p := &mobProbe{
+		onLeave: func(ctx core.Context, at core.MSSID, mh core.MHID) {
+			if err := ctx.SendFromMH(mh, "parked", cost.CatAlgorithm); err != nil {
+				t.Errorf("SendFromMH while in transit: %v", err)
+			}
+		},
+		onMSS: func(core.MSSID, core.From, core.Message) { delivered++ },
+	}
+	p.onJoin = func(ctx core.Context, at core.MSSID, mh core.MHID, prev core.MSSID, wasDisconnected bool) {
+		if wasDisconnected {
+			return
+		}
+		// OnJoin runs before parked waiters replay; disconnecting here (on
+		// the executor, so the direct engine call is safe) guarantees the
+		// deferred send finds the MH unreachable.
+		if err := sys.eng.Disconnect(mh); err != nil {
+			t.Errorf("Disconnect: %v", err)
+		}
+	}
+	sys.Register(p)
+	sys.Start()
+	defer sys.Stop()
+
+	sys.Move(0, 1)
+	if !sys.WaitIdle(idleTimeout) {
+		t.Fatal("network did not drain")
+	}
+	if delivered != 0 {
+		t.Errorf("delivered = %d, want 0 (send should have been dropped)", delivered)
+	}
+	if got := sys.Stats().FailedDeliveries; got != 1 {
+		t.Errorf("FailedDeliveries = %d, want 1 (dropped deferred send must be counted)", got)
+	}
+}

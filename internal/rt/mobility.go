@@ -1,160 +1,43 @@
 package rt
 
-import (
-	"mobiledist/internal/core"
-	"mobiledist/internal/cost"
-)
+import "mobiledist/internal/core"
 
-// Mobility operations mirror the simulator's semantics (see
-// internal/core/mobility.go); all bookkeeping runs on the executor.
-// Move, Disconnect and Reconnect may be called from any goroutine after
-// Start; they enqueue themselves.
+// Mobility operations are the engine's (see internal/engine/mobility.go),
+// run on the executor. Move, Disconnect and Reconnect may be called from any
+// goroutine after Start; they enqueue themselves and — matching this
+// runtime's historical fire-and-forget surface — treat operations invalid in
+// the MH's current status as no-ops.
 
 // Move initiates a cell switch for mh.
 func (s *System) Move(mh core.MHID, to core.MSSID) {
 	s.checkMH(mh)
 	s.checkMSS(to)
-	s.Do(func() { s.moveLocked(mh, to) })
-}
-
-func (s *System) moveLocked(mh core.MHID, to core.MSSID) {
-	st := &s.mh[mh]
-	if st.status != core.StatusConnected || st.at == to {
-		return
-	}
-	from := st.at
-	s.meter.Charge(cost.CatControl, cost.KindWireless)
-	s.meter.WirelessTx(int(mh))
-	st.status = core.StatusInTransit
-	st.at = from
-
-	s.transmit(pipeKey{kind: pipeUp, a: int(mh)}, s.cfg.Wireless, func() {
-		delete(s.mss[from].local, mh)
-		s.notifyLeave(from, mh)
-		s.afterTicks(s.rng.Duration(s.cfg.Travel.Min, s.cfg.Travel.Max), func() {
-			s.completeJoin(mh, to, from, false)
-		})
-	})
-}
-
-func (s *System) completeJoin(mh core.MHID, to, prev core.MSSID, wasDisconnected bool) {
-	s.meter.Charge(cost.CatControl, cost.KindWireless)
-	s.meter.WirelessTx(int(mh))
-	s.transmit(pipeKey{kind: pipeUp, a: int(mh)}, s.cfg.Wireless, func() {
-		st := &s.mh[mh]
-		s.mss[to].local[mh] = true
-		st.status = core.StatusConnected
-		st.at = to
-		s.notifyJoin(to, mh, prev, wasDisconnected)
-		s.fireWaiters(mh)
-	})
+	s.Do(func() { _ = s.eng.Move(mh, to) })
 }
 
 // Disconnect performs a voluntary disconnection of mh.
 func (s *System) Disconnect(mh core.MHID) {
 	s.checkMH(mh)
-	s.Do(func() { s.disconnectLocked(mh) })
+	s.Do(func() { _ = s.eng.Disconnect(mh) })
 }
 
-func (s *System) disconnectLocked(mh core.MHID) {
-	st := &s.mh[mh]
-	if st.status != core.StatusConnected {
-		return
-	}
-	at := st.at
-	s.meter.Charge(cost.CatControl, cost.KindWireless)
-	s.meter.WirelessTx(int(mh))
-	st.status = core.StatusDisconnected
-	s.transmit(pipeKey{kind: pipeUp, a: int(mh)}, s.cfg.Wireless, func() {
-		delete(s.mss[at].local, mh)
-		s.mss[at].disconnected[mh] = true
-		s.notifyDisconnect(at, mh)
-	})
-}
-
-// Reconnect re-attaches a disconnected mh at the given MSS.
+// Reconnect re-attaches a disconnected mh at the given MSS. The MH supplies
+// its previous location (knowsPrev), as the paper's common case.
 func (s *System) Reconnect(mh core.MHID, at core.MSSID) {
 	s.checkMH(mh)
 	s.checkMSS(at)
-	s.Do(func() { s.reconnectLocked(mh, at) })
-}
-
-func (s *System) reconnectLocked(mh core.MHID, at core.MSSID) {
-	st := &s.mh[mh]
-	if st.status != core.StatusDisconnected {
-		return
-	}
-	prev := st.at
-	// Between cells until the handoff completes: parks routed messages and
-	// rejects duplicate mobility operations.
-	st.status = core.StatusInTransit
-	s.meter.Charge(cost.CatControl, cost.KindWireless)
-	s.meter.WirelessTx(int(mh))
-	s.transmit(pipeKey{kind: pipeUp, a: int(mh)}, s.cfg.Wireless, func() {
-		// Handoff request/reply with the previous MSS clears the
-		// "disconnected" flag.
-		s.meter.Charge(cost.CatControl, cost.KindFixed)
-		s.transmit(pipeKey{kind: pipeWired, a: int(at), b: int(prev)}, s.cfg.Wired, func() {
-			delete(s.mss[prev].disconnected, mh)
-			s.meter.Charge(cost.CatControl, cost.KindFixed)
-			s.transmit(pipeKey{kind: pipeWired, a: int(prev), b: int(at)}, s.cfg.Wired, func() {
-				cur := &s.mh[mh]
-				s.mss[at].local[mh] = true
-				cur.status = core.StatusConnected
-				cur.at = at
-				s.notifyJoin(at, mh, prev, true)
-				s.fireWaiters(mh)
-			})
-		})
-	})
+	s.Do(func() { _ = s.eng.Reconnect(mh, at, true) })
 }
 
 // Where reports the cell and status of mh (call via Do for a consistent
 // snapshot, or after WaitIdle).
 func (s *System) Where(mh core.MHID) (core.MSSID, core.MHStatus) {
-	s.checkMH(mh)
-	st := s.mh[mh]
-	return st.at, st.status
+	return s.eng.Where(mh)
 }
 
-func (s *System) notifyJoin(at core.MSSID, mh core.MHID, prev core.MSSID, wasDisconnected bool) {
-	for i, alg := range s.algs {
-		if obs, ok := alg.(core.MobilityObserver); ok {
-			obs.OnJoin(s.ctxs[i], at, mh, prev, wasDisconnected)
-		}
-	}
-}
+// SetDoze marks mh as dozing (or not); deliveries to a dozing MH still
+// succeed but are counted in Stats. Call before Start or from inside Do.
+func (s *System) SetDoze(mh core.MHID, dozing bool) { s.eng.SetDoze(mh, dozing) }
 
-func (s *System) notifyLeave(at core.MSSID, mh core.MHID) {
-	for i, alg := range s.algs {
-		if obs, ok := alg.(core.MobilityObserver); ok {
-			obs.OnLeave(s.ctxs[i], at, mh)
-		}
-	}
-}
-
-func (s *System) notifyDisconnect(at core.MSSID, mh core.MHID) {
-	for i, alg := range s.algs {
-		if obs, ok := alg.(core.MobilityObserver); ok {
-			obs.OnDisconnect(s.ctxs[i], at, mh)
-		}
-	}
-}
-
-func (s *System) localMHs(mss core.MSSID) []core.MHID {
-	s.checkMSS(mss)
-	ids := make([]core.MHID, 0, len(s.mss[mss].local))
-	for id := range s.mss[mss].local {
-		ids = append(ids, id)
-	}
-	sortMHIDs(ids)
-	return ids
-}
-
-func sortMHIDs(ids []core.MHID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-}
+// IsDozing reports whether mh is in doze mode (same calling rules as Where).
+func (s *System) IsDozing(mh core.MHID) bool { return s.eng.IsDozing(mh) }

@@ -1,7 +1,8 @@
-// Package rt is the live runtime of the two-tier model: it hosts the same
-// algorithm state machines as the deterministic simulator in internal/core,
-// but transports messages over real goroutines and channels with wall-clock
-// latencies — the operational style the paper's model describes.
+// Package rt is the live runtime of the two-tier model: it binds the shared
+// network engine (internal/engine) — which owns the MSS/MH registries,
+// routing with search and chase, the mobility protocol, and cost accounting
+// — to real goroutines and channels with wall-clock latencies, the
+// operational style the paper's model describes.
 //
 // Architecture:
 //
@@ -9,11 +10,15 @@
 //     MSS→MH downlink, each MH uplink) is a goroutine reading from a Go
 //     channel, sleeping the link latency, and handing the message to the
 //     executor — preserving per-channel FIFO exactly as the model requires;
-//   - a single executor goroutine runs all algorithm handlers, mobility
+//   - a single executor goroutine runs all algorithm handlers, engine
 //     bookkeeping, and cost accounting, so algorithm state needs no locks
 //     and behaves exactly as under the simulator;
 //   - quiescence is tracked by an in-flight operation counter, letting
 //     tests wait for the network to drain.
+//
+// Because internal/core binds the same engine to the deterministic kernel,
+// the two substrates cannot drift: every protocol rule lives in exactly one
+// place.
 //
 // Lifecycle: build (NewSystem, Register, algorithm constructors — single
 // threaded), Start, then interact via Do, then WaitIdle / Stop.
@@ -27,6 +32,7 @@ import (
 
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
+	"mobiledist/internal/engine"
 	"mobiledist/internal/sim"
 )
 
@@ -46,10 +52,16 @@ type Config struct {
 	Wired, Wireless core.Delay
 	// Travel is the between-cells delay range in ticks.
 	Travel core.Delay
+	// SearchMode selects the search service; the zero value means
+	// core.SearchAbstract.
+	SearchMode core.SearchMode
 	// PessimisticSearch mirrors core.Config.PessimisticSearch.
 	PessimisticSearch bool
 	// Placement maps each MH to its initial cell (nil: round-robin).
 	Placement func(core.MHID) core.MSSID
+	// Trace, when non-nil, receives one line per model-level event. It is
+	// called on the executor goroutine.
+	Trace func(t sim.Time, event, detail string)
 }
 
 // DefaultConfig returns a live configuration for m stations and n hosts.
@@ -63,36 +75,40 @@ func DefaultConfig(m, n int) Config {
 		Wired:             core.Delay{Min: 1, Max: 4},
 		Wireless:          core.Delay{Min: 1, Max: 2},
 		Travel:            core.Delay{Min: 2, Max: 10},
+		SearchMode:        core.SearchAbstract,
 		PessimisticSearch: true,
 	}
 }
 
-type mhState struct {
-	status core.MHStatus
-	at     core.MSSID
+// engineConfig projects the runtime configuration onto the shared engine's
+// substrate-independent parameters.
+func (c Config) engineConfig() engine.Config {
+	mode := c.SearchMode
+	if mode == 0 {
+		mode = core.SearchAbstract
+	}
+	return engine.Config{
+		M:                 c.M,
+		N:                 c.N,
+		Params:            c.Params,
+		Wired:             c.Wired,
+		Wireless:          c.Wireless,
+		Travel:            c.Travel,
+		SearchMode:        mode,
+		PessimisticSearch: c.PessimisticSearch,
+		Placement:         c.Placement,
+		Trace:             c.Trace,
+	}
 }
 
-type mssState struct {
-	local        map[core.MHID]bool
-	disconnected map[core.MHID]bool
-}
-
-// System is the live runtime driver. It implements core.Registrar, and the
-// contexts it hands out implement core.Context, so any algorithm in this
-// repository runs on it unmodified.
+// System is the live runtime driver: the shared engine bound to the
+// goroutine substrate. It implements core.Registrar, and the contexts it
+// hands out implement core.Context, so any algorithm in this repository runs
+// on it unmodified.
 type System struct {
-	cfg   Config
-	meter *cost.Meter
-	rng   *sim.RNG // executor-only
-
-	algs []core.Algorithm
-	ctxs []core.Context
-
-	mss []mssState
-	mh  []mhState
-
-	waiters map[core.MHID][]func()
-	pairs   map[pairKey]*pairState
+	cfg Config
+	eng *engine.Engine
+	rng *sim.RNG // executor-only
 
 	tasks    *taskQueue
 	stopped  chan struct{}
@@ -100,10 +116,9 @@ type System struct {
 	started  bool
 
 	inflight atomic.Int64
-	searches atomic.Int64
 
 	pipesMu sync.Mutex
-	pipes   map[pipeKey]chan delivery
+	pipes   map[int]chan delivery
 	wg      sync.WaitGroup
 
 	epoch time.Time
@@ -111,52 +126,49 @@ type System struct {
 
 var _ core.Registrar = (*System)(nil)
 
+// liveSubstrate adapts the System to the engine's Substrate interface. Every
+// method is invoked on the executor goroutine (or during the single-threaded
+// build phase), matching the engine's execution-context contract.
+type liveSubstrate struct {
+	s *System
+}
+
+var _ engine.Substrate = (*liveSubstrate)(nil)
+
+func (l *liveSubstrate) Now() sim.Time { return l.s.now() }
+
+func (l *liveSubstrate) Enqueue(fn func()) { l.s.exec(fn) }
+
+func (l *liveSubstrate) After(d sim.Time, fn func()) { l.s.afterTicks(d, fn) }
+
+// Transmit hands the delivery to the channel's pipe goroutine, which sleeps
+// the latency and forwards to the executor — FIFO by construction.
+func (l *liveSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+	s := l.s
+	s.opStart()
+	s.pipe(ch) <- delivery{latency: time.Duration(latency) * s.cfg.Tick, fn: deliver}
+}
+
+func (l *liveSubstrate) RNG() *sim.RNG { return l.s.rng }
+
 // NewSystem builds a live system from cfg.
 func NewSystem(cfg Config) (*System, error) {
-	if cfg.M < 1 || cfg.N < 1 {
-		return nil, fmt.Errorf("rt: need M >= 1 and N >= 1, got M=%d N=%d", cfg.M, cfg.N)
-	}
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	for name, d := range map[string]core.Delay{"wired": cfg.Wired, "wireless": cfg.Wireless, "travel": cfg.Travel} {
-		if d.Min < 0 || d.Max < d.Min {
-			return nil, fmt.Errorf("rt: invalid %s delay range [%d,%d]", name, d.Min, d.Max)
-		}
-	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = 50 * time.Microsecond
 	}
 	s := &System{
 		cfg:      cfg,
-		meter:    cost.NewMeter(),
 		rng:      sim.NewRNG(cfg.Seed),
-		mss:      make([]mssState, cfg.M),
-		mh:       make([]mhState, cfg.N),
-		waiters:  make(map[core.MHID][]func()),
 		tasks:    newTaskQueue(),
 		stopped:  make(chan struct{}),
 		execDone: make(chan struct{}),
-		pipes:    make(map[pipeKey]chan delivery),
+		pipes:    make(map[int]chan delivery),
 	}
-	for i := range s.mss {
-		s.mss[i] = mssState{
-			local:        make(map[core.MHID]bool),
-			disconnected: make(map[core.MHID]bool),
-		}
+	eng, err := engine.New(cfg.engineConfig(), &liveSubstrate{s: s})
+	if err != nil {
+		return nil, err
 	}
-	place := cfg.Placement
-	if place == nil {
-		place = func(mh core.MHID) core.MSSID { return core.MSSID(int(mh) % cfg.M) }
-	}
-	for i := range s.mh {
-		at := place(core.MHID(i))
-		if int(at) < 0 || int(at) >= cfg.M {
-			return nil, fmt.Errorf("rt: placement of mh%d at invalid mss%d", i, int(at))
-		}
-		s.mh[i] = mhState{status: core.StatusConnected, at: at}
-		s.mss[at].local[core.MHID(i)] = true
-	}
+	s.eng = eng
 	return s, nil
 }
 
@@ -165,24 +177,36 @@ func (s *System) Register(alg core.Algorithm) core.Context {
 	if s.started {
 		panic("rt: Register after Start")
 	}
-	if alg == nil {
-		panic("rt: register nil algorithm")
-	}
-	idx := len(s.algs)
-	s.algs = append(s.algs, alg)
-	ctx := &rtContext{s: s, alg: idx}
-	s.ctxs = append(s.ctxs, ctx)
-	return ctx
+	return s.eng.Register(alg)
 }
 
+// Engine exposes the shared network engine (for conformance tests and
+// cross-substrate tooling). Access it only via Do after Start.
+func (s *System) Engine() *engine.Engine { return s.eng }
+
 // Meter returns the cost meter. Read it only after WaitIdle or Stop.
-func (s *System) Meter() *cost.Meter { return s.meter }
+func (s *System) Meter() *cost.Meter { return s.eng.Meter() }
 
 // Config returns the runtime configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Searches reports searches performed so far.
-func (s *System) Searches() int64 { return s.searches.Load() }
+// Searches reports searches performed so far. After Start it synchronises
+// with the executor, so it must not be called from inside Do or a handler.
+func (s *System) Searches() int64 {
+	return s.Stats().Searches
+}
+
+// Stats returns a copy of the model-level counters. After Start it
+// synchronises with the executor, so it must not be called from inside Do or
+// a handler (read s.Engine().Stats() there instead).
+func (s *System) Stats() engine.Stats {
+	if !s.started {
+		return s.eng.Stats()
+	}
+	var st engine.Stats
+	s.Do(func() { st = s.eng.Stats() })
+	return st
+}
 
 // Start launches the executor. Algorithms must already be registered.
 func (s *System) Start() {
@@ -250,7 +274,7 @@ func (s *System) Stop() {
 	s.wg.Wait()
 }
 
-// Now returns virtual time (wall time since Start in ticks).
+// now returns virtual time (wall time since Start in ticks).
 func (s *System) now() sim.Time {
 	if s.epoch.IsZero() {
 		return 0
@@ -269,10 +293,9 @@ func (s *System) opDone()          { s.inflight.Add(-1) }
 func (s *System) execOp(fn func()) { s.exec(func() { defer s.opDone(); fn() }) }
 func (s *System) afterTicks(d sim.Time, fn func()) {
 	s.opStart()
-	timer := time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() {
+	time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() {
 		s.execOp(fn)
 	})
-	_ = timer
 }
 
 func (s *System) checkMSS(id core.MSSID) {
@@ -284,40 +307,5 @@ func (s *System) checkMSS(id core.MSSID) {
 func (s *System) checkMH(id core.MHID) {
 	if int(id) < 0 || int(id) >= s.cfg.N {
 		panic(fmt.Sprintf("rt: invalid mh id %d (N=%d)", int(id), s.cfg.N))
-	}
-}
-
-func (s *System) dispatchMSS(alg int, at core.MSSID, from core.From, msg core.Message) {
-	h, ok := s.algs[alg].(core.MSSHandler)
-	if !ok {
-		panic(fmt.Sprintf("rt: algorithm %q received MSS message without MSSHandler", s.algs[alg].Name()))
-	}
-	h.HandleMSS(s.ctxs[alg], at, from, msg)
-}
-
-func (s *System) dispatchMH(alg int, at core.MHID, msg core.Message) {
-	h, ok := s.algs[alg].(core.MHHandler)
-	if !ok {
-		panic(fmt.Sprintf("rt: algorithm %q received MH message without MHHandler", s.algs[alg].Name()))
-	}
-	h.HandleMH(s.ctxs[alg], at, msg)
-}
-
-func (s *System) notifyFailure(alg int, at core.MSSID, mh core.MHID, msg core.Message, reason core.FailReason) {
-	h, ok := s.algs[alg].(core.DeliveryFailureHandler)
-	if !ok {
-		return
-	}
-	h.OnDeliveryFailure(s.ctxs[alg], at, mh, msg, reason)
-}
-
-func (s *System) fireWaiters(mh core.MHID) {
-	pending := s.waiters[mh]
-	if len(pending) == 0 {
-		return
-	}
-	delete(s.waiters, mh)
-	for _, fn := range pending {
-		s.exec(fn)
 	}
 }

@@ -1,24 +1,14 @@
 package rt
 
-import (
-	"fmt"
-	"time"
+import "time"
 
-	"mobiledist/internal/core"
-	"mobiledist/internal/cost"
-)
-
-// Channel kinds for pipe keys.
-const (
-	pipeWired = iota + 1
-	pipeDown
-	pipeUp
-)
-
-type pipeKey struct {
-	kind int
-	a, b int
-}
+// The runtime's transport is purely physical: the engine decides what to
+// send, on which flat channel id, with which latency (see
+// engine.ChannelCount); this file only moves deliveries. One goroutine per
+// active channel reads from a buffered Go channel, sleeps each message's
+// latency, and hands it to the executor — strictly in order, which is
+// exactly the model's per-channel FIFO guarantee, with no arrival-time
+// bookkeeping needed.
 
 // delivery is one message travelling a FIFO channel: sleep latency, then
 // run fn on the executor.
@@ -28,21 +18,19 @@ type delivery struct {
 }
 
 // pipe returns (creating on demand) the goroutine-backed FIFO channel for
-// key. Each pipe processes deliveries strictly in order: it sleeps each
-// message's latency before handing it to the executor, which is exactly the
-// model's per-channel FIFO guarantee.
-func (s *System) pipe(key pipeKey) chan delivery {
+// the engine's flat channel id.
+func (s *System) pipe(ch int) chan delivery {
 	s.pipesMu.Lock()
 	defer s.pipesMu.Unlock()
-	ch, ok := s.pipes[key]
+	c, ok := s.pipes[ch]
 	if ok {
-		return ch
+		return c
 	}
-	ch = make(chan delivery, 256)
-	s.pipes[key] = ch
+	c = make(chan delivery, 256)
+	s.pipes[ch] = c
 	s.wg.Add(1)
-	go s.forward(ch)
-	return ch
+	go s.forward(c)
+	return c
 }
 
 func (s *System) forward(ch chan delivery) {
@@ -62,333 +50,5 @@ func (s *System) forward(ch chan delivery) {
 		case <-s.stopped:
 			return
 		}
-	}
-}
-
-// transmit enqueues fn on the pipe after drawing a latency (executor only).
-func (s *System) transmit(key pipeKey, delay core.Delay, fn func()) {
-	ticks := s.rng.Duration(delay.Min, delay.Max)
-	s.opStart()
-	s.pipe(key) <- delivery{latency: time.Duration(ticks) * s.cfg.Tick, fn: fn}
-}
-
-// routeOpts mirrors core's routing context.
-type routeOpts struct {
-	alg    int
-	origin core.MSSID
-	cat    cost.Category
-	pair   *pairKey
-	seq    uint64
-}
-
-type pairKey struct {
-	from, to core.MHID
-}
-
-// All functions below run on the executor goroutine.
-
-func (s *System) sendFixed(alg int, from, to core.MSSID, msg core.Message, cat cost.Category) {
-	s.checkMSS(from)
-	s.checkMSS(to)
-	s.meter.Charge(cat, cost.KindFixed)
-	sender := core.From{MSS: from}
-	s.transmit(pipeKey{kind: pipeWired, a: int(from), b: int(to)}, s.cfg.Wired, func() {
-		s.dispatchMSS(alg, to, sender, msg)
-	})
-}
-
-func (s *System) broadcastFixed(alg int, from core.MSSID, msg core.Message, cat cost.Category) {
-	for i := 0; i < s.cfg.M; i++ {
-		if core.MSSID(i) == from {
-			continue
-		}
-		s.sendFixed(alg, from, core.MSSID(i), msg, cat)
-	}
-}
-
-func (s *System) wirelessDown(mss core.MSSID, mh core.MHID, msg core.Message, opts routeOpts) {
-	s.meter.Charge(opts.cat, cost.KindWireless)
-	s.transmit(pipeKey{kind: pipeDown, a: int(mss), b: int(mh)}, s.cfg.Wireless, func() {
-		st := &s.mh[mh]
-		if st.status == core.StatusConnected && st.at == mss {
-			s.meter.WirelessRx(int(mh))
-			s.deliverToMH(mh, msg, opts)
-			return
-		}
-		if st.status == core.StatusDisconnected && st.at == mss {
-			s.reclassifyWastedWireless(opts.cat)
-			s.meter.Charge(cost.CatControl, cost.KindFixed)
-			s.transmit(pipeKey{kind: pipeWired, a: int(mss), b: int(opts.origin)}, s.cfg.Wired, func() {
-				s.notifyFailure(opts.alg, opts.origin, mh, msg, core.FailDisconnected)
-			})
-			return
-		}
-		s.reclassifyWastedWireless(opts.cat)
-		s.routeToMH(mss, mh, msg, opts, true)
-	})
-}
-
-// reclassifyWastedWireless mirrors internal/core: a prefix-discarded
-// transmission moves to the stale account.
-func (s *System) reclassifyWastedWireless(cat cost.Category) {
-	if cat == cost.CatStale {
-		return
-	}
-	s.meter.ChargeN(cat, cost.KindWireless, -1)
-	s.meter.Charge(cost.CatStale, cost.KindWireless)
-}
-
-func (s *System) chargeSearch(opts routeOpts, stale bool) {
-	s.searches.Add(1)
-	cat := opts.cat
-	if stale {
-		cat = cost.CatStale
-	}
-	s.meter.Charge(cat, cost.KindSearch)
-}
-
-func (s *System) routeToMH(via core.MSSID, mh core.MHID, msg core.Message, opts routeOpts, stale bool) {
-	st := &s.mh[mh]
-	switch st.status {
-	case core.StatusInTransit:
-		s.waiters[mh] = append(s.waiters[mh], func() {
-			s.routeToMH(via, mh, msg, opts, stale)
-		})
-		return
-	case core.StatusDisconnected:
-		holder := st.at
-		s.chargeSearch(opts, stale)
-		s.meter.Charge(cost.CatControl, cost.KindFixed)
-		s.transmit(pipeKey{kind: pipeWired, a: int(holder), b: int(opts.origin)}, s.cfg.Wired, func() {
-			s.notifyFailure(opts.alg, opts.origin, mh, msg, core.FailDisconnected)
-		})
-		return
-	case core.StatusConnected:
-		target := st.at
-		if target == via {
-			if s.cfg.PessimisticSearch {
-				s.chargeSearch(opts, stale)
-			}
-			s.wirelessDown(via, mh, msg, opts)
-			return
-		}
-		s.chargeSearch(opts, stale)
-		s.transmit(pipeKey{kind: pipeWired, a: int(via), b: int(target)}, s.cfg.Wired, func() {
-			cur := &s.mh[mh]
-			if cur.status == core.StatusConnected && cur.at == target {
-				s.wirelessDown(target, mh, msg, opts)
-				return
-			}
-			s.routeToMH(target, mh, msg, opts, true)
-		})
-		return
-	default:
-		panic(fmt.Sprintf("rt: mh%d in unknown status %d", int(mh), int(st.status)))
-	}
-}
-
-// Per-pair FIFO reorder state (executor only).
-type pairState struct {
-	nextSeq     uint64
-	nextDeliver uint64
-	buffer      map[uint64]deferredDelivery
-}
-
-type deferredDelivery struct {
-	alg int
-	msg core.Message
-}
-
-func (s *System) pairState(key pairKey) *pairState {
-	if s.pairs == nil {
-		s.pairs = make(map[pairKey]*pairState)
-	}
-	ps, ok := s.pairs[key]
-	if !ok {
-		ps = &pairState{buffer: make(map[uint64]deferredDelivery)}
-		s.pairs[key] = ps
-	}
-	return ps
-}
-
-func (s *System) deliverToMH(mh core.MHID, msg core.Message, opts routeOpts) {
-	if opts.pair == nil {
-		s.dispatchMH(opts.alg, mh, msg)
-		return
-	}
-	ps := s.pairState(*opts.pair)
-	ps.buffer[opts.seq] = deferredDelivery{alg: opts.alg, msg: msg}
-	for {
-		d, ok := ps.buffer[ps.nextDeliver]
-		if !ok {
-			break
-		}
-		delete(ps.buffer, ps.nextDeliver)
-		ps.nextDeliver++
-		s.dispatchMH(d.alg, mh, d.msg)
-	}
-}
-
-func (s *System) sendToLocalMH(alg int, from core.MSSID, mh core.MHID, msg core.Message, cat cost.Category) error {
-	s.checkMSS(from)
-	s.checkMH(mh)
-	if !s.mss[from].local[mh] {
-		return fmt.Errorf("rt: mh%d is not local to mss%d", int(mh), int(from))
-	}
-	s.wirelessDown(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat})
-	return nil
-}
-
-func (s *System) sendToMH(alg int, from core.MSSID, mh core.MHID, msg core.Message, cat cost.Category) {
-	s.checkMSS(from)
-	s.checkMH(mh)
-	s.routeToMH(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat}, false)
-}
-
-func (s *System) sendFromMH(alg int, mh core.MHID, msg core.Message, cat cost.Category) error {
-	s.checkMH(mh)
-	st := &s.mh[mh]
-	switch st.status {
-	case core.StatusDisconnected:
-		return fmt.Errorf("rt: mh%d is disconnected and cannot send", int(mh))
-	case core.StatusInTransit:
-		s.waiters[mh] = append(s.waiters[mh], func() {
-			_ = s.sendFromMH(alg, mh, msg, cat)
-		})
-		return nil
-	case core.StatusConnected:
-		at := st.at
-		s.meter.Charge(cat, cost.KindWireless)
-		s.meter.WirelessTx(int(mh))
-		sender := core.From{MH: mh, IsMH: true}
-		s.transmit(pipeKey{kind: pipeUp, a: int(mh)}, s.cfg.Wireless, func() {
-			s.dispatchMSS(alg, at, sender, msg)
-		})
-		return nil
-	default:
-		panic(fmt.Sprintf("rt: mh%d in unknown status %d", int(mh), int(st.status)))
-	}
-}
-
-func (s *System) sendMHToMH(alg int, from, to core.MHID, msg core.Message, cat cost.Category) error {
-	s.checkMH(from)
-	s.checkMH(to)
-	st := &s.mh[from]
-	switch st.status {
-	case core.StatusDisconnected:
-		return fmt.Errorf("rt: mh%d is disconnected and cannot send", int(from))
-	case core.StatusInTransit:
-		s.waiters[from] = append(s.waiters[from], func() {
-			_ = s.sendMHToMH(alg, from, to, msg, cat)
-		})
-		return nil
-	case core.StatusConnected:
-		at := st.at
-		key := pairKey{from: from, to: to}
-		ps := s.pairState(key)
-		seq := ps.nextSeq
-		ps.nextSeq++
-		s.meter.Charge(cat, cost.KindWireless)
-		s.meter.WirelessTx(int(from))
-		opts := routeOpts{alg: alg, origin: at, cat: cat, pair: &key, seq: seq}
-		s.transmit(pipeKey{kind: pipeUp, a: int(from)}, s.cfg.Wireless, func() {
-			s.routeToMH(at, to, msg, opts, false)
-		})
-		return nil
-	default:
-		panic(fmt.Sprintf("rt: mh%d in unknown status %d", int(from), int(st.status)))
-	}
-}
-
-func (s *System) forwardViaMSS(origin, via core.MSSID, to core.MHID, msg core.Message, opts routeOpts) {
-	s.meter.Charge(opts.cat, cost.KindFixed)
-	s.transmit(pipeKey{kind: pipeWired, a: int(origin), b: int(via)}, s.cfg.Wired, func() {
-		cur := &s.mh[to]
-		if cur.status == core.StatusConnected && cur.at == via {
-			s.wirelessDown(via, to, msg, opts)
-			return
-		}
-		s.routeToMH(via, to, msg, opts, true)
-	})
-}
-
-func (s *System) sendToMHVia(alg int, from, via core.MSSID, to core.MHID, msg core.Message, cat cost.Category) {
-	s.checkMSS(from)
-	s.checkMSS(via)
-	s.checkMH(to)
-	s.forwardViaMSS(from, via, to, msg, routeOpts{alg: alg, origin: from, cat: cat})
-}
-
-func (s *System) sendMHViaMSS(alg int, from core.MHID, via core.MSSID, to core.MHID, msg core.Message, cat cost.Category) error {
-	s.checkMH(from)
-	s.checkMSS(via)
-	s.checkMH(to)
-	st := &s.mh[from]
-	switch st.status {
-	case core.StatusDisconnected:
-		return fmt.Errorf("rt: mh%d is disconnected and cannot send", int(from))
-	case core.StatusInTransit:
-		s.waiters[from] = append(s.waiters[from], func() {
-			_ = s.sendMHViaMSS(alg, from, via, to, msg, cat)
-		})
-		return nil
-	case core.StatusConnected:
-		at := st.at
-		s.meter.Charge(cat, cost.KindWireless)
-		s.meter.WirelessTx(int(from))
-		opts := routeOpts{alg: alg, origin: at, cat: cat}
-		s.transmit(pipeKey{kind: pipeUp, a: int(from)}, s.cfg.Wireless, func() {
-			s.forwardViaMSS(at, via, to, msg, opts)
-		})
-		return nil
-	default:
-		panic(fmt.Sprintf("rt: mh%d in unknown status %d", int(from), int(st.status)))
-	}
-}
-
-func (s *System) sendToMSSOfMH(alg int, from core.MSSID, mh core.MHID, msg core.Message, cat cost.Category) {
-	s.checkMSS(from)
-	s.checkMH(mh)
-	s.routeToMSSOfMH(from, mh, msg, routeOpts{alg: alg, origin: from, cat: cat}, false)
-}
-
-func (s *System) routeToMSSOfMH(via core.MSSID, mh core.MHID, msg core.Message, opts routeOpts, stale bool) {
-	st := &s.mh[mh]
-	switch st.status {
-	case core.StatusInTransit:
-		s.waiters[mh] = append(s.waiters[mh], func() {
-			s.routeToMSSOfMH(via, mh, msg, opts, stale)
-		})
-		return
-	case core.StatusDisconnected:
-		holder := st.at
-		s.chargeSearch(opts, stale)
-		s.meter.Charge(cost.CatControl, cost.KindFixed)
-		s.transmit(pipeKey{kind: pipeWired, a: int(holder), b: int(opts.origin)}, s.cfg.Wired, func() {
-			s.notifyFailure(opts.alg, opts.origin, mh, msg, core.FailDisconnected)
-		})
-		return
-	case core.StatusConnected:
-		target := st.at
-		sender := core.From{MSS: opts.origin}
-		if target == via {
-			if s.cfg.PessimisticSearch {
-				s.chargeSearch(opts, stale)
-			}
-			s.exec(func() { s.dispatchMSS(opts.alg, target, sender, msg) })
-			return
-		}
-		s.chargeSearch(opts, stale)
-		s.transmit(pipeKey{kind: pipeWired, a: int(via), b: int(target)}, s.cfg.Wired, func() {
-			cur := &s.mh[mh]
-			if cur.status == core.StatusConnected && cur.at == target {
-				s.dispatchMSS(opts.alg, target, sender, msg)
-				return
-			}
-			s.routeToMSSOfMH(target, mh, msg, opts, true)
-		})
-		return
-	default:
-		panic(fmt.Sprintf("rt: mh%d in unknown status %d", int(mh), int(st.status)))
 	}
 }
