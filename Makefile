@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz chaos tables
 
-ci: vet staticcheck build race bench-smoke
+ci: vet staticcheck build race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,13 @@ bench-smoke:
 # Short fuzz pass over the kernel heap oracle and scheduler invariants.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzKernelHeapOracle -fuzztime 30s ./internal/sim
+
+# Chaos conformance: the substrate-parity invariants re-run under seeded
+# fault plans (wireless loss, link flaps, MSS crash/restart) on both the
+# simulator and the live runtime, race detector on. See DESIGN.md §8.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count 1 ./internal/conformance/
+	$(GO) test -race -run 'Test' -count 1 ./internal/faults/
 
 # Regenerate the experiment tables (parallel driver, deterministic output).
 tables:

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mobiledist"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -57,5 +59,88 @@ func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// resetFaultPlan restores the process-wide fault-free default after a test
+// that runs with fault flags (run installs the plan globally).
+func resetFaultPlan(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { mobiledist.SetDefaultFaultPlan(nil) })
+}
+
+func TestRunNoFaultFlagsIsByteIdentical(t *testing.T) {
+	resetFaultPlan(t)
+	var plain, zeroed strings.Builder
+	if err := run([]string{"-seed", "3"}, &plain); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// All-zero fault flags build no plan, so the suite must not change at
+	// all: same tables, same bytes, no F1 appended.
+	if err := run([]string{"-seed", "3", "-drop", "0", "-dup", "0", "-reorder", "0", "-faultseed", "9"}, &zeroed); err != nil {
+		t.Fatalf("run with zero fault flags: %v", err)
+	}
+	if plain.String() != zeroed.String() {
+		t.Error("zero-valued fault flags changed the suite output")
+	}
+	if strings.Contains(plain.String(), "F1 —") {
+		t.Error("fault-free suite contains the F1 fault table")
+	}
+	if mobiledist.DefaultFaultPlan() != nil {
+		t.Error("fault-free run installed a default fault plan")
+	}
+}
+
+func TestRunLossPlanAppendsF1(t *testing.T) {
+	resetFaultPlan(t)
+	var out strings.Builder
+	if err := run([]string{"-seed", "1", "-drop", "0.3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "F1 —") {
+		t.Errorf("suite under loss is missing the F1 table:\n%s", text)
+	}
+	if !strings.Contains(text, "drop=0.30") {
+		t.Errorf("F1 note does not describe the plan:\n%s", text)
+	}
+}
+
+func TestRunCrashRequiresSingleExperiment(t *testing.T) {
+	resetFaultPlan(t)
+	var out strings.Builder
+	if err := run([]string{"-crash", "2:1:2500"}, &out); err == nil {
+		t.Error("crash plan accepted for the full suite")
+	}
+	out.Reset()
+	if err := run([]string{"-id", "F1", "-crash", "2:1:2500"}, &out); err != nil {
+		t.Fatalf("run -id F1 -crash: %v", err)
+	}
+	if !strings.Contains(out.String(), "token recovery armed") {
+		t.Errorf("F1 under a crash plan did not arm recovery:\n%s", out.String())
+	}
+}
+
+func TestBuildFaultPlan(t *testing.T) {
+	if p, err := buildFaultPlan(0, 0, 0, "", "", 7); err != nil || p != nil {
+		t.Errorf("all-default flags: got plan %v, err %v; want nil, nil", p, err)
+	}
+	p, err := buildFaultPlan(0.1, 0.2, 0, "1:50:400,2:10:20", "3:5:0", 7)
+	if err != nil {
+		t.Fatalf("buildFaultPlan: %v", err)
+	}
+	if p.Seed != 7 || p.Down.Drop != 0.1 || p.Up.Duplicate != 0.2 {
+		t.Errorf("loss rates not applied to both directions: %+v", p)
+	}
+	if len(p.Flaps) != 2 || p.Flaps[1].MSS != 2 || p.Flaps[1].From != 10 || p.Flaps[1].Until != 20 {
+		t.Errorf("flap specs misparsed: %+v", p.Flaps)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (mobiledist.Crash{MSS: 3, At: 5, RestartAt: 0}) {
+		t.Errorf("crash specs misparsed: %+v", p.Crashes)
+	}
+	for _, bad := range []string{"1:2", "a:b:c", "1:-2:3", "1:2:3:4"} {
+		if _, err := buildFaultPlan(0, 0, 0, bad, "", 1); err == nil {
+			t.Errorf("flap spec %q accepted", bad)
+		}
 	}
 }

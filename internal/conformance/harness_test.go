@@ -15,6 +15,7 @@ import (
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
+	"mobiledist/internal/faults"
 	"mobiledist/internal/rt"
 )
 
@@ -40,6 +41,9 @@ type driver interface {
 	reconnect(mh core.MHID, at core.MSSID)
 	meter() *cost.Meter
 	stats() engine.Stats
+	// injector returns the fault injector, or nil on a fault-free driver.
+	// After start, touch it only inside do.
+	injector() *faults.Injector
 	stop()
 }
 
@@ -52,19 +56,28 @@ type simDriver struct {
 }
 
 func newSimDriver(m, n int) *simDriver {
-	return &simDriver{sys: core.MustNewSystem(core.DefaultConfig(m, n))}
+	return newSimFaultDriver(m, n, nil)
 }
 
-func (d *simDriver) name() string                                 { return "sim" }
-func (d *simDriver) registrar() core.Registrar                    { return d.sys }
-func (d *simDriver) start()                                       {}
-func (d *simDriver) do(fn func())                                 { fn() }
-func (d *simDriver) move(mh core.MHID, to core.MSSID)             { _ = d.sys.Move(mh, to) }
-func (d *simDriver) disconnect(mh core.MHID)                      { _ = d.sys.Disconnect(mh) }
-func (d *simDriver) reconnect(mh core.MHID, at core.MSSID)        { _ = d.sys.Reconnect(mh, at, true) }
-func (d *simDriver) meter() *cost.Meter                           { return d.sys.Meter() }
-func (d *simDriver) stats() engine.Stats                          { return d.sys.Stats() }
-func (d *simDriver) stop()                                        {}
+// newSimFaultDriver builds a simulator driver running under plan (nil for
+// fault-free).
+func newSimFaultDriver(m, n int, plan *core.FaultPlan) *simDriver {
+	cfg := core.DefaultConfig(m, n)
+	cfg.Faults = plan
+	return &simDriver{sys: core.MustNewSystem(cfg)}
+}
+
+func (d *simDriver) name() string                          { return "sim" }
+func (d *simDriver) registrar() core.Registrar             { return d.sys }
+func (d *simDriver) start()                                {}
+func (d *simDriver) do(fn func())                          { fn() }
+func (d *simDriver) move(mh core.MHID, to core.MSSID)      { _ = d.sys.Move(mh, to) }
+func (d *simDriver) disconnect(mh core.MHID)               { _ = d.sys.Disconnect(mh) }
+func (d *simDriver) reconnect(mh core.MHID, at core.MSSID) { _ = d.sys.Reconnect(mh, at, true) }
+func (d *simDriver) meter() *cost.Meter                    { return d.sys.Meter() }
+func (d *simDriver) stats() engine.Stats                   { return d.sys.Stats() }
+func (d *simDriver) injector() *faults.Injector            { return d.sys.Injector() }
+func (d *simDriver) stop()                                 {}
 
 func (d *simDriver) pause(t *testing.T) {
 	t.Helper()
@@ -87,23 +100,33 @@ type liveDriver struct {
 
 func newLiveDriver(t *testing.T, m, n int) *liveDriver {
 	t.Helper()
-	sys, err := rt.NewSystem(rt.DefaultConfig(m, n))
+	return newLiveFaultDriver(t, m, n, nil)
+}
+
+// newLiveFaultDriver builds a live driver running under plan (nil for
+// fault-free).
+func newLiveFaultDriver(t *testing.T, m, n int, plan *core.FaultPlan) *liveDriver {
+	t.Helper()
+	cfg := rt.DefaultConfig(m, n)
+	cfg.Faults = plan
+	sys, err := rt.NewSystem(cfg)
 	if err != nil {
 		t.Fatalf("rt.NewSystem: %v", err)
 	}
 	return &liveDriver{sys: sys}
 }
 
-func (d *liveDriver) name() string                             { return "live" }
-func (d *liveDriver) registrar() core.Registrar                { return d.sys }
-func (d *liveDriver) start()                                   { d.sys.Start() }
-func (d *liveDriver) do(fn func())                             { d.sys.Do(fn) }
-func (d *liveDriver) move(mh core.MHID, to core.MSSID)         { d.sys.Move(mh, to) }
-func (d *liveDriver) disconnect(mh core.MHID)                  { d.sys.Disconnect(mh) }
-func (d *liveDriver) reconnect(mh core.MHID, at core.MSSID)    { d.sys.Reconnect(mh, at) }
-func (d *liveDriver) meter() *cost.Meter                       { return d.sys.Meter() }
-func (d *liveDriver) stats() engine.Stats                      { return d.sys.Stats() }
-func (d *liveDriver) stop()                                    { d.sys.Stop() }
+func (d *liveDriver) name() string                          { return "live" }
+func (d *liveDriver) registrar() core.Registrar             { return d.sys }
+func (d *liveDriver) start()                                { d.sys.Start() }
+func (d *liveDriver) do(fn func())                          { d.sys.Do(fn) }
+func (d *liveDriver) move(mh core.MHID, to core.MSSID)      { d.sys.Move(mh, to) }
+func (d *liveDriver) disconnect(mh core.MHID)               { d.sys.Disconnect(mh) }
+func (d *liveDriver) reconnect(mh core.MHID, at core.MSSID) { d.sys.Reconnect(mh, at) }
+func (d *liveDriver) meter() *cost.Meter                    { return d.sys.Meter() }
+func (d *liveDriver) stats() engine.Stats                   { return d.sys.Stats() }
+func (d *liveDriver) injector() *faults.Injector            { return d.sys.Injector() }
+func (d *liveDriver) stop()                                 { d.sys.Stop() }
 
 func (d *liveDriver) pause(t *testing.T) {
 	t.Helper()
@@ -121,13 +144,19 @@ func (d *liveDriver) settle(t *testing.T) {
 
 // forEachSubstrate runs scenario once per substrate as a subtest.
 func forEachSubstrate(t *testing.T, m, n int, scenario func(t *testing.T, d driver)) {
+	forEachSubstrateFaults(t, m, n, nil, scenario)
+}
+
+// forEachSubstrateFaults runs scenario once per substrate under the given
+// fault plan (nil for fault-free).
+func forEachSubstrateFaults(t *testing.T, m, n int, plan *core.FaultPlan, scenario func(t *testing.T, d driver)) {
 	t.Run("sim", func(t *testing.T) {
-		d := newSimDriver(m, n)
+		d := newSimFaultDriver(m, n, plan)
 		defer d.stop()
 		scenario(t, d)
 	})
 	t.Run("live", func(t *testing.T) {
-		d := newLiveDriver(t, m, n)
+		d := newLiveFaultDriver(t, m, n, plan)
 		defer d.stop()
 		scenario(t, d)
 	})

@@ -3,7 +3,21 @@ package core
 import (
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
+	"mobiledist/internal/faults"
 	"mobiledist/internal/sim"
+)
+
+// Fault-injection vocabulary, re-exported so drivers configure plans
+// without importing internal/faults directly.
+type (
+	// FaultPlan is a declarative fault schedule (see internal/faults).
+	FaultPlan = faults.Plan
+	// LinkFaults are per-transmission wireless fault probabilities.
+	LinkFaults = faults.LinkFaults
+	// Flap is a timed wireless outage of one cell.
+	Flap = faults.Flap
+	// Crash is a timed MSS failure (with optional restart).
+	Crash = faults.Crash
 )
 
 // Config describes a two-tier network instance driven by the deterministic
@@ -41,6 +55,21 @@ type Config struct {
 	// (mh i starts at MSS i mod M).
 	Placement func(mh MHID) MSSID
 
+	// Faults, when non-nil and non-empty, wraps the kernel substrate in a
+	// deterministic fault injector applying the plan (internal/faults) and
+	// implies ReliableWireless so algorithms keep the model's delivery
+	// guarantees under loss.
+	Faults *FaultPlan
+
+	// ReliableWireless enables the engine's stop-and-wait ARQ sublayer on
+	// the wireless channels even without a fault plan (see
+	// engine.Config.ReliableWireless). A non-empty Faults plan enables it
+	// regardless.
+	ReliableWireless bool
+	// ARQTimeout is the sublayer's initial retransmission timeout in ticks
+	// (0 derives a default from the wireless latency range).
+	ARQTimeout sim.Time
+
 	// StepLimit bounds total simulation events as a runaway-protocol
 	// backstop; 0 applies a generous default.
 	StepLimit uint64
@@ -50,6 +79,22 @@ type Config struct {
 	// debugging protocol runs; adds no cost charges.
 	Trace func(t sim.Time, event, detail string)
 }
+
+// defaultFaults is the plan DefaultConfig attaches to every new system;
+// nil (the normal state) means fault-free. See SetDefaultFaultPlan.
+var defaultFaults *FaultPlan
+
+// SetDefaultFaultPlan makes every DefaultConfig-built system run under the
+// given fault plan; nil restores fault-free defaults. It exists so table
+// generators (cmd/mobilexp's -drop/-dup/-flap/-crash flags) can regenerate
+// the whole experiment suite under one configurable unreliability setting
+// without threading a plan through every experiment constructor. Set it
+// during process setup, before building systems — not concurrently with
+// them.
+func SetDefaultFaultPlan(p *FaultPlan) { defaultFaults = p }
+
+// DefaultFaultPlan returns the plan DefaultConfig currently attaches.
+func DefaultFaultPlan() *FaultPlan { return defaultFaults }
 
 // DefaultConfig returns a paper-faithful configuration for m stations and
 // n mobile hosts.
@@ -64,12 +109,19 @@ func DefaultConfig(m, n int) Config {
 		Travel:            Delay{Min: 10, Max: 50},
 		SearchMode:        SearchAbstract,
 		PessimisticSearch: true,
+		Faults:            defaultFaults,
 	}
 }
 
 // engineConfig projects the simulator configuration onto the shared engine's
-// substrate-independent parameters.
+// substrate-independent parameters. A non-empty fault plan forces the ARQ
+// sublayer on: without it, injected loss would silently void the model's
+// FIFO and prefix-delivery guarantees.
 func (c Config) engineConfig() engine.Config {
+	reliable := c.ReliableWireless
+	if c.Faults != nil && !c.Faults.Empty() {
+		reliable = true
+	}
 	return engine.Config{
 		M:                 c.M,
 		N:                 c.N,
@@ -79,6 +131,8 @@ func (c Config) engineConfig() engine.Config {
 		Travel:            c.Travel,
 		SearchMode:        c.SearchMode,
 		PessimisticSearch: c.PessimisticSearch,
+		ReliableWireless:  reliable,
+		ARQTimeout:        c.ARQTimeout,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
 	}

@@ -5,6 +5,7 @@ import (
 
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
+	"mobiledist/internal/faults"
 	"mobiledist/internal/sim"
 )
 
@@ -45,9 +46,12 @@ type System struct {
 	cfg    Config
 	kernel *sim.Kernel
 	eng    *engine.Engine
+	inj    *faults.Injector
 }
 
 // NewSystem builds a system from cfg, placing every MH in its initial cell.
+// A non-empty cfg.Faults plan interposes the deterministic fault injector
+// between the engine and the kernel substrate.
 func NewSystem(cfg Config) (*System, error) {
 	k := sim.NewKernel(cfg.Seed)
 	limit := cfg.StepLimit
@@ -55,13 +59,23 @@ func NewSystem(cfg Config) (*System, error) {
 		limit = defaultStepLimit
 	}
 	k.SetStepLimit(limit)
-	sub := &simSubstrate{kernel: k}
+	raw := &simSubstrate{kernel: k}
+	var sub engine.Substrate = raw
+	var inj *faults.Injector
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		var err error
+		inj, err = faults.New(*cfg.Faults, cfg.M, cfg.N, raw)
+		if err != nil {
+			return nil, err
+		}
+		sub = inj
+	}
 	eng, err := engine.New(cfg.engineConfig(), sub)
 	if err != nil {
 		return nil, err
 	}
-	sub.fifo = engine.NewFIFOClock(engine.ChannelCount(cfg.M, cfg.N))
-	return &System{cfg: cfg, kernel: k, eng: eng}, nil
+	raw.fifo = engine.NewFIFOClock(engine.ChannelCount(cfg.M, cfg.N))
+	return &System{cfg: cfg, kernel: k, eng: eng, inj: inj}, nil
 }
 
 // MustNewSystem is NewSystem panicking on configuration errors; intended for
@@ -85,6 +99,10 @@ func (s *System) Engine() *engine.Engine { return s.eng }
 
 // Kernel exposes the underlying event kernel (for workload drivers).
 func (s *System) Kernel() *sim.Kernel { return s.kernel }
+
+// Injector exposes the fault injector, or nil when the system runs
+// fault-free (no plan, or an empty one).
+func (s *System) Injector() *faults.Injector { return s.inj }
 
 // Meter exposes the cost meter.
 func (s *System) Meter() *cost.Meter { return s.eng.Meter() }

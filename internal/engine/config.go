@@ -55,6 +55,20 @@ type Config struct {
 	// false, search is charged only for genuinely non-local destinations.
 	PessimisticSearch bool
 
+	// ReliableWireless interposes a stop-and-wait ARQ sublayer (per-channel
+	// sequence numbers, ack/timeout/retransmit with capped exponential
+	// backoff, receiver-side dedup) on the wireless up/downlinks, so
+	// algorithms keep the model's FIFO + prefix-delivery semantics when the
+	// substrate underneath loses, duplicates, or reorders wireless frames.
+	// Wired MSS-to-MSS channels stay lossless per the model and are not
+	// touched. Off by default: over reliable channels the sublayer would
+	// only add traffic and perturb seeded runs.
+	ReliableWireless bool
+	// ARQTimeout is the initial retransmission timeout in ticks; each retry
+	// doubles it up to 8x. 0 derives a default from the wireless latency
+	// range (enough for a data frame plus its ack at maximum latency).
+	ARQTimeout sim.Time
+
 	// Placement maps each MH to its initial cell. Nil means round-robin
 	// (mh i starts at MSS i mod M).
 	Placement func(mh MHID) MSSID
@@ -84,6 +98,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Travel.Validate("travel"); err != nil {
 		return err
+	}
+	if c.ARQTimeout < 0 {
+		return fmt.Errorf("engine: ARQTimeout must be >= 0, got %d", c.ARQTimeout)
 	}
 	switch c.SearchMode {
 	case SearchAbstract, SearchBroadcast:

@@ -77,6 +77,11 @@ type Context interface {
 	// IsDisconnectedHere reports whether mss holds the "disconnected" flag
 	// for mh (i.e. mh disconnected while in mss's cell).
 	IsDisconnectedHere(mss MSSID, mh MHID) bool
+
+	// NoteTokenRegeneration records one recovery-elected token
+	// regeneration in the model Stats (Stats.TokenRegenerations), so
+	// experiments can surface recovery activity next to the cost columns.
+	NoteTokenRegeneration()
 }
 
 // algContext is the Context handed to one registered algorithm. It is the
@@ -151,4 +156,8 @@ func (c *algContext) IsDisconnectedHere(mss MSSID, mh MHID) bool {
 	c.e.checkMSS(mss)
 	c.e.checkMH(mh)
 	return c.e.mss[mss].disconnected[mh]
+}
+
+func (c *algContext) NoteTokenRegeneration() {
+	c.e.stats.TokenRegenerations++
 }

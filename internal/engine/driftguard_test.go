@@ -5,6 +5,7 @@ import (
 	"go/parser"
 	"go/token"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -39,17 +40,17 @@ var forbiddenAdapterDecls = map[string]string{
 	"notifyDisconnect":    "mobility observer dispatch is engine-owned",
 	"notifyFailure":       "delivery-failure dispatch is engine-owned",
 	// dispatch and state
-	"dispatchMSS":       "handler dispatch is engine-owned",
-	"dispatchMH":        "handler dispatch is engine-owned",
-	"localMHs":          "cell membership state is engine-owned",
-	"mssState":          "MSS registry state is engine-owned",
-	"mhState":           "MH status machine state is engine-owned",
-	"pairKey":           "per-pair FIFO state is engine-owned",
-	"pairState":         "per-pair FIFO state is engine-owned",
-	"deferredDelivery":  "per-pair FIFO state is engine-owned",
-	"sortedMHs":         "sorted-slice membership is engine-owned",
-	"routeOpts":         "routing context is engine-owned",
-	"waiters":           "in-transit waiter queues are engine-owned",
+	"dispatchMSS":      "handler dispatch is engine-owned",
+	"dispatchMH":       "handler dispatch is engine-owned",
+	"localMHs":         "cell membership state is engine-owned",
+	"mssState":         "MSS registry state is engine-owned",
+	"mhState":          "MH status machine state is engine-owned",
+	"pairKey":          "per-pair FIFO state is engine-owned",
+	"pairState":        "per-pair FIFO state is engine-owned",
+	"deferredDelivery": "per-pair FIFO state is engine-owned",
+	"sortedMHs":        "sorted-slice membership is engine-owned",
+	"routeOpts":        "routing context is engine-owned",
+	"waiters":          "in-transit waiter queues are engine-owned",
 	// per-channel FIFO bookkeeping (substrates use FIFOClock or pipes)
 	"fifoWired": "FIFO arrival clamping lives in engine.FIFOClock",
 	"fifoDown":  "FIFO arrival clamping lives in engine.FIFOClock",
@@ -83,6 +84,76 @@ func TestSubstrateAdaptersDoNotRedeclareEngineLogic(t *testing.T) {
 			checkDecls(t, fset, f)
 		}
 	}
+}
+
+// faultInjectorAllowedEngineRefs is the complete engine surface the fault
+// injector (internal/faults) may touch: the Substrate seam it wraps, the
+// channel-numbering decoder, the loss-reporting types, and the public model
+// vocabulary. Anything else — routing, mobility, FIFO bookkeeping, ARQ —
+// is engine-internal, and an injector reaching for it is drifting from a
+// substrate wrapper into a second protocol implementation.
+var faultInjectorAllowedEngineRefs = map[string]bool{
+	"Substrate":     true,
+	"ChannelLayout": true,
+	"ChannelKind":   true,
+	"ChannelWired":  true,
+	"ChannelDown":   true,
+	"ChannelUp":     true,
+	"ChannelCount":  true,
+	"FaultStats":    true,
+	"FaultReporter": true,
+	"MSSID":         true,
+	"MHID":          true,
+	"Delay":         true,
+}
+
+// TestFaultInjectorUsesOnlyTheSubstrateSeam fails if internal/faults
+// references any engine identifier outside the allowlist above: the
+// injector must observe and disturb traffic purely through the Substrate
+// interface and the channel-layout decoder, never by reaching into engine
+// internals.
+func TestFaultInjectorUsesOnlyTheSubstrateSeam(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("../faults", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no Go sources found in ../faults")
+	}
+	for _, file := range files {
+		if isTestFile(file) {
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "engine" || pkg.Obj != nil {
+				return true
+			}
+			if !faultInjectorAllowedEngineRefs[sel.Sel.Name] {
+				t.Errorf("%s: references engine.%s — the fault injector may only use the Substrate seam (%v)",
+					fset.Position(sel.Pos()), sel.Sel.Name, sortedAllowedRefs())
+			}
+			return true
+		})
+	}
+}
+
+func sortedAllowedRefs() []string {
+	out := make([]string, 0, len(faultInjectorAllowedEngineRefs))
+	for name := range faultInjectorAllowedEngineRefs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func isTestFile(path string) bool {

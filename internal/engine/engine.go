@@ -70,6 +70,19 @@ type Stats struct {
 	// notification to the sender, plus deferred MH sends dropped because the
 	// MH disconnected before they could replay.
 	FailedDeliveries int64
+	// WirelessDrops counts wireless transmissions destroyed in flight by an
+	// injecting substrate (random loss, link flaps, a crashed station's
+	// radio); folded in from the substrate's FaultStats.
+	WirelessDrops int64
+	// Retransmits counts ARQ retransmissions after ack timeouts
+	// (Config.ReliableWireless).
+	Retransmits int64
+	// DuplicatesSuppressed counts wireless frames the ARQ receiver
+	// discarded as already-accepted duplicates.
+	DuplicatesSuppressed int64
+	// TokenRegenerations counts recovery elections that regenerated a lost
+	// token, reported by algorithms via Context.NoteTokenRegeneration.
+	TokenRegenerations int64
 }
 
 // Engine is the substrate-independent driver of the two-tier model. Exactly
@@ -93,6 +106,10 @@ type Engine struct {
 	// pairs is the per-ordered-(MH,MH)-pair FIFO reorder state for
 	// SendMHToMH traffic.
 	pairs map[pairKey]*pairState
+
+	// arq is the reliable-wireless sublayer; nil unless
+	// Config.ReliableWireless (see arq.go).
+	arq *arq
 
 	stats Stats
 }
@@ -135,6 +152,9 @@ func New(cfg Config, sub Substrate) (*Engine, error) {
 		e.mh[i] = mhState{status: StatusConnected, at: at}
 		e.mss[at].local.add(MHID(i))
 	}
+	if cfg.ReliableWireless {
+		e.arq = newARQ(e)
+	}
 	return e, nil
 }
 
@@ -158,12 +178,17 @@ func (e *Engine) Meter() *cost.Meter { return e.meter }
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns a copy of the model-level counters.
+// Stats returns a copy of the model-level counters. If the substrate
+// injects faults (implements FaultReporter), its loss accounting is folded
+// in, so callers see drops without knowing the injector's type.
 func (e *Engine) Stats() Stats {
 	cp := e.stats
 	cp.DozeInterruptionsByMH = make(map[MHID]int64, len(e.stats.DozeInterruptionsByMH))
 	for k, v := range e.stats.DozeInterruptionsByMH {
 		cp.DozeInterruptionsByMH[k] = v
+	}
+	if fr, ok := e.sub.(FaultReporter); ok {
+		cp.WirelessDrops = fr.FaultStats().WirelessDrops
 	}
 	return cp
 }
@@ -220,13 +245,25 @@ func (e *Engine) transmitWired(from, to MSSID, deliver func()) {
 	e.sub.Transmit(e.chanWired(from, to), e.delay(e.cfg.Wired), deliver)
 }
 
-// transmitDown sends deliver over the (mss, mh) wireless downlink.
+// transmitDown sends deliver over the (mss, mh) wireless downlink, through
+// the ARQ sublayer when the wireless network is unreliable. Every caller's
+// deliver closure re-checks MH presence at delivery time, so retransmitted
+// frames keep the prefix semantics unchanged.
 func (e *Engine) transmitDown(mss MSSID, mh MHID, deliver func()) {
+	if e.arq != nil {
+		e.arq.send(e.chanDown(mss, mh), e.chanUp(mh), deliver)
+		return
+	}
 	e.sub.Transmit(e.chanDown(mss, mh), e.delay(e.cfg.Wireless), deliver)
 }
 
-// transmitUp sends deliver over mh's wireless uplink.
+// transmitUp sends deliver over mh's wireless uplink. Under ARQ, acks come
+// back on the downlink of the cell the MH occupies at send time.
 func (e *Engine) transmitUp(mh MHID, deliver func()) {
+	if e.arq != nil {
+		e.arq.send(e.chanUp(mh), e.chanDown(e.mh[mh].at, mh), deliver)
+		return
+	}
 	e.sub.Transmit(e.chanUp(mh), e.delay(e.cfg.Wireless), deliver)
 }
 

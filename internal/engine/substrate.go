@@ -36,6 +36,70 @@ type Substrate interface {
 // a substrate can size flat per-channel state once at construction.
 func ChannelCount(m, n int) int { return m*m + m*n + n }
 
+// ChannelKind classifies a flat channel id.
+type ChannelKind int
+
+// Channel kinds, in flat-numbering order.
+const (
+	// ChannelWired is an ordered MSS-to-MSS wired channel.
+	ChannelWired ChannelKind = iota + 1
+	// ChannelDown is an MSS-to-MH wireless downlink.
+	ChannelDown
+	// ChannelUp is an MH uplink (to whichever MSS serves its current cell).
+	ChannelUp
+)
+
+// ChannelLayout decodes the engine's flat channel numbering for an (m, n)
+// network. It is the classification surface for transport-level tooling
+// that wraps a Substrate (the fault injector): such tooling must depend on
+// nothing of the engine beyond Substrate, ChannelCount and this decoder.
+type ChannelLayout struct{ M, N int }
+
+// Count returns ChannelCount(l.M, l.N).
+func (l ChannelLayout) Count() int { return ChannelCount(l.M, l.N) }
+
+// Decode classifies ch. For ChannelWired, a and b are the source and
+// destination MSS ids; for ChannelDown, a is the MSS and b the MH; for
+// ChannelUp, a is -1 (the receiving MSS depends on where the MH is) and b
+// is the MH.
+func (l ChannelLayout) Decode(ch int) (kind ChannelKind, a, b int) {
+	wired := l.M * l.M
+	down := wired + l.M*l.N
+	switch {
+	case ch < wired:
+		return ChannelWired, ch / l.M, ch % l.M
+	case ch < down:
+		rel := ch - wired
+		return ChannelDown, rel / l.N, rel % l.N
+	default:
+		return ChannelUp, -1, ch - down
+	}
+}
+
+// FaultStats are the counters a fault-injecting Substrate wrapper keeps
+// about the transmissions it disturbed. Engine.Stats folds them into the
+// model-level Stats so experiments observe loss without the engine knowing
+// the injector's type.
+type FaultStats struct {
+	// WirelessDrops counts wireless transmissions destroyed in flight
+	// (random loss, a flapped link, or a crashed station's radio).
+	WirelessDrops int64
+	// WirelessDuplicates counts extra wireless copies injected.
+	WirelessDuplicates int64
+	// WirelessReorders counts wireless deliveries released out of FIFO
+	// order.
+	WirelessReorders int64
+	// CrashDiscards counts wired transmissions discarded because the
+	// sending or receiving MSS was crashed.
+	CrashDiscards int64
+}
+
+// FaultReporter is implemented by substrates (or substrate wrappers) that
+// inject faults and account for them.
+type FaultReporter interface {
+	FaultStats() FaultStats
+}
+
 // Flat channel numbering. The zero-allocation arithmetic here is the
 // per-message replacement for hashing a (kind, a, b) key.
 func (e *Engine) chanWired(from, to MSSID) int {

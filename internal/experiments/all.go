@@ -92,6 +92,10 @@ func ByID(id string, seed uint64) (Table, bool) {
 		"A2":  A2Crossover,
 		"A3":  A3LazyInform,
 		"A4":  A4MulticastHandoff,
+		// F1 is addressable but not part of the default suite: its content
+		// depends on the process-wide default fault plan, and the fault-free
+		// tables must stay byte-identical with or without it compiled in.
+		"F1": F1Unreliability,
 	}
 	fn, ok := funcs[id]
 	if !ok {

@@ -27,6 +27,15 @@
 // The station-side watermark machinery guarantees at-least-once delivery
 // under arbitrary mobility; the member-side filter turns that into
 // exactly-once, in sequence order, end to end.
+//
+// One retry loop in the protocol is bounded rather than eternal: a
+// watermark rollback chasing a member that keeps disconnecting is retried
+// at most maxRollbackTries times before the group gives up on that chase
+// and counts it in LostRollbacks. The bound loses nothing silently — the
+// abandoned member's watermark is simply not rolled back, so the entry is
+// redelivered through the ordinary failure path when the member next
+// reconnects and a delivery is attempted; the counter exists so tests and
+// operators can see how often the pathological chase was cut short.
 package multicast
 
 import (
@@ -35,6 +44,16 @@ import (
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
 )
+
+// maxRollbackTries bounds how often a bounced watermark rollback is
+// re-sent after a member re-disconnects mid-chase. Past the bound the
+// rollback is abandoned and counted in LostRollbacks (see the package
+// comment for why this is safe).
+const maxRollbackTries = 5
+
+// rollbackRetryDelay is how long a bounced rollback waits before chasing
+// the member again.
+const rollbackRetryDelay = 500
 
 // Options configure a multicast group.
 type Options struct {
@@ -368,11 +387,12 @@ func (g *Multicast) OnDisconnect(core.Context, core.MSSID, core.MHID) {}
 func (g *Multicast) OnDeliveryFailure(ctx core.Context, at core.MSSID, mh core.MHID, msg core.Message, _ core.FailReason) {
 	if rb, ok := msg.(mcStateRollback); ok {
 		// The rollback itself bounced off a re-disconnected member: retry a
-		// few times; if the member stays away, nothing is owed until it
-		// reconnects, at which point a fresh failure path repeats this.
-		if rb.Tries < 5 {
+		// bounded number of times; if the member stays away, nothing is
+		// owed until it reconnects, at which point a fresh failure path
+		// repeats this.
+		if rb.Tries < maxRollbackTries {
 			rb.Tries++
-			ctx.After(500, func() {
+			ctx.After(rollbackRetryDelay, func() {
 				ctx.SendToMSSOfMH(at, mh, rb, cost.CatLocation)
 			})
 		} else {

@@ -34,6 +34,10 @@ type Options struct {
 	OnEnter func(mh core.MHID)
 	// OnExit fires when mh leaves the critical section.
 	OnExit func(mh core.MHID)
+	// Recovery, when non-nil, enables token-loss detection and regeneration
+	// for the R2 family (see TokenRecovery). R1 ignores it: the paper's
+	// remedy for R1 is ring repair, not token election.
+	Recovery *TokenRecovery
 }
 
 // r1Token is the circulating token of algorithm R1.

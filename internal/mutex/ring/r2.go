@@ -5,6 +5,7 @@ import (
 
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
+	"mobiledist/internal/sim"
 )
 
 // Variant selects among the paper's R2 family.
@@ -51,6 +52,10 @@ type tokenPair struct {
 type r2Token struct {
 	Val  int64
 	List []tokenPair
+	// Gen is the recovery generation (see r2recovery.go). Tokens below a
+	// station's generation floor are stale and dropped. Always 0 when
+	// Options.Recovery is nil.
+	Gen int64
 }
 
 // Protocol messages of the R2 family.
@@ -94,6 +99,13 @@ type r2MSSState struct {
 	// servicing is the MH currently holding the token out of this MSS.
 	servicing   core.MHID
 	isServicing bool
+
+	// Recovery state (r2recovery.go). gen is the station's generation floor
+	// — the only field NoteRestart preserves (stable storage). lastSeen and
+	// lastVal record the station's freshest token sighting for probe rounds.
+	gen      int64
+	lastSeen sim.Time
+	lastVal  int64
 }
 
 type r2MHState struct {
@@ -125,6 +137,19 @@ type R2 struct {
 	maxRounds    int64
 	started      bool
 	parked       bool
+
+	// Recovery counters and the monitor's current probe-round state
+	// (r2recovery.go). Round state is scalar, not per-station: only one
+	// monitor exists at a time and a fresh round supersedes a stale one via
+	// the nonce.
+	regens      int64
+	staleTokens int64
+	monNonce    int64
+	monPending  int
+	monSawToken bool
+	monMaxSeen  sim.Time
+	monMaxGen   int64
+	monMaxVal   int64
 }
 
 var (
@@ -178,6 +203,7 @@ func (a *R2) Start() error {
 		return fmt.Errorf("ring: %s already started", a.variant)
 	}
 	a.started = true
+	a.armProbes()
 	a.tokenArrives(0, r2Token{})
 	return nil
 }
@@ -215,8 +241,30 @@ func (a *R2) HandleMSS(ctx core.Context, at core.MSSID, from core.From, msg core
 		// Relay the token back to the owning MSS over the fixed network;
 		// charged unconditionally (Cwireless + Cfixed in the paper).
 		ctx.SendFixed(at, m.Owner, r2ReturnRelay{MH: m.MH}, cost.CatAlgorithm)
+	case r2Probe:
+		ctx.SendFixed(at, m.Origin, r2ProbeReply{
+			Nonce:    m.Nonce,
+			HasToken: st.holding || st.isServicing,
+			LastSeen: st.lastSeen,
+			Gen:      st.gen,
+			Val:      st.lastVal,
+		}, cost.CatControl)
+	case r2ProbeReply:
+		a.probeReply(at, m)
+	case r2NewGen:
+		if m.Gen > st.gen {
+			st.gen = m.Gen
+		}
 	case r2ReturnRelay:
 		if !st.isServicing || st.servicing != m.MH {
+			if a.opts.Recovery != nil {
+				// The station crashed and restarted while this grant was
+				// out: its servicing state is gone, and the returning token
+				// belongs to a superseded generation. Drop it; if it was
+				// somehow the live token, the probe timeout regenerates it.
+				a.staleTokens++
+				return
+			}
 			panic(fmt.Sprintf("ring: mss%d got token return from mh%d while not servicing it", int(at), int(m.MH)))
 		}
 		st.isServicing = false
@@ -266,6 +314,11 @@ func (a *R2) OnDeliveryFailure(ctx core.Context, at core.MSSID, mh core.MHID, ms
 	}
 	st := &a.mss[at]
 	if !st.isServicing || st.servicing != mh {
+		if a.opts.Recovery != nil {
+			// Servicing state was wiped by a crash/restart; the failed grant
+			// belongs to a superseded token. Nothing left to resume.
+			return
+		}
 		panic(fmt.Sprintf("ring: mss%d got grant failure for mh%d while not servicing it", int(at), int(mh)))
 	}
 	st.isServicing = false
@@ -298,6 +351,16 @@ func (a *R2) OnDisconnect(core.Context, core.MSSID, core.MHID) {}
 // tokenArrives processes a token arrival at MSS at.
 func (a *R2) tokenArrives(at core.MSSID, tok r2Token) {
 	st := &a.mss[at]
+	if tok.Gen < st.gen {
+		// A token from before the last regeneration resurfaced (e.g. it was
+		// in flight into a station that crashed and later restarted). The
+		// generation floor retires it.
+		a.staleTokens++
+		return
+	}
+	a.checkSingleToken(at, tok)
+	st.gen = tok.Gen
+	st.lastSeen = a.ctx.Now()
 	if at == 0 {
 		// Arriving back at the ring origin completes a traversal.
 		tok.Val++
@@ -313,6 +376,7 @@ func (a *R2) tokenArrives(at core.MSSID, tok r2Token) {
 	}
 	st.holding = true
 	st.token = tok
+	st.lastVal = tok.Val
 	if a.variant == VariantList {
 		// Discard this MSS's pairs: h's next request here is serviceable
 		// only after the token has visited every other MSS.
@@ -373,10 +437,11 @@ func (a *R2) serviceNext(at core.MSSID) {
 		a.ctx.SendToMH(at, next.MH, r2Grant{Owner: at, Val: st.token.Val}, cost.CatAlgorithm)
 		return
 	}
-	// Grant queue drained: transfer the token to the ring successor.
+	// Grant queue drained: transfer the token to the ring successor —
+	// skipping stations the failure detector currently suspects, so the
+	// token is not knowingly handed into a dead cell.
 	st.holding = false
 	tok := st.token
 	st.token = r2Token{}
-	next := core.MSSID((int(at) + 1) % a.ctx.M())
-	a.ctx.SendFixed(at, next, tok, cost.CatAlgorithm)
+	a.ctx.SendFixed(at, a.nextLive(at), tok, cost.CatAlgorithm)
 }

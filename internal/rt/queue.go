@@ -3,14 +3,31 @@ package rt
 import "sync"
 
 // taskQueue is an unbounded FIFO work queue feeding the executor
-// goroutine. Unboundedness is deliberate: producers are transport
-// goroutines that must never block on the executor (a bounded channel
-// could deadlock the executor against its own deliveries).
+// goroutine, and the runtime's single source of truth for quiescence.
+// Unboundedness is deliberate: producers are transport goroutines that
+// must never block on the executor (a bounded channel could deadlock the
+// executor against its own deliveries).
+//
+// Idle tracking lives here, under the queue mutex, so "idle" is an exact
+// predicate evaluated atomically: no task queued, no task running, and no
+// asynchronous operation (timer or transmission) in flight. Every async op
+// brackets itself with opStart/opDone *before* leaving the executor, so
+// there is no instant where pending work is invisible to the predicate.
+// WaitIdle waiters park on a channel that closes the moment the predicate
+// becomes true — a condition-signaled drain, not a poll.
 type taskQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []func()
 	closed bool
+
+	// running is true while the executor is inside a task (set by pop,
+	// cleared by done).
+	running bool
+	// inflight counts asynchronous operations bracketed by opStart/opDone.
+	inflight int64
+	// waiters are WaitIdle channels closed on the next transition to idle.
+	idleWaiters []chan struct{}
 }
 
 func newTaskQueue() *taskQueue {
@@ -32,7 +49,8 @@ func (q *taskQueue) push(fn func()) bool {
 }
 
 // pop dequeues the next task, blocking until one is available or the queue
-// closes. It reports false when closed and drained.
+// closes, and marks the executor busy. The caller must invoke done after
+// running the task. It reports false when closed and drained.
 func (q *taskQueue) pop() (func(), bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -44,7 +62,58 @@ func (q *taskQueue) pop() (func(), bool) {
 	}
 	fn := q.items[0]
 	q.items = q.items[1:]
+	q.running = true
 	return fn, true
+}
+
+// done marks the executor idle again after a task returns.
+func (q *taskQueue) done() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.running = false
+	q.notifyLocked()
+}
+
+// opStart registers one asynchronous operation for idle tracking.
+func (q *taskQueue) opStart() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight++
+}
+
+// opDone resolves one asynchronous operation.
+func (q *taskQueue) opDone() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight--
+	q.notifyLocked()
+}
+
+// idleWait reports idleness: (nil, true) if the network is drained right
+// now, else a channel that closes on the next transition to idle.
+func (q *taskQueue) idleWait() (<-chan struct{}, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.idleLocked() {
+		return nil, true
+	}
+	ch := make(chan struct{})
+	q.idleWaiters = append(q.idleWaiters, ch)
+	return ch, false
+}
+
+func (q *taskQueue) idleLocked() bool {
+	return !q.running && q.inflight == 0 && len(q.items) == 0
+}
+
+func (q *taskQueue) notifyLocked() {
+	if !q.idleLocked() {
+		return
+	}
+	for _, ch := range q.idleWaiters {
+		close(ch)
+	}
+	q.idleWaiters = nil
 }
 
 // close marks the queue closed and wakes the consumer. Queued tasks are
@@ -54,11 +123,5 @@ func (q *taskQueue) close() {
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
-}
-
-// len reports the number of queued tasks.
-func (q *taskQueue) len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
+	q.notifyLocked()
 }

@@ -27,12 +27,12 @@ package rt
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
+	"mobiledist/internal/faults"
 	"mobiledist/internal/sim"
 )
 
@@ -57,6 +57,16 @@ type Config struct {
 	SearchMode core.SearchMode
 	// PessimisticSearch mirrors core.Config.PessimisticSearch.
 	PessimisticSearch bool
+	// Faults, when non-nil and non-empty, wraps the live substrate in the
+	// deterministic fault injector (internal/faults) and implies
+	// ReliableWireless. Fault windows are in ticks of virtual time.
+	Faults *core.FaultPlan
+	// ReliableWireless enables the engine's ARQ sublayer on the wireless
+	// channels even without a fault plan.
+	ReliableWireless bool
+	// ARQTimeout is the sublayer's initial retransmission timeout in ticks
+	// (0 derives a default from the wireless latency range).
+	ARQTimeout sim.Time
 	// Placement maps each MH to its initial cell (nil: round-robin).
 	Placement func(core.MHID) core.MSSID
 	// Trace, when non-nil, receives one line per model-level event. It is
@@ -87,6 +97,10 @@ func (c Config) engineConfig() engine.Config {
 	if mode == 0 {
 		mode = core.SearchAbstract
 	}
+	reliable := c.ReliableWireless
+	if c.Faults != nil && !c.Faults.Empty() {
+		reliable = true
+	}
 	return engine.Config{
 		M:                 c.M,
 		N:                 c.N,
@@ -96,6 +110,8 @@ func (c Config) engineConfig() engine.Config {
 		Travel:            c.Travel,
 		SearchMode:        mode,
 		PessimisticSearch: c.PessimisticSearch,
+		ReliableWireless:  reliable,
+		ARQTimeout:        c.ARQTimeout,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
 	}
@@ -109,13 +125,12 @@ type System struct {
 	cfg Config
 	eng *engine.Engine
 	rng *sim.RNG // executor-only
+	inj *faults.Injector
 
 	tasks    *taskQueue
 	stopped  chan struct{}
 	execDone chan struct{}
 	started  bool
-
-	inflight atomic.Int64
 
 	pipesMu sync.Mutex
 	pipes   map[int]chan delivery
@@ -151,7 +166,9 @@ func (l *liveSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
 
 func (l *liveSubstrate) RNG() *sim.RNG { return l.s.rng }
 
-// NewSystem builds a live system from cfg.
+// NewSystem builds a live system from cfg. A non-empty cfg.Faults plan
+// interposes the deterministic fault injector between the engine and the
+// goroutine substrate.
 func NewSystem(cfg Config) (*System, error) {
 	if cfg.Tick <= 0 {
 		cfg.Tick = 50 * time.Microsecond
@@ -164,7 +181,16 @@ func NewSystem(cfg Config) (*System, error) {
 		execDone: make(chan struct{}),
 		pipes:    make(map[int]chan delivery),
 	}
-	eng, err := engine.New(cfg.engineConfig(), &liveSubstrate{s: s})
+	var sub engine.Substrate = &liveSubstrate{s: s}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		inj, err := faults.New(*cfg.Faults, cfg.M, cfg.N, sub)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+		sub = inj
+	}
+	eng, err := engine.New(cfg.engineConfig(), sub)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +209,10 @@ func (s *System) Register(alg core.Algorithm) core.Context {
 // Engine exposes the shared network engine (for conformance tests and
 // cross-substrate tooling). Access it only via Do after Start.
 func (s *System) Engine() *engine.Engine { return s.eng }
+
+// Injector exposes the fault injector, or nil when the system runs
+// fault-free. After Start, access it only via Do.
+func (s *System) Injector() *faults.Injector { return s.inj }
 
 // Meter returns the cost meter. Read it only after WaitIdle or Stop.
 func (s *System) Meter() *cost.Meter { return s.eng.Meter() }
@@ -223,6 +253,7 @@ func (s *System) Start() {
 				return
 			}
 			fn()
+			s.tasks.done()
 		}
 	}()
 }
@@ -243,24 +274,34 @@ func (s *System) Do(fn func()) {
 	<-done
 }
 
-// WaitIdle blocks until no operations are in flight and the task queue has
-// stayed empty for a settle window, or the timeout elapses. It reports
-// whether the network drained.
+// WaitIdle blocks until the network drains — no task queued, no task
+// running, no timer or transmission in flight — or the timeout elapses,
+// reporting whether it drained. Idle detection is condition-signaled by
+// the task queue's exact quiescence predicate, not a poll: the waiter
+// parks on a channel the executor closes on the transition to idle, so
+// long fault windows cost no CPU and wake-up is immediate.
 func (s *System) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
-	settle := 0
-	for time.Now().Before(deadline) {
-		if s.inflight.Load() == 0 && s.tasks.len() == 0 {
-			settle++
-			if settle >= 5 {
-				return true
-			}
-		} else {
-			settle = 0
+	for {
+		ch, idle := s.tasks.idleWait()
+		if idle {
+			return true
 		}
-		time.Sleep(2 * s.cfg.Tick)
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+			// Loop to re-evaluate: the idle instant is genuine (the
+			// predicate held under the queue lock), but re-checking is free
+			// and guards against new external work between wake and return.
+		case <-t.C:
+			return false
+		}
 	}
-	return false
 }
 
 // Stop shuts the runtime down and waits for every goroutine to exit.
@@ -288,8 +329,8 @@ func (s *System) exec(fn func()) {
 }
 
 // opStart/opDone bracket an asynchronous operation for idle tracking.
-func (s *System) opStart()         { s.inflight.Add(1) }
-func (s *System) opDone()          { s.inflight.Add(-1) }
+func (s *System) opStart()         { s.tasks.opStart() }
+func (s *System) opDone()          { s.tasks.opDone() }
 func (s *System) execOp(fn func()) { s.exec(func() { defer s.opDone(); fn() }) }
 func (s *System) afterTicks(d sim.Time, fn func()) {
 	s.opStart()

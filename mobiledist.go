@@ -87,6 +87,28 @@ const (
 	SearchBroadcast = core.SearchBroadcast
 )
 
+// Fault-injection vocabulary (chaos testing; see internal/faults).
+type (
+	// FaultPlan is a declarative, seeded fault schedule: wireless loss
+	// rates, link flaps, and MSS crash/restart windows. Attach one via
+	// Config.Faults or process-wide via SetDefaultFaultPlan.
+	FaultPlan = core.FaultPlan
+	// LinkFaults are per-transmission wireless fault probabilities.
+	LinkFaults = core.LinkFaults
+	// Flap is a timed wireless outage of one cell.
+	Flap = core.Flap
+	// Crash is a timed MSS failure (with optional restart).
+	Crash = core.Crash
+)
+
+// SetDefaultFaultPlan makes every DefaultConfig-built system run under the
+// given fault plan (nil restores fault-free defaults). Set it during
+// process setup, before building systems.
+func SetDefaultFaultPlan(p *FaultPlan) { core.SetDefaultFaultPlan(p) }
+
+// DefaultFaultPlan returns the plan DefaultConfig currently attaches.
+func DefaultFaultPlan() *FaultPlan { return core.DefaultFaultPlan() }
+
 // Cost model types (Section 2).
 type (
 	// CostParams holds Cfixed, Cwireless and Csearch.
