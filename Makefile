@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: ci vet staticcheck build test race bench bench-smoke fuzz chaos tables
 
-ci: vet staticcheck build race chaos bench-smoke
+ci: vet staticcheck build test race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...

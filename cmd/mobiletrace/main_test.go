@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobiledist"
+)
+
+// captureTrace runs a small seeded simulation with a scripted mobility
+// workload and writes its trace to path (JSONL, or binary when bin).
+func captureTrace(t *testing.T, path string, seed uint64, bin bool) {
+	t.Helper()
+	tracer := mobiledist.NewTracer(0)
+	cfg := mobiledist.DefaultConfig(2, 3)
+	cfg.Seed = seed
+	cfg.Obs = tracer
+	sys := mobiledist.MustNewSystem(cfg)
+	sys.Schedule(0, func() { _ = sys.Move(0, 1) })
+	sys.Schedule(50, func() { _ = sys.Disconnect(1) })
+	sys.Schedule(150, func() { _ = sys.Reconnect(1, 0, true) })
+	sys.Schedule(300, func() { _ = sys.Move(2, 1) })
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tr := tracer.Snapshot()
+	if bin {
+		data, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	captureTrace(t, a, 7, false)
+	captureTrace(t, b, 7, false)
+	var out, errOut strings.Builder
+	if code := run([]string{"diff", a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("diff of identical runs: exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "traces identical") {
+		t.Errorf("diff output: %q", out.String())
+	}
+}
+
+func TestDiffBinaryVsJSONL(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.bin")
+	captureTrace(t, a, 7, false)
+	captureTrace(t, b, 7, true)
+	var out, errOut strings.Builder
+	if code := run([]string{"diff", a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("cross-format diff: exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestDiffDetectsDivergence(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	captureTrace(t, a, 7, false)
+	captureTrace(t, b, 8, false)
+	var out, errOut strings.Builder
+	if code := run([]string{"diff", a, b}, &out, &errOut); code != 1 {
+		t.Fatalf("diff of different seeds: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "traces differ") {
+		t.Errorf("diff output: %q", out.String())
+	}
+}
+
+func TestShowFiltersKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	captureTrace(t, path, 7, false)
+	var out, errOut strings.Builder
+	if code := run([]string{"show", "-kinds", "leave,join", "-no-time", path}, &out, &errOut); code != 0 {
+		t.Fatalf("show: exit %d\n%s", code, errOut.String())
+	}
+	for i, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if i == 0 {
+			continue // header comment
+		}
+		if !strings.HasPrefix(line, "leave ") && !strings.HasPrefix(line, "join ") {
+			t.Errorf("unexpected line after kind filter: %q", line)
+		}
+	}
+	if !strings.Contains(out.String(), "join 1 0 1") {
+		t.Errorf("reconnect join missing from filtered show:\n%s", out.String())
+	}
+}
+
+func TestSpacetimeRenders(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	captureTrace(t, path, 7, false)
+	var out, errOut strings.Builder
+	if code := run([]string{"spacetime", path}, &out, &errOut); code != 0 {
+		t.Fatalf("spacetime: exit %d\n%s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "s0") || !strings.Contains(text, "h2") {
+		t.Errorf("lane header missing:\n%.200s", text)
+	}
+	for _, mark := range []string{"L", "J", "D", "R", "H"} {
+		if !strings.Contains(text, mark+"  ") {
+			t.Errorf("mobility mark %q missing from diagram", mark)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad subcommand: exit %d, want 2", code)
+	}
+	if code := run([]string{"diff", "only-one"}, &out, &errOut); code != 2 {
+		t.Errorf("diff with one file: exit %d, want 2", code)
+	}
+	if code := run([]string{"show", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mobiledist/internal/engine"
+	"mobiledist/internal/obs"
+)
+
+// renderSpacetime draws the trace as a text space-time (Lamport) diagram:
+// one lane per station (s0..s{M-1}) and per mobile host (h0..h{N-1}), one
+// row per event. Transmissions are arrows from the sending lane to the
+// receiving one; uplink transmissions show only the sender (the receiving
+// MSS depends on where the MH is). Mobility and critical-section events
+// mark the MH's lane with a letter:
+//
+//	L leave   J join   D disconnect   R reconnect   H handoff
+//	q cs-request   E cs-enter   X cs-exit   v deliver   * other
+func renderSpacetime(tr obs.Trace, limit int, out io.Writer) error {
+	if tr.M <= 0 || tr.N <= 0 {
+		return fmt.Errorf("trace has no single topology (M=%d N=%d): spacetime needs a trace captured from one system shape", tr.M, tr.N)
+	}
+	layout := engine.ChannelLayout{M: tr.M, N: tr.N}
+	lanes := tr.M + tr.N
+	w := bufio.NewWriter(out)
+
+	// Header: lane labels, stations first.
+	fmt.Fprintf(w, "%10s ", "time")
+	for i := 0; i < tr.M; i++ {
+		fmt.Fprintf(w, "%-3s", fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < tr.N; i++ {
+		fmt.Fprintf(w, "%-3s", fmt.Sprintf("h%d", i))
+	}
+	fmt.Fprintln(w)
+
+	rows := len(tr.Events)
+	if limit > 0 && rows > limit {
+		rows = limit
+	}
+	row := make([]byte, lanes)
+	for _, ev := range tr.Events[:rows] {
+		for i := range row {
+			row[i] = '.'
+		}
+		from, to := -1, -1
+		mark := byte(0)
+		markLane := -1
+		switch ev.Kind {
+		case obs.EvTransmit:
+			kind, a, b := layout.Decode(int(ev.A))
+			switch kind {
+			case engine.ChannelWired:
+				from, to = a, b
+			case engine.ChannelDown:
+				from, to = a, tr.M+b
+			case engine.ChannelUp:
+				mark, markLane = '^', tr.M+b
+			}
+		case obs.EvDeliver:
+			mark, markLane = 'v', tr.M+int(ev.A)
+		case obs.EvLeave:
+			mark, markLane = 'L', tr.M+int(ev.A)
+		case obs.EvJoin:
+			mark, markLane = 'J', tr.M+int(ev.A)
+		case obs.EvDisconnect:
+			mark, markLane = 'D', tr.M+int(ev.A)
+		case obs.EvReconnect:
+			mark, markLane = 'R', tr.M+int(ev.A)
+		case obs.EvHandoff:
+			mark, markLane = 'H', tr.M+int(ev.A)
+		case obs.EvCSRequest:
+			mark, markLane = 'q', tr.M+int(ev.A)
+		case obs.EvCSEnter:
+			mark, markLane = 'E', tr.M+int(ev.A)
+		case obs.EvCSExit:
+			mark, markLane = 'X', tr.M+int(ev.A)
+		case obs.EvSearch, obs.EvFailure:
+			mark, markLane = '*', int(ev.B)%lanes
+		}
+		switch {
+		case from >= 0 && to >= 0 && from != to:
+			lo, hi := from, to
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = '-'
+			}
+			row[from] = 'o'
+			row[to] = '>'
+		case from >= 0:
+			row[from] = 'o'
+		case markLane >= 0 && markLane < lanes:
+			row[markLane] = mark
+		}
+		fmt.Fprintf(w, "%10d ", int64(ev.T))
+		for _, c := range row {
+			w.WriteByte(c)
+			w.WriteString("  ")
+		}
+		fmt.Fprintf(w, " %s\n", ev.Line(false))
+	}
+	if rows < len(tr.Events) {
+		fmt.Fprintf(w, "... %d more events (raise -limit)\n", len(tr.Events)-rows)
+	}
+	return w.Flush()
+}

@@ -6,12 +6,24 @@
 //	mobilexp [-seed N] [-id E4] [-markdown] [-o FILE] [-parallel W]
 //	         [-drop P] [-dup P] [-reorder P] [-flap MSS:FROM:UNTIL,...]
 //	         [-crash MSS:AT:RESTART,...] [-faultseed N]
+//	         [-trace FILE] [-bench-json FILE]
 //
 // Without -id every experiment runs in index order, generated on up to
 // -parallel worker goroutines (default: one per CPU); the tables are
 // byte-identical to a sequential run regardless of worker count. With
 // -markdown the output is GitHub-flavoured markdown (the format
 // EXPERIMENTS.md embeds).
+//
+// -trace FILE captures the full observability event stream (internal/obs)
+// of the run as JSONL, inspectable and diffable with cmd/mobiletrace.
+// Tracing forces sequential generation so the captured stream is a pure
+// function of the seed: two runs with the same seed and flags produce
+// byte-identical trace files.
+//
+// -bench-json FILE writes a machine-readable benchmark snapshot (schema
+// mobiledist-bench/v1): per-experiment wall-clock generation times plus
+// the platform triple, for tracking the suite's performance trajectory.
+// Timing forces sequential generation so experiments don't contend.
 //
 // The fault flags build a deterministic fault plan (see internal/faults)
 // and install it process-wide, so every experiment regenerates under the
@@ -23,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +43,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"mobiledist"
 )
@@ -50,6 +64,9 @@ func run(args []string, stdout io.Writer) error {
 		outPath  = fs.String("o", "", "write output to FILE instead of stdout")
 		verify   = fs.Int("verify", 0, "instead of tables, sweep every experiment across N seeds and report whether paper == measured held")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for the full suite (output is identical for any value)")
+
+		tracePath = fs.String("trace", "", "capture the observability event stream to FILE as JSONL (forces sequential generation)")
+		benchJSON = fs.String("bench-json", "", "write a mobiledist-bench/v1 timing snapshot to FILE (forces sequential generation)")
 
 		drop      = fs.Float64("drop", 0, "wireless drop probability per transmission, both directions [0,1]")
 		dup       = fs.Float64("dup", 0, "wireless duplicate probability per transmission, both directions [0,1]")
@@ -79,16 +96,46 @@ func run(args []string, stdout io.Writer) error {
 		mobiledist.SetDefaultFaultPlan(plan)
 	}
 
+	var tracer *mobiledist.Tracer
+	if *tracePath != "" {
+		tracer = mobiledist.NewTracer(0).WithMetrics(mobiledist.NewTraceMetrics())
+		mobiledist.SetDefaultTracer(tracer)
+		defer mobiledist.SetDefaultTracer(nil)
+	}
+	// A shared tracer interleaves events from concurrently-generated
+	// experiments nondeterministically, and per-experiment timing is only
+	// meaningful without contention: both flags force sequential runs.
+	sequential := *tracePath != "" || *benchJSON != ""
+
+	var bench []benchExperiment
+	timedByID := func(eid string) (mobiledist.ExperimentTable, bool) {
+		start := time.Now()
+		t, ok := mobiledist.ExperimentByID(eid, *seed)
+		if ok && *benchJSON != "" {
+			bench = append(bench, benchExperiment{ID: t.ID, Title: t.Title, Millis: float64(time.Since(start)) / float64(time.Millisecond)})
+		}
+		return t, ok
+	}
+
 	var tables []mobiledist.ExperimentTable
 	switch {
 	case *verify > 0:
 		tables = []mobiledist.ExperimentTable{mobiledist.VerifyExperiments(*verify)}
 	case *id != "":
-		t, ok := mobiledist.ExperimentByID(*id, *seed)
+		t, ok := timedByID(*id)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (known: %s)", *id, strings.Join(mobiledist.ExperimentIDs(), ", "))
 		}
 		tables = []mobiledist.ExperimentTable{t}
+	case sequential:
+		for _, eid := range mobiledist.ExperimentIDs() {
+			t, _ := timedByID(eid)
+			tables = append(tables, t)
+		}
+		if plan != nil {
+			f1, _ := timedByID("F1")
+			tables = append(tables, f1)
+		}
 	default:
 		tables = mobiledist.AllExperimentsParallel(*seed, *parallel)
 		if plan != nil {
@@ -115,7 +162,74 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(out, t.Format())
 		}
 	}
+
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			return err
+		}
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed, bench); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeTrace exports the captured event stream as JSONL.
+func writeTrace(path string, tracer *mobiledist.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.Snapshot().WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchExperiment is one experiment's timing in the bench snapshot.
+type benchExperiment struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Millis float64 `json:"ms"`
+}
+
+// benchSnapshot is the mobiledist-bench/v1 document -bench-json writes.
+type benchSnapshot struct {
+	Schema      string            `json:"schema"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	GoVersion   string            `json:"go"`
+	Seed        uint64            `json:"seed"`
+	TotalMillis float64           `json:"total_ms"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+func writeBenchJSON(path string, seed uint64, bench []benchExperiment) error {
+	snap := benchSnapshot{
+		Schema:      "mobiledist-bench/v1",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		Experiments: bench,
+	}
+	for _, b := range bench {
+		snap.TotalMillis += b.Millis
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // buildFaultPlan turns the fault flags into a plan, or nil when every flag

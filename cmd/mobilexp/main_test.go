@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -118,6 +119,64 @@ func TestRunCrashRequiresSingleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "token recovery armed") {
 		t.Errorf("F1 under a crash plan did not arm recovery:\n%s", out.String())
+	}
+}
+
+func TestRunTraceIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-id", "E10", "-seed", "4", "-trace", a}, &out); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	if mobiledist.DefaultTracer() != nil {
+		t.Error("run left the default tracer installed")
+	}
+	if err := run([]string{"-id", "E10", "-seed", "4", "-trace", b}, &out); err != nil {
+		t.Fatalf("second run -trace: %v", err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(da) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	if !strings.HasPrefix(string(da), `{"trace":"mobiledist","v":1`) {
+		t.Errorf("trace header malformed: %.80s", da)
+	}
+	if string(da) != string(db) {
+		t.Error("two seeded runs produced different trace files")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-id", "E10", "-bench-json", path}, &out); err != nil {
+		t.Fatalf("run -bench-json: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("bench snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if snap.Schema != "mobiledist-bench/v1" {
+		t.Errorf("schema = %q, want mobiledist-bench/v1", snap.Schema)
+	}
+	if len(snap.Experiments) != 1 || snap.Experiments[0].ID != "E10" || snap.Experiments[0].Millis <= 0 {
+		t.Errorf("experiment timings malformed: %+v", snap.Experiments)
+	}
+	if snap.GOOS == "" || snap.GoVersion == "" {
+		t.Errorf("platform fields missing: %+v", snap)
 	}
 }
 

@@ -1,0 +1,84 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/obs"
+	"mobiledist/internal/rt"
+)
+
+// TestMobilityTraceAgreesAcrossSubstrates pins the observability seam to
+// the model, not the substrate: the same scripted mobility workload must
+// produce the identical subsequence of mobility events (leave, join,
+// disconnect, reconnect, handoff) on the simulator and the live runtime.
+// Timestamps differ — the sim clock is virtual, the live clock is an op
+// counter — so events are compared in their timeless canonical form.
+// Settling between steps fixes the order in which concurrent traffic
+// lands, which is what makes the full subsequence (not just the multiset)
+// comparable.
+func TestMobilityTraceAgreesAcrossSubstrates(t *testing.T) {
+	const m, n = 3, 5
+
+	script := func(t *testing.T, d driver) {
+		d.start()
+		steps := []func(){
+			func() { d.move(0, 1) },
+			func() { d.move(4, 0) },
+			func() { d.disconnect(2) },
+			func() { d.move(0, 2) },
+			func() { d.reconnect(2, 0) }, // every reconnect runs the handoff exchange
+			func() { d.disconnect(3) },
+			func() { d.reconnect(3, 0) },
+			func() { d.move(2, 1) },
+		}
+		for _, step := range steps {
+			step()
+			d.settle(t)
+		}
+	}
+
+	capture := func(t *testing.T, d driver, tracer *obs.Tracer) []string {
+		t.Helper()
+		script(t, d)
+		events := obs.Filter(tracer.Events(), obs.KindFilter(obs.MobilityKinds()...))
+		return obs.Lines(events, false)
+	}
+
+	simTracer := obs.NewTracer(0)
+	simCfg := core.DefaultConfig(m, n)
+	simCfg.Obs = simTracer
+	simD := &simDriver{sys: core.MustNewSystem(simCfg)}
+	simLines := capture(t, simD, simTracer)
+	simD.stop()
+
+	liveTracer := obs.NewTracer(0)
+	liveCfg := rt.DefaultConfig(m, n)
+	liveCfg.Obs = liveTracer
+	liveSys, err := rt.NewSystem(liveCfg)
+	if err != nil {
+		t.Fatalf("rt.NewSystem: %v", err)
+	}
+	liveD := &liveDriver{sys: liveSys}
+	liveLines := capture(t, liveD, liveTracer)
+	liveD.stop()
+
+	if len(simLines) == 0 {
+		t.Fatal("sim trace captured no mobility events")
+	}
+	if strings.Join(simLines, "\n") != strings.Join(liveLines, "\n") {
+		t.Errorf("mobility event sequences diverge:\nsim:\n  %s\nlive:\n  %s",
+			strings.Join(simLines, "\n  "), strings.Join(liveLines, "\n  "))
+	}
+
+	// The script is explicit about what it did; check the multiset too so a
+	// diff failure above comes with an interpretable baseline.
+	counts := map[string]int{}
+	for _, l := range simLines {
+		counts[strings.Fields(l)[0]]++
+	}
+	if counts["leave"] != 4 || counts["disconnect"] != 2 || counts["reconnect"] != 2 || counts["handoff"] != 2 {
+		t.Errorf("unexpected mobility multiset: %v", counts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
 	"mobiledist/internal/faults"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -78,6 +79,12 @@ type Config struct {
 	// (mobility protocol steps, searches, delivery failures). Useful for
 	// debugging protocol runs; adds no cost charges.
 	Trace func(t sim.Time, event, detail string)
+
+	// Obs, when non-nil, records typed observability events and metrics
+	// (internal/obs): every Transmit at the substrate seam, the engine's
+	// model-level events, fault-injection decisions, and algorithm CS
+	// progress. Nil (the default) keeps the hot path untouched.
+	Obs *obs.Tracer
 }
 
 // defaultFaults is the plan DefaultConfig attaches to every new system;
@@ -96,6 +103,22 @@ func SetDefaultFaultPlan(p *FaultPlan) { defaultFaults = p }
 // DefaultFaultPlan returns the plan DefaultConfig currently attaches.
 func DefaultFaultPlan() *FaultPlan { return defaultFaults }
 
+// defaultObs is the tracer DefaultConfig attaches to every new system; nil
+// (the normal state) means tracing off. See SetDefaultTracer.
+var defaultObs *obs.Tracer
+
+// SetDefaultTracer makes every DefaultConfig-built system record into the
+// given tracer; nil restores tracing-off defaults. Like SetDefaultFaultPlan
+// it exists so cmd/mobilexp's -trace flag can capture the whole experiment
+// suite without threading a tracer through every experiment constructor.
+// Set it during process setup, before building systems. One tracer shared
+// by concurrently-running systems is safe (Record locks) but interleaves
+// their events; for deterministic traces run systems sequentially.
+func SetDefaultTracer(t *obs.Tracer) { defaultObs = t }
+
+// DefaultTracer returns the tracer DefaultConfig currently attaches.
+func DefaultTracer() *obs.Tracer { return defaultObs }
+
 // DefaultConfig returns a paper-faithful configuration for m stations and
 // n mobile hosts.
 func DefaultConfig(m, n int) Config {
@@ -110,6 +133,7 @@ func DefaultConfig(m, n int) Config {
 		SearchMode:        SearchAbstract,
 		PessimisticSearch: true,
 		Faults:            defaultFaults,
+		Obs:               defaultObs,
 	}
 }
 
@@ -135,6 +159,7 @@ func (c Config) engineConfig() engine.Config {
 		ARQTimeout:        c.ARQTimeout,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
+		Obs:               c.Obs,
 	}
 }
 

@@ -68,8 +68,13 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		inj.SetTracer(cfg.Obs)
 		sub = inj
 	}
+	// The observer wraps outermost so it records what the engine asked the
+	// transport to do, before the fault injector disturbs it.
+	cfg.Obs.SetTopology(cfg.M, cfg.N)
+	sub = engine.ObserveSubstrate(sub, cfg.Obs)
 	eng, err := engine.New(cfg.engineConfig(), sub)
 	if err != nil {
 		return nil, err

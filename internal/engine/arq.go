@@ -1,6 +1,9 @@
 package engine
 
-import "mobiledist/internal/sim"
+import (
+	"mobiledist/internal/obs"
+	"mobiledist/internal/sim"
+)
 
 // The reliable-wireless sublayer: a per-channel stop-and-wait ARQ that sits
 // between the engine's wireless sends (transmitDown / transmitUp) and the
@@ -54,6 +57,7 @@ type arqChan struct {
 	queue       []arqFrame // queue[0] is in flight iff outstanding
 	outstanding bool
 	rto         sim.Time
+	retries     int32  // retransmissions of the current in-flight frame
 	timerGen    uint64 // invalidates stale ack timers
 	// Receiver side.
 	recvNext uint64
@@ -124,6 +128,8 @@ func (a *arq) timeout(ch int, gen uint64) {
 		return
 	}
 	a.e.stats.Retransmits++
+	st.retries++
+	a.e.event(obs.EvRetransmit, int32(ch), st.retries, 0)
 	if st.rto < a.rtoMax {
 		st.rto *= 2
 		if st.rto > a.rtoMax {
@@ -171,6 +177,8 @@ func (a *arq) recvAck(ch int, seq uint64) {
 	st.outstanding = false
 	st.queue = append(st.queue[:0], st.queue[1:]...)
 	st.rto = a.rto0
+	a.e.event(obs.EvAck, int32(ch), st.retries, 0)
+	st.retries = 0
 	st.timerGen++ // cancel the pending ack timer
 	if len(st.queue) > 0 {
 		a.transmitHead(ch)

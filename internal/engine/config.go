@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobiledist/internal/cost"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -77,6 +78,15 @@ type Config struct {
 	// (mobility protocol steps, searches, delivery failures). Useful for
 	// debugging protocol runs; adds no cost charges.
 	Trace func(t sim.Time, event, detail string)
+
+	// Obs, when non-nil, receives typed observability events (internal/obs)
+	// from the engine's model-level emission points: mobility protocol
+	// steps, routed deliveries with chase-hop counts, searches, delivery
+	// failures, and ARQ activity. Substrate adapters additionally wrap
+	// their substrate with ObserveSubstrate so channel transmissions are
+	// recorded at the Substrate seam. Nil (the default) costs one branch
+	// per would-be event and allocates nothing.
+	Obs *obs.Tracer
 }
 
 // Validate reports whether the configuration is usable.

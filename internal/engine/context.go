@@ -2,6 +2,7 @@ package engine
 
 import (
 	"mobiledist/internal/cost"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -82,6 +83,18 @@ type Context interface {
 	// regeneration in the model Stats (Stats.TokenRegenerations), so
 	// experiments can surface recovery activity next to the cost columns.
 	NoteTokenRegeneration()
+
+	// NoteCSRequest, NoteCSEnter, and NoteCSExit record mutual-exclusion
+	// progress in the observability stream (internal/obs): a request by mh,
+	// the grant that admits mh to the critical section, and its release.
+	// The tracer pairs request with enter to build the CS-latency
+	// histogram. No-ops when tracing is disabled; never charged.
+	NoteCSRequest(mh MHID)
+	NoteCSEnter(mh MHID)
+	NoteCSExit(mh MHID)
+	// NoteTokenPass records a privilege (token) transfer from one mobile
+	// host to the next in the observability stream.
+	NoteTokenPass(from, to MHID)
 }
 
 // algContext is the Context handed to one registered algorithm. It is the
@@ -160,4 +173,20 @@ func (c *algContext) IsDisconnectedHere(mss MSSID, mh MHID) bool {
 
 func (c *algContext) NoteTokenRegeneration() {
 	c.e.stats.TokenRegenerations++
+}
+
+func (c *algContext) NoteCSRequest(mh MHID) {
+	c.e.event(obs.EvCSRequest, int32(mh), 0, 0)
+}
+
+func (c *algContext) NoteCSEnter(mh MHID) {
+	c.e.event(obs.EvCSEnter, int32(mh), 0, 0)
+}
+
+func (c *algContext) NoteCSExit(mh MHID) {
+	c.e.event(obs.EvCSExit, int32(mh), 0, 0)
+}
+
+func (c *algContext) NoteTokenPass(from, to MHID) {
+	c.e.event(obs.EvTokenPass, int32(from), int32(to), 0)
 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"mobiledist/internal/cost"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -178,9 +179,19 @@ func (e *Engine) Meter() *cost.Meter { return e.meter }
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Merge folds a substrate's fault accounting into a copy of the model
+// counters and returns it. It is the single place engine Stats and
+// substrate FaultStats meet: Engine.Stats uses it when the substrate
+// reports faults, and experiment drivers can apply it to snapshots.
+func (s Stats) Merge(fs FaultStats) Stats {
+	s.WirelessDrops = fs.WirelessDrops
+	return s
+}
+
 // Stats returns a copy of the model-level counters. If the substrate
 // injects faults (implements FaultReporter), its loss accounting is folded
-// in, so callers see drops without knowing the injector's type.
+// in via Merge, so callers see drops without knowing the injector's type;
+// substrates that report no faults leave the counters untouched.
 func (e *Engine) Stats() Stats {
 	cp := e.stats
 	cp.DozeInterruptionsByMH = make(map[MHID]int64, len(e.stats.DozeInterruptionsByMH))
@@ -188,7 +199,7 @@ func (e *Engine) Stats() Stats {
 		cp.DozeInterruptionsByMH[k] = v
 	}
 	if fr, ok := e.sub.(FaultReporter); ok {
-		cp.WirelessDrops = fr.FaultStats().WirelessDrops
+		cp = cp.Merge(fr.FaultStats())
 	}
 	return cp
 }
@@ -221,6 +232,24 @@ func (e *Engine) trace(event, format string, args ...any) {
 		return
 	}
 	e.cfg.Trace(e.sub.Now(), event, fmt.Sprintf(format, args...))
+}
+
+// event records one typed observability event. With tracing disabled
+// (Config.Obs nil) this is a single branch — no time lookup, no
+// allocation — which is what keeps the hot-path benchmarks flat.
+func (e *Engine) event(kind obs.EventKind, a, b, c int32) {
+	if e.cfg.Obs == nil {
+		return
+	}
+	e.cfg.Obs.Record(e.sub.Now(), kind, a, b, c)
+}
+
+// boolOperand encodes a flag into an event operand (1 = true).
+func boolOperand(v bool) int32 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 func (e *Engine) checkMSS(id MSSID) {
@@ -310,6 +339,7 @@ func (e *Engine) notifyDisconnect(at MSSID, mh MHID) {
 func (e *Engine) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason FailReason) {
 	e.stats.FailedDeliveries++
 	e.trace("delivery-failure", "mss%d notified: mh%d %v", int(at), int(mh), reason)
+	e.event(obs.EvFailure, int32(mh), int32(at), 0)
 	h, ok := e.algs[alg].(DeliveryFailureHandler)
 	if !ok {
 		// The algorithm chose not to observe failures; the message is

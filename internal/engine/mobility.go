@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobiledist/internal/cost"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -33,6 +34,7 @@ func (e *Engine) Move(mh MHID, to MSSID) error {
 	e.transmitUp(mh, func() {
 		e.mss[from].local.remove(mh)
 		e.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
+		e.event(obs.EvLeave, int32(mh), int32(from), 0)
 		e.notifyLeave(from, mh)
 
 		// The MH travels, then announces itself in the new cell. Joining is
@@ -60,6 +62,7 @@ func (e *Engine) completeJoin(mh MHID, to, prev MSSID, wasDisconnected bool) {
 			e.stats.Moves++
 		}
 		e.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
+		e.event(obs.EvJoin, int32(mh), int32(to), int32(prev))
 		e.notifyJoin(to, mh, prev, wasDisconnected)
 		e.fireWaiters(mh)
 	})
@@ -86,6 +89,7 @@ func (e *Engine) Disconnect(mh MHID) error {
 		e.mss[at].disconnected[mh] = true
 		e.stats.Disconnects++
 		e.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
+		e.event(obs.EvDisconnect, int32(mh), int32(at), 0)
 		e.notifyDisconnect(at, mh)
 	})
 	return nil
@@ -114,6 +118,7 @@ func (e *Engine) Reconnect(mh MHID, at MSSID, knowsPrev bool) error {
 	e.meter.Charge(cost.CatControl, cost.KindWireless)
 	e.meter.WirelessTx(int(mh))
 	e.transmitUp(mh, func() {
+		e.event(obs.EvReconnect, int32(mh), int32(at), int32(prev))
 		e.runReconnectHandoff(mh, at, prev, knowsPrev)
 	})
 	return nil
@@ -144,6 +149,8 @@ func (e *Engine) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
 				st.at = at
 				e.stats.Reconnects++
 				e.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
+				e.event(obs.EvHandoff, int32(mh), int32(at), int32(prev))
+				e.event(obs.EvJoin, int32(mh), int32(at), int32(prev))
 				e.notifyJoin(at, mh, prev, true)
 				e.fireWaiters(mh)
 			})

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"mobiledist/internal/obs"
+	"mobiledist/internal/sim"
+)
+
+// observedSubstrate interposes the event tracer at the Substrate/Transmit
+// seam — the same seam the fault injector wraps — so every message handed
+// to the transport is recorded, whatever substrate (or injector stack)
+// sits underneath. Only Transmit is observed here; model-level events
+// (mobility, delivery, search, ARQ) are emitted by the engine itself,
+// which is the only layer that knows their meaning.
+type observedSubstrate struct {
+	inner Substrate
+	t     *obs.Tracer
+}
+
+var (
+	_ Substrate     = (*observedSubstrate)(nil)
+	_ FaultReporter = (*observedSubstrate)(nil)
+)
+
+// ObserveSubstrate wraps inner so every Transmit records an obs.EvTransmit
+// event. A nil tracer returns inner unchanged, keeping the tracing-disabled
+// hot path free of the extra indirection.
+func ObserveSubstrate(inner Substrate, t *obs.Tracer) Substrate {
+	if t == nil {
+		return inner
+	}
+	return &observedSubstrate{inner: inner, t: t}
+}
+
+func (o *observedSubstrate) Now() sim.Time { return o.inner.Now() }
+
+func (o *observedSubstrate) Enqueue(fn func()) { o.inner.Enqueue(fn) }
+
+func (o *observedSubstrate) After(d sim.Time, fn func()) { o.inner.After(d, fn) }
+
+func (o *observedSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+	o.t.Record(o.inner.Now(), obs.EvTransmit, int32(ch), int32(latency), 0)
+	o.inner.Transmit(ch, latency, deliver)
+}
+
+func (o *observedSubstrate) RNG() *sim.RNG { return o.inner.RNG() }
+
+// FaultStats forwards the inner substrate's loss accounting so wrapping
+// the injector does not hide it from Engine.Stats; a fault-free inner
+// substrate reports zeroes.
+func (o *observedSubstrate) FaultStats() FaultStats {
+	if fr, ok := o.inner.(FaultReporter); ok {
+		return fr.FaultStats()
+	}
+	return FaultStats{}
+}

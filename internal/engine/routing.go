@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobiledist/internal/cost"
+	"mobiledist/internal/obs"
 )
 
 // routeOpts carries routing context through retries.
@@ -11,6 +12,10 @@ type routeOpts struct {
 	alg    int
 	origin MSSID // MSS that initiated the routed send (receives failures)
 	cat    cost.Category
+	// hops counts wireless delivery attempts so far: each stale re-route
+	// after the destination moved in flight adds one. Observability only
+	// (the EvDeliver event and the chase-hop histogram); never charged.
+	hops int32
 	// pair/seq implement the per-(MH,MH)-pair FIFO reorder buffer when the
 	// final destination delivery came from SendMHToMH.
 	pair *pairKey
@@ -156,6 +161,7 @@ func (e *Engine) reclassifyWastedWireless(cat cost.Category) {
 func (e *Engine) chargeSearch(opts routeOpts, stale bool) {
 	e.stats.Searches++
 	e.trace("search", "origin mss%d (stale=%v)", int(opts.origin), stale)
+	e.event(obs.EvSearch, int32(opts.origin), boolOperand(stale), 0)
 	cat := opts.cat
 	if stale {
 		cat = cost.CatStale
@@ -189,6 +195,7 @@ func (e *Engine) wirelessDown(mss MSSID, mh MHID, msg Message, opts routeOpts) {
 				e.stats.DozeInterruptions++
 				e.stats.DozeInterruptionsByMH[mh]++
 			}
+			e.event(obs.EvDeliver, int32(mh), int32(mss), opts.hops+1)
 			e.deliverToMH(mh, msg, opts)
 			return
 		}
@@ -211,6 +218,7 @@ func (e *Engine) wirelessDown(mss MSSID, mh MHID, msg Message, opts routeOpts) {
 		// charges exactly one delivery per message.
 		e.reclassifyWastedWireless(opts.cat)
 		e.stats.StaleReroutes++
+		opts.hops++
 		e.routeToMH(mss, mh, msg, opts, true)
 	})
 }

@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"mobiledist/internal/engine"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -168,6 +169,12 @@ type Injector struct {
 
 	onCrash, onRestart func(engine.MSSID)
 
+	// tracer, when non-nil, receives one typed event per fault decision
+	// that disturbs traffic (EvDrop, EvDuplicate, EvReorder,
+	// EvCrashDiscard). Undisturbed relays are not evented — the Transmit
+	// seam above the injector already records those.
+	tracer *obs.Tracer
+
 	recording bool
 	events    [][]string
 }
@@ -212,6 +219,19 @@ func (i *Injector) FaultStats() engine.FaultStats { return i.stats }
 // Stats returns the injection counters (alias of FaultStats for callers
 // that hold the concrete type).
 func (i *Injector) Stats() engine.FaultStats { return i.stats }
+
+// SetTracer routes the injector's fault decisions into the observability
+// stream. Set before traffic flows; a nil tracer (the default) is a no-op.
+func (i *Injector) SetTracer(t *obs.Tracer) { i.tracer = t }
+
+// event records one fault decision; kind-specific operands are the channel
+// id and the per-channel transmission index.
+func (i *Injector) event(kind obs.EventKind, ch, idx int) {
+	if i.tracer == nil {
+		return
+	}
+	i.tracer.Record(i.inner.Now(), kind, int32(ch), int32(idx), 0)
+}
 
 // OnCrash registers a hook run (on the execution context) when a planned
 // crash fires. Set before Arm.
@@ -316,6 +336,7 @@ func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
 		if i.crashedAt(from, now) {
 			i.stats.CrashDiscards++
 			i.record(ch, idx, "crash-tx")
+			i.event(obs.EvCrashDiscard, ch, idx)
 			return
 		}
 		i.record(ch, idx, "relay")
@@ -325,6 +346,7 @@ func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
 			if i.crashedAt(to, i.inner.Now()) {
 				i.stats.CrashDiscards++
 				i.amend(ch, idx, "crash-rx")
+				i.event(obs.EvCrashDiscard, ch, idx)
 				return
 			}
 			deliver()
@@ -355,11 +377,13 @@ func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
 	if dark {
 		i.stats.WirelessDrops++
 		i.record(ch, idx, "dark")
+		i.event(obs.EvDrop, ch, idx)
 		return
 	}
 	if pDrop < lf.Drop {
 		i.stats.WirelessDrops++
 		i.record(ch, idx, "drop")
+		i.event(obs.EvDrop, ch, idx)
 		return
 	}
 	dup := pDup < lf.Duplicate
@@ -373,15 +397,19 @@ func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
 		i.inner.Transmit(ch, latency, deliver)
 		i.inner.After(latency+extra, deliver)
 		i.record(ch, idx, "dup+reorder")
+		i.event(obs.EvDuplicate, ch, idx)
+		i.event(obs.EvReorder, ch, idx)
 	case dup:
 		i.stats.WirelessDuplicates++
 		i.inner.Transmit(ch, latency, deliver)
 		i.inner.Transmit(ch, latency, deliver)
 		i.record(ch, idx, "dup")
+		i.event(obs.EvDuplicate, ch, idx)
 	case reorder:
 		i.stats.WirelessReorders++
 		i.inner.After(latency+extra, deliver)
 		i.record(ch, idx, "reorder")
+		i.event(obs.EvReorder, ch, idx)
 	default:
 		i.inner.Transmit(ch, latency, deliver)
 		i.record(ch, idx, "deliver")

@@ -87,6 +87,7 @@ func (a *L1) Request(mh core.MHID) error {
 	}
 	ts := a.engines[slot].Request(0)
 	a.pending[slot] = &ts
+	a.ctx.NoteCSRequest(mh)
 	return nil
 }
 
@@ -118,10 +119,12 @@ func (a *L1) sendPeer(from, to int, m logical.MutexMsg) {
 func (a *L1) granted(slot int, ts logical.Timestamp) {
 	mh := a.participants[slot]
 	a.grants++
+	a.ctx.NoteCSEnter(mh)
 	if a.opts.OnEnter != nil {
 		a.opts.OnEnter(mh)
 	}
 	a.ctx.After(a.opts.Hold, func() {
+		a.ctx.NoteCSExit(mh)
 		if a.opts.OnExit != nil {
 			a.opts.OnExit(mh)
 		}

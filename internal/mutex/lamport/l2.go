@@ -106,6 +106,7 @@ func (a *L2) Request(mh core.MHID) error {
 		return fmt.Errorf("lamport: L2 request: %w", err)
 	}
 	st.requested = true
+	a.ctx.NoteCSRequest(mh)
 	return nil
 }
 
@@ -142,10 +143,12 @@ func (a *L2) HandleMH(ctx core.Context, at core.MHID, msg core.Message) {
 		panic(fmt.Sprintf("lamport: L2 MH received unexpected message %T", msg))
 	}
 	a.grants++
+	ctx.NoteCSEnter(at)
 	if a.opts.OnEnter != nil {
 		a.opts.OnEnter(at)
 	}
 	ctx.After(a.opts.Hold, func() {
+		ctx.NoteCSExit(at)
 		if a.opts.OnExit != nil {
 			a.opts.OnExit(at)
 		}

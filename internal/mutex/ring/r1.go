@@ -133,6 +133,7 @@ func (a *R1) Request(mh core.MHID) error {
 		return fmt.Errorf("ring: mh%d is not an R1 participant", int(mh))
 	}
 	a.pending[slot] = true
+	a.ctx.NoteCSRequest(mh)
 	return nil
 }
 
@@ -184,10 +185,12 @@ func (a *R1) receive(slot int, tok r1Token, injected bool) {
 	if a.pending[slot] {
 		a.pending[slot] = false
 		a.grants++
+		a.ctx.NoteCSEnter(mh)
 		if a.opts.OnEnter != nil {
 			a.opts.OnEnter(mh)
 		}
 		a.ctx.After(a.opts.Hold, func() {
+			a.ctx.NoteCSExit(mh)
 			if a.opts.OnExit != nil {
 				a.opts.OnExit(mh)
 			}
@@ -201,6 +204,7 @@ func (a *R1) receive(slot int, tok r1Token, injected bool) {
 func (a *R1) forward(slot int, tok r1Token) {
 	next := (slot + 1) % len(a.ring)
 	a.hops++
+	a.ctx.NoteTokenPass(a.ring[slot], a.ring[next])
 	if err := a.ctx.SendMHToMH(a.ring[slot], a.ring[next], tok, cost.CatAlgorithm); err != nil {
 		// The holder itself disconnected with the token: the ring stalls.
 		a.stalled = true

@@ -220,6 +220,7 @@ func (a *R2) Request(mh core.MHID) error {
 	if err := a.ctx.SendFromMH(mh, r2Request{AccessCount: reported}, cost.CatAlgorithm); err != nil {
 		return fmt.Errorf("ring: %s request: %w", a.variant, err)
 	}
+	a.ctx.NoteCSRequest(mh)
 	return nil
 }
 
@@ -287,10 +288,12 @@ func (a *R2) HandleMH(ctx core.Context, at core.MHID, msg core.Message) {
 	a.grants++
 	a.inTraversal++
 	a.mhs[at].accessCount = m.Val
+	ctx.NoteCSEnter(at)
 	if a.opts.OnEnter != nil {
 		a.opts.OnEnter(at)
 	}
 	ctx.After(a.opts.Hold, func() {
+		ctx.NoteCSExit(at)
 		if a.opts.OnExit != nil {
 			a.opts.OnExit(at)
 		}
@@ -433,7 +436,9 @@ func (a *R2) serviceNext(at core.MSSID) {
 		st.grantQ = st.grantQ[1:]
 		st.servicing = next.MH
 		st.isServicing = true
-		// Token out to the MH, which may have moved: search + wireless.
+		// Token out to the MH, which may have moved: search + wireless. The
+		// from operand is -1: the passer is a station, not a ring member.
+		a.ctx.NoteTokenPass(core.MHID(-1), next.MH)
 		a.ctx.SendToMH(at, next.MH, r2Grant{Owner: at, Val: st.token.Val}, cost.CatAlgorithm)
 		return
 	}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mobiledist/internal/sim"
+)
+
+// Histogram buckets and layout: HDR-style base-2 buckets with 4 linear
+// sub-buckets each (2 significant bits), covering non-negative int64
+// values. Index arithmetic is branch-light and allocation-free; relative
+// quantile error is bounded by 25%.
+const (
+	histSubBits = 2
+	histSubs    = 1 << histSubBits       // sub-buckets per power of two
+	histBuckets = (64 - histSubBits) * 4 // enough for any int64 exponent
+)
+
+// Histogram is a fixed-size log-linear latency/size histogram. The zero
+// value is ready to use. Not safe for concurrent use on its own; the
+// owning Metrics registry serialises access.
+type Histogram struct {
+	counts   [histBuckets]int64
+	total    int64
+	sum      int64
+	min, max int64
+}
+
+func histIndex(v int64) int {
+	if v < histSubs {
+		return int(v) // exact for the smallest values
+	}
+	// exp is the index of the highest set bit; the top histSubBits bits
+	// below it select the linear sub-bucket.
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	sub := (v >> (uint(exp) - histSubBits)) & (histSubs - 1)
+	idx := (exp-histSubBits+1)*histSubs + int(sub)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// histLower returns the smallest value mapping to bucket idx.
+func histLower(idx int) int64 {
+	if idx < histSubs {
+		return int64(idx)
+	}
+	exp := idx/histSubs + histSubBits - 1
+	sub := int64(idx % histSubs)
+	return (int64(1) << uint(exp)) | (sub << (uint(exp) - histSubBits))
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count reports how many values were observed.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min and Max report the observed extrema (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max reports the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]): the lower
+// bound of the bucket holding the q-th observation, clamped to the
+// observed extrema.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.total-1))
+	var seen int64
+	for idx, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := histLower(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Diff returns h - prev bucket-wise: the histogram of observations made
+// after prev was snapshotted. Min/max are taken from h (extrema are not
+// reversible).
+func (h Histogram) Diff(prev Histogram) Histogram {
+	out := h
+	for i := range out.counts {
+		out.counts[i] -= prev.counts[i]
+	}
+	out.total -= prev.total
+	out.sum -= prev.sum
+	return out
+}
+
+// Metrics is the registry fed by a Tracer: per-kind event counters and the
+// model's latency/shape histograms. It is always accessed under the owning
+// tracer's lock (or single-threaded before traffic flows), so the fields
+// need no locking of their own; Snapshot copies everything by value.
+type Metrics struct {
+	counts [evKindCount]int64
+
+	// CSLatency is the CS-request→grant latency distribution in ticks.
+	CSLatency Histogram
+	// HandoffTicks is the duration of mobility handoffs in ticks:
+	// leave→join for cell switches, reconnect→join for reconnections.
+	HandoffTicks Histogram
+	// ChaseHops is the wireless delivery attempts per routed message
+	// (1 = delivered where first addressed; each extra is one
+	// search-and-chase hop after the destination moved in flight).
+	ChaseHops Histogram
+	// ARQRetries is the retransmissions per eventually-acked frame
+	// (0 = first try succeeded).
+	ARQRetries Histogram
+
+	csReqAt   map[int32]sim.Time
+	moveStart map[int32]sim.Time
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		csReqAt:   make(map[int32]sim.Time),
+		moveStart: make(map[int32]sim.Time),
+	}
+}
+
+// observe folds one event into the registry. Called under the tracer lock.
+func (m *Metrics) observe(ev Event) {
+	if ev.Kind < evKindCount {
+		m.counts[ev.Kind]++
+	}
+	switch ev.Kind {
+	case EvCSRequest:
+		m.csReqAt[ev.A] = ev.T
+	case EvCSEnter:
+		if t0, ok := m.csReqAt[ev.A]; ok {
+			m.CSLatency.Observe(int64(ev.T - t0))
+			delete(m.csReqAt, ev.A)
+		}
+	case EvLeave, EvReconnect:
+		m.moveStart[ev.A] = ev.T
+	case EvJoin:
+		if t0, ok := m.moveStart[ev.A]; ok {
+			m.HandoffTicks.Observe(int64(ev.T - t0))
+			delete(m.moveStart, ev.A)
+		}
+	case EvDeliver:
+		m.ChaseHops.Observe(int64(ev.C))
+	case EvAck:
+		m.ARQRetries.Observe(int64(ev.B))
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of the registry, comparable and
+// diffable. Counts maps kind names to event counts (zero-count kinds are
+// omitted).
+type MetricsSnapshot struct {
+	Counts       map[string]int64
+	CSLatency    Histogram
+	HandoffTicks Histogram
+	ChaseHops    Histogram
+	ARQRetries   Histogram
+}
+
+// Snapshot copies the registry. Callers normally reach it through
+// Tracer-owning APIs that serialise against recording.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Counts:       make(map[string]int64),
+		CSLatency:    m.CSLatency,
+		HandoffTicks: m.HandoffTicks,
+		ChaseHops:    m.ChaseHops,
+		ARQRetries:   m.ARQRetries,
+	}
+	for k, c := range m.counts {
+		if c != 0 {
+			s.Counts[EventKind(k).String()] = c
+		}
+	}
+	return s
+}
+
+// MetricsSnapshot returns a snapshot of the attached registry taken under
+// the tracer lock, so it is consistent with concurrent recording; the zero
+// snapshot if no registry (or tracer) is attached.
+func (t *Tracer) MetricsSnapshot() MetricsSnapshot {
+	if t == nil {
+		return MetricsSnapshot{Counts: map[string]int64{}}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.metrics == nil {
+		return MetricsSnapshot{Counts: map[string]int64{}}
+	}
+	return t.metrics.Snapshot()
+}
+
+// Diff returns the activity between prev and s: per-counter and per-bucket
+// subtraction. Use it to meter one phase of a run.
+func (s MetricsSnapshot) Diff(prev MetricsSnapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Counts:       make(map[string]int64),
+		CSLatency:    s.CSLatency.Diff(prev.CSLatency),
+		HandoffTicks: s.HandoffTicks.Diff(prev.HandoffTicks),
+		ChaseHops:    s.ChaseHops.Diff(prev.ChaseHops),
+		ARQRetries:   s.ARQRetries.Diff(prev.ARQRetries),
+	}
+	for k, c := range s.Counts {
+		if d := c - prev.Counts[k]; d != 0 {
+			out.Counts[k] = d
+		}
+	}
+	for k, c := range prev.Counts {
+		if _, ok := s.Counts[k]; !ok && c != 0 {
+			out.Counts[k] = -c
+		}
+	}
+	return out
+}
+
+// CounterNames returns the snapshot's counter names sorted, for stable
+// rendering.
+func (s MetricsSnapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counts))
+	for k := range s.Counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Format renders the snapshot as an aligned human-readable block.
+func (s MetricsSnapshot) Format() string {
+	out := ""
+	for _, name := range s.CounterNames() {
+		out += fmt.Sprintf("%-16s %d\n", name, s.Counts[name])
+	}
+	for _, h := range []struct {
+		name string
+		h    Histogram
+	}{
+		{"cs-latency", s.CSLatency},
+		{"handoff-ticks", s.HandoffTicks},
+		{"chase-hops", s.ChaseHops},
+		{"arq-retries", s.ARQRetries},
+	} {
+		if h.h.Count() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-16s n=%d mean=%.2f p50=%d p99=%d max=%d\n",
+			h.name, h.h.Count(), h.h.Mean(), h.h.Quantile(0.5), h.h.Quantile(0.99), h.h.Max())
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+// Package obs is the observability subsystem of the two-tier model: a
+// typed, zero-allocation event tracer and a metrics registry shared by both
+// execution substrates (the deterministic simulator and the live runtime).
+//
+// The paper's argument is quantitative — Cfixed/Cwireless/Csearch tables,
+// wireless-hop counts, significant-move rates — but end-of-run aggregates
+// cannot show *when* a handoff stalled or *which* channel ate the
+// retransmits. This package records the run itself:
+//
+//   - an Event is a fixed-size record (virtual time, kind, three int32
+//     operands) covering transmissions, deliveries, the mobility protocol
+//     (leave/join/disconnect/reconnect/handoff), searches, delivery
+//     failures, ARQ activity, fault-injector decisions, and algorithm-level
+//     critical-section and token activity;
+//   - a Tracer stores events in a fixed-capacity ring buffer (or an
+//     unbounded recorder for export), optionally feeding a Metrics registry
+//     of counters and HDR-style latency histograms, snapshot-diffable
+//     mid-run;
+//   - a Trace (topology + events) round-trips through a compact binary
+//     codec and line-oriented JSONL, so a captured run is an artifact that
+//     can be diffed, replayed, and rendered (cmd/mobiletrace).
+//
+// Hot-path contract: every Record call on a nil *Tracer is a nil-check
+// no-op, and Record on a live tracer allocates nothing. The engine guards
+// each emission site with a nil check, so a system built without a tracer
+// pays one predictable branch per would-be event and nothing else.
+//
+// The package depends only on internal/sim; it hooks the engine at the
+// Substrate/Transmit seam (engine.ObserveSubstrate) and at the engine's
+// own model-level emission points, the same layering internal/faults uses.
+package obs
+
+import (
+	"sync"
+
+	"mobiledist/internal/sim"
+)
+
+// EventKind classifies one recorded event. The operand meaning per kind is
+// documented on the constants; unused operands are zero.
+type EventKind uint8
+
+// Event kinds. The numbering is part of the binary trace format: append
+// new kinds, never renumber.
+const (
+	evInvalid EventKind = iota
+	// EvTransmit: one message handed to the substrate's FIFO transport.
+	// A = flat channel id, B = drawn latency (ticks).
+	EvTransmit
+	// EvDeliver: a routed message reached its destination MH.
+	// A = mh, B = serving mss, C = wireless delivery attempts (1 = direct,
+	// each extra is one search-and-chase hop after a move in flight).
+	EvDeliver
+	// EvLeave: a MSS processed leave(mh). A = mh, B = mss.
+	EvLeave
+	// EvJoin: mh completed a join. A = mh, B = new mss, C = previous mss
+	// (-1 for none).
+	EvJoin
+	// EvDisconnect: a MSS processed disconnect(mh). A = mh, B = mss.
+	EvDisconnect
+	// EvReconnect: mh initiated reconnect(). A = mh, B = new mss, C = mss
+	// holding the disconnected flag.
+	EvReconnect
+	// EvHandoff: the reconnect handoff exchange completed. A = mh, B = new
+	// mss, C = previous mss.
+	EvHandoff
+	// EvTokenPass: an algorithm passed its token. A = from mh (-1 for
+	// injection), B = to mh.
+	EvTokenPass
+	// EvCSRequest: mh asked for the critical section. A = mh.
+	EvCSRequest
+	// EvCSEnter: mh entered the critical section. A = mh.
+	EvCSEnter
+	// EvCSExit: mh left the critical section. A = mh.
+	EvCSExit
+	// EvRetransmit: the ARQ sublayer retransmitted after an ack timeout.
+	// A = flat channel id, B = retry number for the in-flight frame (1 = first
+	// retransmission).
+	EvRetransmit
+	// EvAck: the ARQ sublayer resolved an in-flight frame. A = flat channel
+	// id, B = retransmissions the frame needed (0 = first try).
+	EvAck
+	// EvSearch: the network searched for a MH. A = origin mss, B = 1 when
+	// the search was a stale re-route (footnote-2 case), else 0.
+	EvSearch
+	// EvFailure: a routed send ended in a disconnected notification.
+	// A = mh, B = origin mss.
+	EvFailure
+	// EvDrop: the fault injector destroyed a wireless frame. A = channel.
+	EvDrop
+	// EvDuplicate: the fault injector duplicated a wireless frame. A = channel.
+	EvDuplicate
+	// EvReorder: the fault injector released a frame out of order. A = channel.
+	EvReorder
+	// EvCrashDiscard: a wired transmission died at a crashed station.
+	// A = channel, B = 1 when discarded at the receiver, 0 at the sender.
+	EvCrashDiscard
+
+	evKindCount // internal: number of kinds, for metrics arrays
+)
+
+var kindNames = [evKindCount]string{
+	EvTransmit:     "transmit",
+	EvDeliver:      "deliver",
+	EvLeave:        "leave",
+	EvJoin:         "join",
+	EvDisconnect:   "disconnect",
+	EvReconnect:    "reconnect",
+	EvHandoff:      "handoff",
+	EvTokenPass:    "token-pass",
+	EvCSRequest:    "cs-request",
+	EvCSEnter:      "cs-enter",
+	EvCSExit:       "cs-exit",
+	EvRetransmit:   "retransmit",
+	EvAck:          "ack",
+	EvSearch:       "search",
+	EvFailure:      "failure",
+	EvDrop:         "drop",
+	EvDuplicate:    "duplicate",
+	EvReorder:      "reorder",
+	EvCrashDiscard: "crash-discard",
+}
+
+// String returns the kind's wire name (the "k" field of the JSONL format).
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString inverts String; ok is false for unknown names.
+func KindFromString(s string) (EventKind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return EventKind(k), true
+		}
+	}
+	return evInvalid, false
+}
+
+// Kinds returns every defined event kind in numbering order.
+func Kinds() []EventKind {
+	out := make([]EventKind, 0, int(evKindCount)-1)
+	for k := EventKind(1); k < evKindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Event is one recorded observation: a fixed-size value, so a ring of them
+// is a single allocation for the tracer's lifetime.
+type Event struct {
+	// T is the virtual time the event was recorded at.
+	T sim.Time
+	// Kind classifies the event; A, B, C are kind-specific operands (see
+	// the EventKind constants).
+	Kind    EventKind
+	A, B, C int32
+}
+
+// Tracer records events into a fixed-capacity ring buffer (capacity > 0)
+// or an unbounded in-memory recorder (capacity <= 0), optionally feeding a
+// Metrics registry. All methods are safe for concurrent use; recording
+// normally happens on one execution context (the kernel goroutine or the
+// rt executor) while scrapers snapshot from other goroutines.
+//
+// A nil *Tracer is valid everywhere: Record and the query methods are
+// no-ops on it, which is how tracing-disabled systems stay allocation- and
+// overhead-free.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event // ring mode: fixed backing store
+	events  []Event // recorder mode: append-only
+	bounded bool
+	total   uint64 // events ever recorded
+	m, n    int    // topology, 0 when unset or mixed
+	mixed   bool
+	metrics *Metrics
+}
+
+// NewTracer returns a tracer keeping the most recent capacity events; a
+// capacity <= 0 keeps every event (the recorder mode tests and trace
+// export use).
+func NewTracer(capacity int) *Tracer {
+	t := &Tracer{}
+	if capacity > 0 {
+		t.ring = make([]Event, capacity)
+		t.bounded = true
+	}
+	return t
+}
+
+// WithMetrics attaches a metrics registry fed by every recorded event and
+// returns the tracer. Attach before traffic flows.
+func (t *Tracer) WithMetrics(m *Metrics) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.metrics = m
+	t.mu.Unlock()
+	return t
+}
+
+// Metrics returns the attached metrics registry, or nil.
+func (t *Tracer) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.metrics
+}
+
+// SetTopology records the (M, N) network shape for trace export. Tracers
+// shared across systems of different shapes export a zero topology, which
+// disables shape-dependent rendering (the space-time diagram) but not
+// diffing.
+func (t *Tracer) SetTopology(m, n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mixed {
+		return
+	}
+	if (t.m != 0 || t.n != 0) && (t.m != m || t.n != n) {
+		t.m, t.n = 0, 0
+		t.mixed = true
+		return
+	}
+	t.m, t.n = m, n
+}
+
+// Topology returns the recorded network shape (0, 0 when unset or mixed).
+func (t *Tracer) Topology() (m, n int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m, t.n
+}
+
+// Record appends one event. On a nil tracer it is a no-op; on a live one
+// it allocates nothing in ring mode (recorder mode amortises appends).
+func (t *Tracer) Record(now sim.Time, kind EventKind, a, b, c int32) {
+	if t == nil {
+		return
+	}
+	ev := Event{T: now, Kind: kind, A: a, B: b, C: c}
+	t.mu.Lock()
+	if t.bounded {
+		t.ring[t.total%uint64(len(t.ring))] = ev
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.total++
+	if t.metrics != nil {
+		t.metrics.observe(ev)
+	}
+	t.mu.Unlock()
+}
+
+// Total reports how many events were ever recorded (including any the ring
+// has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped reports how many events the ring overwrote (always 0 in recorder
+// mode).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.bounded || t.total <= uint64(len(t.ring)) {
+		return 0
+	}
+	return t.total - uint64(len(t.ring))
+}
+
+// Events returns a copy of the retained events in recording order (oldest
+// first). In ring mode that is the most recent window.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.bounded {
+		return append([]Event(nil), t.events...)
+	}
+	n := t.total
+	capacity := uint64(len(t.ring))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]Event, 0, n)
+	start := t.total - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, t.ring[(start+i)%capacity])
+	}
+	return out
+}
+
+// Snapshot returns the retained events as an exportable Trace carrying the
+// recorded topology.
+func (t *Tracer) Snapshot() Trace {
+	m, n := t.Topology()
+	return Trace{M: m, N: n, Events: t.Events()}
+}
+
+// Filter returns the events for which keep is true, preserving order.
+func Filter(events []Event, keep func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range events {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// KindFilter returns a Filter predicate keeping only the listed kinds.
+func KindFilter(kinds ...EventKind) func(Event) bool {
+	var set [evKindCount]bool
+	for _, k := range kinds {
+		if k < evKindCount {
+			set[k] = true
+		}
+	}
+	return func(ev Event) bool { return ev.Kind < evKindCount && set[ev.Kind] }
+}
+
+// MobilityKinds are the mobility-protocol event kinds, the subsequence the
+// cross-substrate conformance suite compares.
+func MobilityKinds() []EventKind {
+	return []EventKind{EvLeave, EvJoin, EvDisconnect, EvReconnect, EvHandoff}
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mobiledist/internal/sim"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, EvTransmit, 1, 2, 3) // must not panic
+	tr.SetTopology(2, 3)
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer reported state")
+	}
+	if m, n := tr.Topology(); m != 0 || n != 0 {
+		t.Error("nil tracer reported topology")
+	}
+	if tr.WithMetrics(NewMetrics()) != nil {
+		t.Error("WithMetrics on nil tracer returned non-nil")
+	}
+	snap := tr.MetricsSnapshot()
+	if len(snap.Counts) != 0 {
+		t.Error("nil tracer snapshot has counts")
+	}
+}
+
+func TestRecordAllocatesNothing(t *testing.T) {
+	tr := NewTracer(64).WithMetrics(NewMetrics())
+	tr.Record(0, EvCSRequest, 1, 0, 0) // warm the pairing map
+	var now sim.Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		tr.Record(now, EvTransmit, 3, 7, 0)
+		tr.Record(now, EvDeliver, 1, 0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := int32(0); i < 10; i++ {
+		tr.Record(sim.Time(i), EvTransmit, i, 0, 0)
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int32(6 + i); ev.A != want {
+			t.Errorf("event %d: A = %d, want %d (oldest-first window)", i, ev.A, want)
+		}
+	}
+}
+
+func TestRecorderKeepsEverything(t *testing.T) {
+	tr := NewTracer(0)
+	for i := int32(0); i < 100; i++ {
+		tr.Record(sim.Time(i), EvTransmit, i, 0, 0)
+	}
+	if tr.Dropped() != 0 || len(tr.Events()) != 100 {
+		t.Errorf("recorder dropped events: dropped=%d len=%d", tr.Dropped(), len(tr.Events()))
+	}
+}
+
+func TestTopologyMixedDetection(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetTopology(4, 16)
+	if m, n := tr.Topology(); m != 4 || n != 16 {
+		t.Errorf("Topology = (%d, %d), want (4, 16)", m, n)
+	}
+	tr.SetTopology(4, 16) // same shape is fine
+	tr.SetTopology(8, 32) // mixing zeroes it
+	if m, n := tr.Topology(); m != 0 || n != 0 {
+		t.Errorf("mixed Topology = (%d, %d), want (0, 0)", m, n)
+	}
+	tr.SetTopology(4, 16) // stays mixed
+	if m, n := tr.Topology(); m != 0 || n != 0 {
+		t.Error("mixed topology reverted")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		got, ok := KindFromString(name)
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %d, %v; want %d", name, got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Error("unknown name accepted")
+	}
+}
+
+func sampleTrace() Trace {
+	return Trace{M: 2, N: 3, Events: []Event{
+		{T: 0, Kind: EvTransmit, A: 5, B: 2, C: 0},
+		{T: 3, Kind: EvLeave, A: 1, B: 0, C: 0},
+		{T: 40, Kind: EvJoin, A: 1, B: 1, C: 0},
+		{T: 40, Kind: EvDeliver, A: 2, B: 1, C: -1},
+		{T: 1 << 40, Kind: EvCrashDiscard, A: 3, B: 1, C: 0},
+	}}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	assertTraceEqual(t, tr, got)
+
+	// Canonical: re-encoding is byte-identical.
+	var buf2 bytes.Buffer
+	if err := got.WriteJSONL(&buf2); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("JSONL encoding is not canonical")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	got, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	assertTraceEqual(t, tr, got)
+	if _, err := UnmarshalBinary([]byte("not a trace")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func assertTraceEqual(t *testing.T, want, got Trace) {
+	t.Helper()
+	if got.M != want.M || got.N != want.N {
+		t.Errorf("topology (%d, %d), want (%d, %d)", got.M, got.N, want.M, want.N)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Errorf("event %d: %+v, want %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Log-linear with 2 significant bits: quantile estimates must be within
+	// 25% below the true value (bucket lower bounds).
+	for _, tc := range []struct {
+		q    float64
+		true int64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}} {
+		got := h.Quantile(tc.q)
+		if got > tc.true || float64(got) < float64(tc.true)*0.75 {
+			t.Errorf("Quantile(%g) = %d, want in [%g, %d]", tc.q, got, float64(tc.true)*0.75, tc.true)
+		}
+	}
+	if h.Mean() < 500 || h.Mean() > 501 {
+		t.Errorf("Mean = %g, want 500.5", h.Mean())
+	}
+}
+
+func TestHistogramObserveIsAllocFree(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if allocs != 0 {
+		t.Errorf("Observe allocates %.1f per run", allocs)
+	}
+}
+
+func TestMetricsPairing(t *testing.T) {
+	tr := NewTracer(0).WithMetrics(NewMetrics())
+	// CS latency: request at 10, enter at 25 → 15 ticks.
+	tr.Record(10, EvCSRequest, 1, 0, 0)
+	tr.Record(25, EvCSEnter, 1, 0, 0)
+	// Handoff: leave at 30, join at 70 → 40 ticks.
+	tr.Record(30, EvLeave, 2, 0, 0)
+	tr.Record(70, EvJoin, 2, 1, 0)
+	// Chase hops and ARQ retries come straight off the operands.
+	tr.Record(80, EvDeliver, 1, 1, 3)
+	tr.Record(90, EvAck, 4, 2, 0)
+
+	s := tr.MetricsSnapshot()
+	if s.CSLatency.Count() != 1 || s.CSLatency.Sum() != 15 {
+		t.Errorf("CSLatency count=%d sum=%d, want 1, 15", s.CSLatency.Count(), s.CSLatency.Sum())
+	}
+	if s.HandoffTicks.Count() != 1 || s.HandoffTicks.Sum() != 40 {
+		t.Errorf("HandoffTicks count=%d sum=%d, want 1, 40", s.HandoffTicks.Count(), s.HandoffTicks.Sum())
+	}
+	if s.ChaseHops.Sum() != 3 || s.ARQRetries.Sum() != 2 {
+		t.Errorf("ChaseHops sum=%d ARQRetries sum=%d, want 3, 2", s.ChaseHops.Sum(), s.ARQRetries.Sum())
+	}
+	if s.Counts["cs-request"] != 1 || s.Counts["join"] != 1 {
+		t.Errorf("counters wrong: %v", s.Counts)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	tr := NewTracer(0).WithMetrics(NewMetrics())
+	tr.Record(0, EvTransmit, 0, 1, 0)
+	tr.Record(1, EvDeliver, 0, 0, 1)
+	before := tr.MetricsSnapshot()
+	tr.Record(2, EvTransmit, 0, 1, 0)
+	tr.Record(3, EvDeliver, 0, 0, 2)
+	d := tr.MetricsSnapshot().Diff(before)
+	if d.Counts["transmit"] != 1 || d.Counts["deliver"] != 1 {
+		t.Errorf("diff counts: %v", d.Counts)
+	}
+	if d.ChaseHops.Count() != 1 || d.ChaseHops.Sum() != 2 {
+		t.Errorf("diff ChaseHops count=%d sum=%d, want 1, 2", d.ChaseHops.Count(), d.ChaseHops.Sum())
+	}
+}
+
+func TestFilterAndMobilityKinds(t *testing.T) {
+	events := sampleTrace().Events
+	kept := Filter(events, KindFilter(MobilityKinds()...))
+	if len(kept) != 2 || kept[0].Kind != EvLeave || kept[1].Kind != EvJoin {
+		t.Errorf("mobility filter kept %v", Lines(kept, false))
+	}
+	if got := events[1].Line(true); got != "3 leave 1 0 0" {
+		t.Errorf("Line(true) = %q", got)
+	}
+	if got := events[3].Line(false); got != "deliver 2 1 -1" {
+		t.Errorf("Line(false) = %q", got)
+	}
+}
+
+func TestHandlerServesMetricsAndVars(t *testing.T) {
+	tr := NewTracer(0).WithMetrics(NewMetrics())
+	tr.Record(10, EvCSRequest, 1, 0, 0)
+	tr.Record(30, EvCSEnter, 1, 0, 0)
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return buf.String()
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`mobiledist_events_total{kind="cs-request"} 1`,
+		"mobiledist_cs_latency_ticks_count 1",
+		"mobiledist_cs_latency_ticks_sum 20",
+		"# TYPE mobiledist_events_total counter",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	vars := get("/vars")
+	for _, want := range []string{`"cs-request": 1`, `"total_recorded": 2`, `"cs_latency_ticks"`} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/vars missing %q:\n%s", want, vars)
+		}
+	}
+}

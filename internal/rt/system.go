@@ -33,6 +33,7 @@ import (
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
 	"mobiledist/internal/faults"
+	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// Trace, when non-nil, receives one line per model-level event. It is
 	// called on the executor goroutine.
 	Trace func(t sim.Time, event, detail string)
+	// Obs, when non-nil, records typed observability events and metrics
+	// (internal/obs). Recording happens on the executor and pipe
+	// goroutines (Tracer locks internally); scrapers — MetricsHandler,
+	// expvar — snapshot concurrently from other goroutines.
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns a live configuration for m stations and n hosts.
@@ -114,6 +120,7 @@ func (c Config) engineConfig() engine.Config {
 		ARQTimeout:        c.ARQTimeout,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
+		Obs:               c.Obs,
 	}
 }
 
@@ -187,9 +194,14 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		inj.SetTracer(cfg.Obs)
 		s.inj = inj
 		sub = inj
 	}
+	// The observer wraps outermost so it records what the engine asked the
+	// transport to do, before the fault injector disturbs it.
+	cfg.Obs.SetTopology(cfg.M, cfg.N)
+	sub = engine.ObserveSubstrate(sub, cfg.Obs)
 	eng, err := engine.New(cfg.engineConfig(), sub)
 	if err != nil {
 		return nil, err
