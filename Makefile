@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz chaos tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz chaos soak tables
 
 ci: vet staticcheck build test race chaos bench-smoke
 
@@ -47,11 +47,20 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzKernelHeapOracle -fuzztime 30s ./internal/sim
 
 # Chaos conformance: the substrate-parity invariants re-run under seeded
-# fault plans (wireless loss, link flaps, MSS crash/restart) on both the
-# simulator and the live runtime, race detector on. See DESIGN.md §8.
+# fault plans (wireless loss, link flaps, MSS crash/restart) on the
+# simulator, the live runtime, and the TCP network runtime, race detector
+# on. See DESIGN.md §8 and §10.
 chaos:
 	$(GO) test -race -run 'TestChaos' -count 1 ./internal/conformance/
 	$(GO) test -race -run 'Test' -count 1 ./internal/faults/
+	$(GO) test -race -run 'Test' -count 1 ./internal/netrt/ ./internal/wire/
+
+# Extended loopback soak: churn + CS traffic + fault injection over real
+# TCP sockets for 15s under the race detector (the same test runs for ~2s
+# in the regular suite; see DESIGN.md §10). Not part of `make ci` so CI
+# stays bounded.
+soak:
+	$(GO) test -race -run 'TestLoopbackSoak' -count 1 ./internal/netrt/ -soak 15s
 
 # Regenerate the experiment tables (parallel driver, deterministic output).
 tables:

@@ -1,0 +1,233 @@
+// Command mobilenode runs pieces of a TCP-backed two-tier cluster — the
+// deployment the paper describes: mobile support stations as real machines
+// on a wired network, mobile hosts reaching their serving station over a
+// wireless link. Here every link is a TCP connection (internal/netrt), and
+// the model engine runs at a hub process.
+//
+// Roles:
+//
+//	mobilenode -init -m 3 -n 4 -cluster cluster.json [-base 127.0.0.1:9200]
+//	    write a cluster address file for 3 stations and 4 hosts
+//	mobilenode -role hub -cluster cluster.json
+//	    run the hub: hosts the engine, drives the demo R2 token-ring
+//	    workload across the cluster, prints the cost/Stats table, then
+//	    shuts the cluster down
+//	mobilenode -role mss -id 0 -cluster cluster.json
+//	    run one MSS relay node (repeat for each id in [0, M))
+//	mobilenode -role mh -id 0 -cluster cluster.json
+//	    run one MH client (repeat for each id in [0, N))
+//	mobilenode -role demo
+//	    the whole thing in one process: a loopback cluster of 3 MSS nodes
+//	    and 4 MH clients completes an R2 token-ring run with leave/join
+//	    handoffs — traffic still crosses real TCP sockets
+//
+// Start the MSS and MH processes in any order: connections retry with
+// backoff, traffic queues in outboxes, and the hub's workload begins once
+// the cluster reports ready. Relays and clients exit when the hub says
+// goodbye.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/mutex/ring"
+	"mobiledist/internal/netrt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobilenode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mobilenode", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		role    = fs.String("role", "demo", "process role: demo, hub, mss, or mh")
+		cluster = fs.String("cluster", "", "cluster address file (JSON)")
+		id      = fs.Int("id", 0, "station or host id for -role mss/mh")
+		doInit  = fs.Bool("init", false, "write a cluster file for -m/-n and exit")
+		m       = fs.Int("m", 3, "number of mobile support stations (-init)")
+		n       = fs.Int("n", 4, "number of mobile hosts (-init)")
+		base    = fs.String("base", "127.0.0.1:9200", "first address for -init; subsequent ports count up")
+		seed    = fs.Uint64("seed", 1, "latency RNG seed (hub)")
+		timeout = fs.Duration("timeout", 30*time.Second, "cluster ready/drain timeout (hub)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *doInit {
+		if *cluster == "" {
+			return fmt.Errorf("-init needs -cluster FILE")
+		}
+		cc, err := initCluster(*m, *n, *base)
+		if err != nil {
+			return err
+		}
+		if err := cc.Save(*cluster); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: hub %s, %d stations, %d hosts\n", *cluster, cc.Hub, cc.M, cc.N)
+		return nil
+	}
+
+	switch *role {
+	case "demo":
+		return runDemo(out, *seed, *timeout)
+	case "hub", "mss", "mh":
+		if *cluster == "" {
+			return fmt.Errorf("-role %s needs -cluster FILE", *role)
+		}
+		cc, err := netrt.LoadCluster(*cluster)
+		if err != nil {
+			return err
+		}
+		switch *role {
+		case "hub":
+			return runHub(out, cc, *seed, *timeout)
+		case "mss":
+			node, err := netrt.StartNode(netrt.NodeConfig{ID: *id, Cluster: cc})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "mss%d relaying on %s\n", *id, node.Addr())
+			node.Wait()
+			return nil
+		default:
+			client, err := netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "mh%d on the wireless tier\n", *id)
+			client.Wait()
+			return nil
+		}
+	default:
+		return fmt.Errorf("unknown role %q (want demo, hub, mss, or mh)", *role)
+	}
+}
+
+// initCluster assigns sequential ports starting at base: hub first, then
+// one per station.
+func initCluster(m, n int, base string) (netrt.ClusterConfig, error) {
+	var cc netrt.ClusterConfig
+	if m < 1 || n < 1 {
+		return cc, fmt.Errorf("need -m >= 1 and -n >= 1 (got %d, %d)", m, n)
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return cc, fmt.Errorf("bad -base %q: want host:port", base)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return cc, fmt.Errorf("bad -base port %q", portStr)
+	}
+	cc.Hub = net.JoinHostPort(host, strconv.Itoa(port))
+	cc.M, cc.N = m, n
+	cc.MSS = make([]string, m)
+	for i := range cc.MSS {
+		cc.MSS[i] = net.JoinHostPort(host, strconv.Itoa(port+1+i))
+	}
+	return cc, nil
+}
+
+// runHub hosts the engine for an externally launched cluster and drives the
+// demo workload across it.
+func runHub(out io.Writer, cc netrt.ClusterConfig, seed uint64, timeout time.Duration) error {
+	cfg := netrt.DefaultConfig(cc.M, cc.N)
+	cfg.Seed = seed
+	cfg.ListenAddr = cc.Hub
+	cfg.MSSAddrs = cc.MSS
+	if cc.TickUS > 0 {
+		cfg.Tick = time.Duration(cc.TickUS) * time.Microsecond
+	}
+	sys, err := netrt.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hub listening on %s; waiting for %d stations and %d hosts\n", sys.Addr(), cc.M, cc.N)
+	return demoWorkload(out, sys, cc.M, cc.N, timeout)
+}
+
+// runDemo launches a full loopback cluster — 3 MSS relay nodes and 4 MH
+// clients on 127.0.0.1 sockets — and drives the same workload.
+func runDemo(out io.Writer, seed uint64, timeout time.Duration) error {
+	const m, n = 3, 4
+	cfg := netrt.DefaultConfig(m, n)
+	cfg.Seed = seed
+	lb, err := netrt.StartLoopback(cfg)
+	if err != nil {
+		return err
+	}
+	defer lb.Stop()
+	fmt.Fprintf(out, "loopback cluster: hub %s, %d MSS nodes, %d MH clients\n", lb.Sys.Addr(), m, n)
+	return demoWorkload(out, lb.Sys, m, n, timeout)
+}
+
+// demoWorkload is the R2 token-ring run both hub and demo roles execute:
+// every host requests the critical section, the token makes two traversals,
+// and two hosts hand off between cells (leave/join) mid-run — then the
+// cost/Stats table shows what crossing real links did (and did not) change.
+func demoWorkload(out io.Writer, sys *netrt.System, m, n int, timeout time.Duration) error {
+	defer sys.Stop()
+
+	var grants int
+	r2, err := ring.NewR2(sys, ring.VariantCounter, ring.Options{
+		Hold: 2,
+		OnEnter: func(mh core.MHID) {
+			grants++
+			fmt.Fprintf(out, "mh%-2d enters the critical section\n", int(mh))
+		},
+	}, 2, nil)
+	if err != nil {
+		return err
+	}
+
+	sys.Start()
+	if !sys.WaitReady(timeout) {
+		return fmt.Errorf("cluster did not become ready within %v", timeout)
+	}
+	fmt.Fprintf(out, "cluster ready: every station and host connected\n\n")
+
+	sys.Do(func() {
+		for i := 0; i < n; i++ {
+			if err := r2.Request(core.MHID(i)); err != nil {
+				fmt.Fprintln(out, "request:", err)
+			}
+		}
+	})
+	// Leave/join handoffs while requests are in flight: each move physically
+	// re-dials the client's wireless connection to its new station. Targets
+	// are one cell over from each host's round-robin starting cell.
+	sys.Move(1, core.MSSID((1+1)%m))
+	sys.Move(core.MHID(n-1), core.MSSID(((n-1)+1)%m))
+	sys.Do(func() {
+		if err := r2.Start(); err != nil {
+			fmt.Fprintln(out, "start:", err)
+		}
+	})
+	if !sys.WaitIdle(timeout) {
+		return fmt.Errorf("network did not drain within %v", timeout)
+	}
+
+	var snapGrants int
+	sys.Do(func() { snapGrants = grants })
+	grants = snapGrants
+	st := sys.Stats()
+	cfgp := sys.Config().Params
+	fmt.Fprintf(out, "\n%d grants over TCP transport; %d searches performed\n", grants, st.Searches)
+	fmt.Fprintf(out, "moves=%d handoffs(leave/join)=%d disconnects=%d reconnects=%d\n",
+		st.Moves, st.Moves, st.Disconnects, st.Reconnects)
+	fmt.Fprint(out, sys.Meter().Report(cfgp))
+	return nil
+}

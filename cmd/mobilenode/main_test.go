@@ -1,0 +1,175 @@
+package main
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobiledist/internal/netrt"
+)
+
+// TestDemoCompletesTokenRingRun is the acceptance scenario: a loopback
+// cluster of 3 MSS nodes and 4 MH clients completes an R2 token-ring run
+// with leave/join handoffs and prints the cost/Stats table.
+func TestDemoCompletesTokenRingRun(t *testing.T) {
+	var out syncBuilder
+	if err := run([]string{"-role", "demo", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run demo: %v", err)
+	}
+	text := out.String()
+	for i := 0; i < 4; i++ {
+		want := "mh" + string(rune('0'+i))
+		if !strings.Contains(text, want+" ") {
+			t.Errorf("demo output missing a CS entry for %s:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "4 grants over TCP transport") {
+		t.Errorf("demo output missing grant summary:\n%s", text)
+	}
+	if !strings.Contains(text, "moves=2") {
+		t.Errorf("demo output missing the two leave/join handoffs:\n%s", text)
+	}
+	if !strings.Contains(text, "algorithm") || !strings.Contains(text, "total cost") {
+		t.Errorf("demo output missing the cost table:\n%s", text)
+	}
+}
+
+// TestInitWritesLoadableClusterFile checks -init round-trips through
+// netrt.LoadCluster with sequential ports.
+func TestInitWritesLoadableClusterFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	var out syncBuilder
+	err := run([]string{"-init", "-m", "3", "-n", "5", "-base", "127.0.0.1:9400", "-cluster", path}, &out)
+	if err != nil {
+		t.Fatalf("run -init: %v", err)
+	}
+	cc, err := netrt.LoadCluster(path)
+	if err != nil {
+		t.Fatalf("LoadCluster: %v", err)
+	}
+	if cc.Hub != "127.0.0.1:9400" || cc.M != 3 || cc.N != 5 {
+		t.Errorf("cluster = %+v", cc)
+	}
+	if cc.MSS[0] != "127.0.0.1:9401" || cc.MSS[2] != "127.0.0.1:9403" {
+		t.Errorf("MSS addresses not sequential: %v", cc.MSS)
+	}
+}
+
+// TestHubDrivesExternalNodesAndClients runs the three roles as separate
+// in-process instances wired through a cluster file on ephemeral ports —
+// the multi-process deployment, minus the processes.
+func TestHubDrivesExternalNodesAndClients(t *testing.T) {
+	cc, listeners := ephemeralCluster(t, 2, 3)
+
+	cfg := netrt.DefaultConfig(cc.M, cc.N)
+	cfg.ListenAddr = cc.Hub
+	cfg.MSSAddrs = cc.MSS
+	sys, err := netrt.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	cc.Hub = sys.Addr() // the hub bound an ephemeral port; tell the others
+
+	nodes := make([]*netrt.Node, cc.M)
+	for i := range nodes {
+		n, err := netrt.StartNode(netrt.NodeConfig{ID: i, Cluster: cc, Listener: listeners[i]})
+		if err != nil {
+			t.Fatalf("StartNode %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	clients := make([]*netrt.Client, cc.N)
+	for h := range clients {
+		c, err := netrt.StartClient(netrt.ClientConfig{ID: h, Cluster: cc})
+		if err != nil {
+			t.Fatalf("StartClient %d: %v", h, err)
+		}
+		clients[h] = c
+	}
+
+	var out syncBuilder
+	if err := demoWorkload(&out, sys, cc.M, cc.N, 30*time.Second); err != nil {
+		t.Fatalf("demoWorkload: %v", err)
+	}
+	if !strings.Contains(out.String(), "grants over TCP transport") {
+		t.Errorf("hub output missing grant summary:\n%s", out.String())
+	}
+	// The hub's goodbye must shut relays and clients down on its own.
+	done := make(chan struct{})
+	go func() {
+		for _, n := range nodes {
+			n.Wait()
+		}
+		for _, c := range clients {
+			c.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nodes/clients did not exit after the hub said goodbye")
+	}
+}
+
+func TestUnknownRoleRejected(t *testing.T) {
+	var out syncBuilder
+	if err := run([]string{"-role", "teapot"}, &out); err == nil {
+		t.Error("unknown role accepted")
+	}
+}
+
+func TestClusterRolesNeedClusterFile(t *testing.T) {
+	var out syncBuilder
+	for _, role := range []string{"hub", "mss", "mh"} {
+		if err := run([]string{"-role", role}, &out); err == nil {
+			t.Errorf("-role %s without -cluster accepted", role)
+		}
+	}
+}
+
+// ephemeralCluster binds M station listeners on ephemeral loopback ports
+// and returns the matching cluster config (the hub address is a placeholder
+// until the hub binds its own ephemeral port).
+func ephemeralCluster(t *testing.T, m, n int) (netrt.ClusterConfig, []net.Listener) {
+	t.Helper()
+	listeners := make([]net.Listener, m)
+	addrs := make([]string, m)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return netrt.ClusterConfig{
+		Hub: "127.0.0.1:0",
+		MSS: addrs,
+		M:   m,
+		N:   n,
+	}, listeners
+}
+
+// syncBuilder is a strings.Builder safe for the demo's two writers (the
+// executor's OnEnter callback and the driving goroutine).
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

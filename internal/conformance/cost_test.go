@@ -10,18 +10,19 @@ import (
 )
 
 // Cost parity: the same protocol scenario executed on the deterministic
-// simulator and on the live goroutine runtime must charge exactly the same
-// algorithm message counts — the cost model depends on what is sent, never
-// on timing. (Moved here from internal/rt when the conformance suite became
-// cross-substrate.)
+// simulator, on the live goroutine runtime, and on the TCP-backed network
+// runtime must charge exactly the same algorithm message counts — the cost
+// model depends on what is sent, never on timing or transport. (Moved here
+// from internal/rt when the conformance suite became cross-substrate.)
 
-func assertSameAlgorithmCounts(t *testing.T, sim, live *cost.Meter) {
+func assertSameAlgorithmCounts(t *testing.T, sim, live, net *cost.Meter) {
 	t.Helper()
 	for _, kind := range cost.Kinds() {
 		s := sim.Count(cost.CatAlgorithm, kind)
 		l := live.Count(cost.CatAlgorithm, kind)
-		if s != l {
-			t.Errorf("%v messages: sim %d vs live %d", kind, s, l)
+		n := net.Count(cost.CatAlgorithm, kind)
+		if s != l || s != n {
+			t.Errorf("%v messages: sim %d vs live %d vs net %d", kind, s, l, n)
 		}
 	}
 }
@@ -60,7 +61,9 @@ func TestConformanceR2CostParity(t *testing.T) {
 	defer simD.stop()
 	liveD := newLiveDriver(t, m, n)
 	defer liveD.stop()
-	assertSameAlgorithmCounts(t, meterR2(t, simD, k), meterR2(t, liveD, k))
+	netD := newNetDriver(t, m, n)
+	defer netD.stop()
+	assertSameAlgorithmCounts(t, meterR2(t, simD, k), meterR2(t, liveD, k), meterR2(t, netD, k))
 }
 
 func meterLocationView(t *testing.T, d driver, m, g int) *cost.Meter {
@@ -89,5 +92,10 @@ func TestConformanceLocationViewCostParity(t *testing.T) {
 	defer simD.stop()
 	liveD := newLiveDriver(t, m, n)
 	defer liveD.stop()
-	assertSameAlgorithmCounts(t, meterLocationView(t, simD, m, g), meterLocationView(t, liveD, m, g))
+	netD := newNetDriver(t, m, n)
+	defer netD.stop()
+	assertSameAlgorithmCounts(t,
+		meterLocationView(t, simD, m, g),
+		meterLocationView(t, liveD, m, g),
+		meterLocationView(t, netD, m, g))
 }

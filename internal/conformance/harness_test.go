@@ -1,11 +1,12 @@
 // Package conformance is the cross-substrate test suite of the two-tier
-// model: every property here is asserted against BOTH network drivers — the
-// deterministic simulator (internal/core on the sim kernel) and the live
-// goroutine runtime (internal/rt) — through one driver abstraction. Since
-// both bind the same internal/engine, these tests pin the substrate
-// adapters: scheduling, FIFO transport, and execution-context discipline
-// must not change what the protocol does, only when wall-clock-wise it
-// happens.
+// model: every property here is asserted against ALL three network drivers —
+// the deterministic simulator (internal/core on the sim kernel), the live
+// goroutine runtime (internal/rt), and the TCP-backed network runtime
+// (internal/netrt on loopback sockets) — through one driver abstraction.
+// Since all of them bind the same internal/engine, these tests pin the
+// substrate adapters: scheduling, FIFO transport, and execution-context
+// discipline must not change what the protocol does, only when
+// wall-clock-wise it happens.
 package conformance
 
 import (
@@ -16,6 +17,7 @@ import (
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
 	"mobiledist/internal/faults"
+	"mobiledist/internal/netrt"
 	"mobiledist/internal/rt"
 )
 
@@ -142,6 +144,65 @@ func (d *liveDriver) settle(t *testing.T) {
 	}
 }
 
+// netDriver binds scenarios to the TCP-backed network runtime: a full
+// loopback cluster (hub + M relay nodes + N MH clients) whose traffic
+// crosses real sockets. Same engine, real links.
+type netDriver struct {
+	t  *testing.T
+	lb *netrt.Loopback
+}
+
+func newNetDriver(t *testing.T, m, n int) *netDriver {
+	t.Helper()
+	return newNetFaultDriver(t, m, n, nil)
+}
+
+// newNetFaultDriver builds a loopback-cluster driver running under plan
+// (nil for fault-free).
+func newNetFaultDriver(t *testing.T, m, n int, plan *core.FaultPlan) *netDriver {
+	t.Helper()
+	cfg := netrt.DefaultConfig(m, n)
+	cfg.Faults = plan
+	lb, err := netrt.StartLoopback(cfg)
+	if err != nil {
+		t.Fatalf("netrt.StartLoopback: %v", err)
+	}
+	return &netDriver{t: t, lb: lb}
+}
+
+func (d *netDriver) name() string              { return "net" }
+func (d *netDriver) registrar() core.Registrar { return d.lb.Sys }
+
+func (d *netDriver) start() {
+	d.lb.Sys.Start()
+	if !d.lb.Sys.WaitReady(idleTimeout) {
+		d.t.Fatal("net start: cluster did not become ready")
+	}
+}
+
+func (d *netDriver) do(fn func())                          { d.lb.Sys.Do(fn) }
+func (d *netDriver) move(mh core.MHID, to core.MSSID)      { d.lb.Sys.Move(mh, to) }
+func (d *netDriver) disconnect(mh core.MHID)               { d.lb.Sys.Disconnect(mh) }
+func (d *netDriver) reconnect(mh core.MHID, at core.MSSID) { d.lb.Sys.Reconnect(mh, at) }
+func (d *netDriver) meter() *cost.Meter                    { return d.lb.Sys.Meter() }
+func (d *netDriver) stats() engine.Stats                   { return d.lb.Sys.Stats() }
+func (d *netDriver) injector() *faults.Injector            { return d.lb.Sys.Injector() }
+func (d *netDriver) stop()                                 { d.lb.Stop() }
+
+func (d *netDriver) pause(t *testing.T) {
+	t.Helper()
+	if !d.lb.Sys.WaitIdle(idleTimeout) {
+		t.Fatal("net pause: network did not drain")
+	}
+}
+
+func (d *netDriver) settle(t *testing.T) {
+	t.Helper()
+	if !d.lb.Sys.WaitIdle(idleTimeout) {
+		t.Fatal("net settle: network did not drain")
+	}
+}
+
 // forEachSubstrate runs scenario once per substrate as a subtest.
 func forEachSubstrate(t *testing.T, m, n int, scenario func(t *testing.T, d driver)) {
 	forEachSubstrateFaults(t, m, n, nil, scenario)
@@ -157,6 +218,11 @@ func forEachSubstrateFaults(t *testing.T, m, n int, plan *core.FaultPlan, scenar
 	})
 	t.Run("live", func(t *testing.T) {
 		d := newLiveFaultDriver(t, m, n, plan)
+		defer d.stop()
+		scenario(t, d)
+	})
+	t.Run("net", func(t *testing.T) {
+		d := newNetFaultDriver(t, m, n, plan)
 		defer d.stop()
 		scenario(t, d)
 	})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mobiledist/internal/core"
+	"mobiledist/internal/netrt"
 	"mobiledist/internal/obs"
 	"mobiledist/internal/rt"
 )
@@ -12,12 +13,12 @@ import (
 // TestMobilityTraceAgreesAcrossSubstrates pins the observability seam to
 // the model, not the substrate: the same scripted mobility workload must
 // produce the identical subsequence of mobility events (leave, join,
-// disconnect, reconnect, handoff) on the simulator and the live runtime.
-// Timestamps differ — the sim clock is virtual, the live clock is an op
-// counter — so events are compared in their timeless canonical form.
-// Settling between steps fixes the order in which concurrent traffic
-// lands, which is what makes the full subsequence (not just the multiset)
-// comparable.
+// disconnect, reconnect, handoff) on the simulator, the live runtime, and
+// the TCP-backed network runtime. Timestamps differ — the sim clock is
+// virtual, the live clocks are op counters — so events are compared in
+// their timeless canonical form. Settling between steps fixes the order in
+// which concurrent traffic lands, which is what makes the full subsequence
+// (not just the multiset) comparable.
 func TestMobilityTraceAgreesAcrossSubstrates(t *testing.T) {
 	const m, n = 3, 5
 
@@ -64,12 +65,27 @@ func TestMobilityTraceAgreesAcrossSubstrates(t *testing.T) {
 	liveLines := capture(t, liveD, liveTracer)
 	liveD.stop()
 
+	netTracer := obs.NewTracer(0)
+	netCfg := netrt.DefaultConfig(m, n)
+	netCfg.Obs = netTracer
+	lb, err := netrt.StartLoopback(netCfg)
+	if err != nil {
+		t.Fatalf("netrt.StartLoopback: %v", err)
+	}
+	netD := &netDriver{t: t, lb: lb}
+	netLines := capture(t, netD, netTracer)
+	netD.stop()
+
 	if len(simLines) == 0 {
 		t.Fatal("sim trace captured no mobility events")
 	}
 	if strings.Join(simLines, "\n") != strings.Join(liveLines, "\n") {
 		t.Errorf("mobility event sequences diverge:\nsim:\n  %s\nlive:\n  %s",
 			strings.Join(simLines, "\n  "), strings.Join(liveLines, "\n  "))
+	}
+	if strings.Join(simLines, "\n") != strings.Join(netLines, "\n") {
+		t.Errorf("mobility event sequences diverge:\nsim:\n  %s\nnet:\n  %s",
+			strings.Join(simLines, "\n  "), strings.Join(netLines, "\n  "))
 	}
 
 	// The script is explicit about what it did; check the multiset too so a

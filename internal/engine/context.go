@@ -95,6 +95,17 @@ type Context interface {
 	// NoteTokenPass records a privilege (token) transfer from one mobile
 	// host to the next in the observability stream.
 	NoteTokenPass(from, to MHID)
+
+	// NoteGroupInform, NoteGroupViewUpdate, and NoteGroupStaleLookup record
+	// group-communication strategy activity (Section 4.2) in the
+	// observability stream: a member's post-join location broadcast, a
+	// view change the coordinator committed (added/removed are -1 when that
+	// side did not change; size is the view size after), and a group send
+	// that fell back to coordinator routing because the sender's local view
+	// was not usable. No-ops when tracing is disabled; never charged.
+	NoteGroupInform(mh MHID, at MSSID)
+	NoteGroupViewUpdate(added, removed MSSID, size int)
+	NoteGroupStaleLookup(mh MHID, at MSSID)
 }
 
 // algContext is the Context handed to one registered algorithm. It is the
@@ -189,4 +200,16 @@ func (c *algContext) NoteCSExit(mh MHID) {
 
 func (c *algContext) NoteTokenPass(from, to MHID) {
 	c.e.event(obs.EvTokenPass, int32(from), int32(to), 0)
+}
+
+func (c *algContext) NoteGroupInform(mh MHID, at MSSID) {
+	c.e.event(obs.EvGroupInform, int32(mh), int32(at), 0)
+}
+
+func (c *algContext) NoteGroupViewUpdate(added, removed MSSID, size int) {
+	c.e.event(obs.EvGroupViewUpdate, int32(added), int32(removed), int32(size))
+}
+
+func (c *algContext) NoteGroupStaleLookup(mh MHID, at MSSID) {
+	c.e.event(obs.EvGroupStaleLookup, int32(mh), int32(at), 0)
 }

@@ -1,0 +1,136 @@
+// Package execq provides the unbounded executor work queue shared by the
+// live substrate bindings of the network engine (internal/rt on in-process
+// goroutines, internal/netrt on TCP sockets). Both runtimes funnel all
+// engine and algorithm work through a single executor goroutine; this queue
+// feeds that goroutine and is the runtime's single source of truth for
+// quiescence.
+//
+// Unboundedness is deliberate: producers are transport goroutines that must
+// never block on the executor (a bounded channel could deadlock the executor
+// against its own deliveries).
+//
+// Idle tracking lives here, under the queue mutex, so "idle" is an exact
+// predicate evaluated atomically: no task queued, no task running, and no
+// asynchronous operation (timer or transmission) in flight. Every async op
+// brackets itself with OpStart/OpDone *before* leaving the executor, so
+// there is no instant where pending work is invisible to the predicate.
+// IdleWait waiters park on a channel that closes the moment the predicate
+// becomes true — a condition-signaled drain, not a poll.
+package execq
+
+import "sync"
+
+// Queue is an unbounded FIFO work queue with exact idle tracking. The zero
+// value is not usable; construct with New.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()
+	closed bool
+
+	// running is true while the executor is inside a task (set by Pop,
+	// cleared by Done).
+	running bool
+	// inflight counts asynchronous operations bracketed by OpStart/OpDone.
+	inflight int64
+	// idleWaiters are IdleWait channels closed on the next transition to
+	// idle.
+	idleWaiters []chan struct{}
+}
+
+// New returns an empty open queue.
+func New() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues fn. It reports false if the queue is closed.
+func (q *Queue) Push(fn func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, fn)
+	q.cond.Signal()
+	return true
+}
+
+// Pop dequeues the next task, blocking until one is available or the queue
+// closes, and marks the executor busy. The caller must invoke Done after
+// running the task. It reports false when closed and drained.
+func (q *Queue) Pop() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	fn := q.items[0]
+	q.items = q.items[1:]
+	q.running = true
+	return fn, true
+}
+
+// Done marks the executor idle again after a task returns.
+func (q *Queue) Done() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.running = false
+	q.notifyLocked()
+}
+
+// OpStart registers one asynchronous operation for idle tracking.
+func (q *Queue) OpStart() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight++
+}
+
+// OpDone resolves one asynchronous operation.
+func (q *Queue) OpDone() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight--
+	q.notifyLocked()
+}
+
+// IdleWait reports idleness: (nil, true) if the network is drained right
+// now, else a channel that closes on the next transition to idle.
+func (q *Queue) IdleWait() (<-chan struct{}, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.idleLocked() {
+		return nil, true
+	}
+	ch := make(chan struct{})
+	q.idleWaiters = append(q.idleWaiters, ch)
+	return ch, false
+}
+
+func (q *Queue) idleLocked() bool {
+	return !q.running && q.inflight == 0 && len(q.items) == 0
+}
+
+func (q *Queue) notifyLocked() {
+	if !q.idleLocked() {
+		return
+	}
+	for _, ch := range q.idleWaiters {
+		close(ch)
+	}
+	q.idleWaiters = nil
+}
+
+// Close marks the queue closed and wakes the consumer. Queued tasks are
+// still drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.notifyLocked()
+}

@@ -1,0 +1,105 @@
+package execq
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := New()
+	var ran int
+	q.Push(func() { ran++ })
+	q.Push(func() { ran++ })
+	q.Close()
+	if q.Push(func() {}) {
+		t.Error("Push after Close succeeded")
+	}
+	for {
+		fn, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 (queued tasks drain after close)", ran)
+	}
+}
+
+func TestQueueIdlePredicate(t *testing.T) {
+	q := New()
+	if _, idle := q.IdleWait(); !idle {
+		t.Fatal("fresh queue not idle")
+	}
+
+	// A pending op keeps the queue busy until resolved.
+	q.OpStart()
+	ch, idle := q.IdleWait()
+	if idle {
+		t.Fatal("queue idle with an op in flight")
+	}
+	select {
+	case <-ch:
+		t.Fatal("idle channel closed early")
+	default:
+	}
+	q.OpDone()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("idle channel did not close after OpDone")
+	}
+
+	// A queued task keeps the queue busy until popped AND done.
+	q.Push(func() {})
+	if _, idle := q.IdleWait(); idle {
+		t.Fatal("queue idle with a task queued")
+	}
+	fn, ok := q.Pop()
+	if !ok {
+		t.Fatal("Pop failed")
+	}
+	fn()
+	if _, idle := q.IdleWait(); idle {
+		t.Fatal("queue idle while task running (Done not called)")
+	}
+	q.Done()
+	if _, idle := q.IdleWait(); !idle {
+		t.Fatal("queue not idle after Done")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := New()
+	const producers, per = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(func() {})
+			}
+		}()
+	}
+	done := make(chan int)
+	go func() {
+		n := 0
+		for {
+			fn, ok := q.Pop()
+			if !ok {
+				break
+			}
+			fn()
+			q.Done()
+			n++
+		}
+		done <- n
+	}()
+	wg.Wait()
+	q.Close()
+	if n := <-done; n != producers*per {
+		t.Errorf("consumed %d tasks, want %d", n, producers*per)
+	}
+}

@@ -153,6 +153,7 @@ func (g *AlwaysInform) OnJoin(ctx core.Context, mss core.MSSID, mh core.MHID, pr
 	}
 	g.ld[slot][mh] = mss
 	g.updates++
+	ctx.NoteGroupInform(mh, mss)
 	update := locUpdate{Member: mh, At: mss}
 	if err := g.fanOut(slot, mh, update, cost.CatLocation); err != nil {
 		panic(fmt.Sprintf("group: always-inform location update: %v", err))

@@ -361,6 +361,7 @@ func (g *LocationView) distribute(ctx core.Context, at core.MSSID, from core.MHI
 		// flight. Route through the coordinator; charged as stale traffic
 		// because a settled view never takes this path.
 		g.fallbacks++
+		ctx.NoteGroupStaleLookup(from, at)
 		ctx.SendFixed(at, g.opts.Coordinator, lvFallback{From: from, Payload: payload}, cost.CatStale)
 		return
 	}
@@ -399,12 +400,14 @@ func (g *LocationView) applyAtCoordinator(ctx core.Context, at core.MSSID, req l
 	// stamped later than an addition wins even if it arrives first.
 	changed := false
 	addAccepted := false
+	added, removed := core.MSSID(-1), core.MSSID(-1)
 	if req.HasAdd && req.AddSeq > g.lastSeq[req.Add] {
 		g.lastSeq[req.Add] = req.AddSeq
 		addAccepted = true
 		if !g.master[req.Add] {
 			g.master[req.Add] = true
 			changed = true
+			added = req.Add
 		}
 	}
 	if req.HasDel && req.DelSeq > g.lastSeq[req.Del] {
@@ -412,6 +415,7 @@ func (g *LocationView) applyAtCoordinator(ctx core.Context, at core.MSSID, req l
 		if g.master[req.Del] {
 			delete(g.master, req.Del)
 			changed = true
+			removed = req.Del
 		}
 	}
 	if len(g.master) > g.maxView {
@@ -426,6 +430,7 @@ func (g *LocationView) applyAtCoordinator(ctx core.Context, at core.MSSID, req l
 		return
 	}
 	g.updates++
+	ctx.NoteGroupViewUpdate(added, removed, len(g.master))
 	inc := lvInc{HasAdd: addAccepted, Add: req.Add, HasDel: req.HasDel && !g.master[req.Del], Del: req.Del}
 	for _, id := range g.masterSorted() {
 		if id == at || (req.HasAdd && id == req.Add) {

@@ -1,0 +1,184 @@
+package netrt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// ClusterConfig is the shared topology every cluster process reads: who
+// the hub is, where each station listens, and the model scale. It is the
+// on-disk contract for cmd/mobilenode (-cluster file) and the in-memory
+// one for the loopback launcher.
+type ClusterConfig struct {
+	// Hub is the hub's TCP address.
+	Hub string `json:"hub"`
+	// MSS lists each station's TCP address, indexed by MSS id.
+	MSS []string `json:"mss"`
+	// M and N size the network (M == len(MSS)).
+	M int `json:"m"`
+	// N is the number of mobile hosts.
+	N int `json:"n"`
+	// TickUS is the virtual-time tick in microseconds (0: the 50µs
+	// default). Relays use it to sleep link latencies.
+	TickUS int64 `json:"tick_us,omitempty"`
+}
+
+// tick returns the wall duration of one virtual tick.
+func (c ClusterConfig) tick() time.Duration {
+	if c.TickUS <= 0 {
+		return 50 * time.Microsecond
+	}
+	return time.Duration(c.TickUS) * time.Microsecond
+}
+
+// Validate checks internal consistency.
+func (c ClusterConfig) Validate() error {
+	if c.Hub == "" {
+		return fmt.Errorf("netrt: cluster has no hub address")
+	}
+	if c.M < 1 || c.N < 1 {
+		return fmt.Errorf("netrt: cluster M=%d N=%d out of range", c.M, c.N)
+	}
+	if len(c.MSS) != c.M {
+		return fmt.Errorf("netrt: cluster lists %d MSS addresses, want M=%d", len(c.MSS), c.M)
+	}
+	for i, a := range c.MSS {
+		if a == "" {
+			return fmt.Errorf("netrt: cluster MSS %d has no address", i)
+		}
+	}
+	return nil
+}
+
+// Save writes the cluster file.
+func (c ClusterConfig) Save(path string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadCluster reads and validates a cluster file.
+func LoadCluster(path string) (ClusterConfig, error) {
+	var c ClusterConfig
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(b, &c); err != nil {
+		return c, fmt.Errorf("netrt: parse %s: %w", path, err)
+	}
+	return c, c.Validate()
+}
+
+// Loopback is a whole cluster — hub, M relay nodes, N clients — running
+// in one process over 127.0.0.1 sockets. Traffic still crosses real TCP
+// connections; only process isolation is collapsed. It is the harness the
+// conformance suite, the soak test, and the cmd/mobilenode demo drive.
+type Loopback struct {
+	// Sys is the hub; Register algorithms on it, then Sys.Start().
+	Sys *System
+	// Nodes are the MSS relays, indexed by station id.
+	Nodes []*Node
+	// Clients are the MH clients, indexed by mobile host id.
+	Clients []*Client
+	// Cluster is the topology the pieces were wired with.
+	Cluster ClusterConfig
+}
+
+// StartLoopback launches a full cluster on loopback sockets from cfg
+// (ListenAddr and MSSAddrs are assigned automatically). The hub is
+// returned unstarted so algorithms can be registered; nodes and clients
+// are already connecting, so Sys.WaitReady succeeds shortly after
+// Sys.Start.
+func StartLoopback(cfg Config) (*Loopback, error) {
+	// Bind every station's listener first so the address exchange (hub →
+	// client retargets) has real ports before anything dials.
+	listeners := make([]net.Listener, cfg.M)
+	addrs := make([]string, cfg.M)
+	fail := func(err error) (*Loopback, error) {
+		for _, ln := range listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		return nil, err
+	}
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.MSSAddrs = addrs
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	lb := &Loopback{Sys: sys}
+	lb.Cluster = ClusterConfig{
+		Hub:    sys.Addr(),
+		MSS:    addrs,
+		M:      cfg.M,
+		N:      cfg.N,
+		TickUS: int64(cfg.Tick / time.Microsecond),
+	}
+
+	lb.Nodes = make([]*Node, cfg.M)
+	for i := range lb.Nodes {
+		n, err := StartNode(NodeConfig{
+			ID:       i,
+			Cluster:  lb.Cluster,
+			Listener: listeners[i],
+			FrameTap: cfg.FrameTap,
+		})
+		if err != nil {
+			lb.Stop()
+			return nil, err
+		}
+		lb.Nodes[i] = n
+	}
+	lb.Clients = make([]*Client, cfg.N)
+	for h := range lb.Clients {
+		c, err := StartClient(ClientConfig{
+			ID:       h,
+			Cluster:  lb.Cluster,
+			FrameTap: cfg.FrameTap,
+		})
+		if err != nil {
+			lb.Stop()
+			return nil, err
+		}
+		lb.Clients[h] = c
+	}
+	return lb, nil
+}
+
+// Stop tears the whole cluster down: hub first (so the engine stops
+// producing traffic), then every node and client.
+func (lb *Loopback) Stop() {
+	if lb.Sys != nil {
+		lb.Sys.Stop()
+	}
+	for _, n := range lb.Nodes {
+		if n != nil {
+			n.Stop()
+		}
+	}
+	for _, c := range lb.Clients {
+		if c != nil {
+			c.Stop()
+		}
+	}
+}

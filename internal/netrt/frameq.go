@@ -1,0 +1,78 @@
+package netrt
+
+import (
+	"sync"
+
+	"mobiledist/internal/wire"
+)
+
+// frameQueue is an unbounded FIFO of frames with blocking consumers. It
+// backs both peer outboxes (frames awaiting a healthy connection) and relay
+// latency pipes (frames sleeping their link latency). Unboundedness matters
+// for the same reason as in internal/execq: producers include the hub
+// executor and socket readers, neither of which may ever block on a slow
+// consumer, or the runtime can deadlock against its own deliveries.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []wire.Frame
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// put appends f. It reports false if the queue is closed.
+func (q *frameQueue) put(f wire.Frame) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, f)
+	q.cond.Signal()
+	return true
+}
+
+// head blocks until a frame is available (returning it without removing it)
+// or the queue closes. Leaving the frame at the head until the consumer
+// calls pop gives writers ack semantics: a frame is only consumed once it
+// has actually been written to a connection, so a dropped conn retries it.
+func (q *frameQueue) head() (wire.Frame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return wire.Frame{}, false
+	}
+	return q.items[0], true
+}
+
+// pop removes the head frame (after a successful write).
+func (q *frameQueue) pop() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) > 0 {
+		q.items = q.items[1:]
+	}
+}
+
+// drained reports whether the queue is currently empty.
+func (q *frameQueue) drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) == 0
+}
+
+// close wakes all consumers; queued frames are still served until empty.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,393 @@
+package netrt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mobiledist/internal/engine"
+	"mobiledist/internal/wire"
+)
+
+// NodeConfig describes one MSS relay node.
+type NodeConfig struct {
+	// ID is the station this node carries, in [0, M).
+	ID int
+	// Cluster is the shared cluster topology.
+	Cluster ClusterConfig
+	// Listener, when non-nil, is the pre-bound listen socket (the loopback
+	// launcher binds all sockets before addresses are exchanged). Nil means
+	// listen on Cluster.MSS[ID].
+	Listener net.Listener
+	// FrameTap observes every frame the node writes (see Config.FrameTap).
+	FrameTap func(raw []byte, f wire.Frame)
+}
+
+// Node is an MSS relay: it owns the physical sending end of its station's
+// wired channels and downlinks. TData frames arrive from the hub (hop 0),
+// sleep their link latency in a per-channel pipe — one goroutine per
+// channel, preserving FIFO exactly like internal/rt's transport — and then
+// cross the last physical link: the mesh connection to the destination
+// station, or the wireless connection to the attached MH client. The node
+// confirms wired arrivals from its mesh neighbours and owns the
+// at-least-once confirmation of its downlinks: a frame radioed to a client
+// that detached (or whose connection dropped before the client echoed it)
+// is confirmed by the node itself, which matches the model — the engine's
+// deliver closures re-check MH state at delivery time.
+type Node struct {
+	cfg    NodeConfig
+	tick   time.Duration
+	layout engine.ChannelLayout
+
+	ln   net.Listener
+	hub  *peer
+	mesh []*peer // dialling peers to every other station (self nil)
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	pipeMu sync.Mutex
+	pipes  map[int32]*frameQueue
+
+	linkMu sync.Mutex
+	links  map[int32]*clientLink
+}
+
+// clientLink is one attached MH's wireless connection, with the set of
+// forwarded downlink frames the client has not yet echoed. The node flushes
+// that set as delivered when the link drops: the radio transmission into
+// the cell happened whether or not anyone was listening.
+type clientLink struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *wire.Writer
+
+	pmu     sync.Mutex
+	pending map[pendKey]struct{}
+	flushed bool
+}
+
+// take removes k from the pending set, reporting whether it was present
+// (and therefore still owed a confirmation).
+func (l *clientLink) take(k pendKey) bool {
+	l.pmu.Lock()
+	defer l.pmu.Unlock()
+	if _, ok := l.pending[k]; !ok {
+		return false
+	}
+	delete(l.pending, k)
+	return true
+}
+
+// StartNode launches a relay node for cluster station id.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Cluster.M {
+		return nil, fmt.Errorf("netrt: node id %d out of range (M=%d)", cfg.ID, cfg.Cluster.M)
+	}
+	n := &Node{
+		cfg:    cfg,
+		tick:   cfg.Cluster.tick(),
+		layout: engine.ChannelLayout{M: cfg.Cluster.M, N: cfg.Cluster.N},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		pipes:  make(map[int32]*frameQueue),
+		links:  make(map[int32]*clientLink),
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Cluster.MSS[cfg.ID])
+		if err != nil {
+			return nil, err
+		}
+	}
+	n.ln = ln
+
+	hello := wire.Frame{Type: wire.THello, Ch: -1, Payload: wire.Hello{
+		Role: wire.RoleMSS, ID: int32(cfg.ID),
+		M: int32(cfg.Cluster.M), N: int32(cfg.Cluster.N),
+	}.Encode()}
+
+	n.hub = newPeer(fmt.Sprintf("mss%d->hub", cfg.ID), &n.wg, n.onHubFrame)
+	n.hub.hello = &hello
+	n.hub.tap = cfg.FrameTap
+	n.hub.dial = func() (net.Conn, error) { return net.Dial("tcp", cfg.Cluster.Hub) }
+	n.hub.start()
+
+	n.mesh = make([]*peer, cfg.Cluster.M)
+	for j := range n.mesh {
+		if j == cfg.ID {
+			continue
+		}
+		addr := cfg.Cluster.MSS[j]
+		p := newPeer(fmt.Sprintf("mss%d->mss%d", cfg.ID, j), &n.wg, nil)
+		p.hello = &hello
+		p.tap = cfg.FrameTap
+		p.dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		n.mesh[j] = p
+		p.start()
+	}
+
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Wait blocks until the node has shut down (Stop or a TBye from the hub).
+func (n *Node) Wait() { <-n.done }
+
+// onHubFrame handles frames from the hub connection (reader goroutine).
+func (n *Node) onHubFrame(f wire.Frame) {
+	switch f.Type {
+	case wire.TData:
+		n.pipe(f.Ch).put(f)
+	case wire.TBye:
+		go n.Stop() // not inline: Stop waits for this very reader
+	}
+}
+
+// pipe returns (creating on demand) the latency pipe for channel ch.
+func (n *Node) pipe(ch int32) *frameQueue {
+	n.pipeMu.Lock()
+	defer n.pipeMu.Unlock()
+	q, ok := n.pipes[ch]
+	if ok {
+		return q
+	}
+	q = newFrameQueue()
+	n.pipes[ch] = q
+	n.wg.Add(1)
+	go n.forward(q)
+	return q
+}
+
+// forward drains one channel pipe: sleep each frame's latency, then relay
+// it onto its last physical link — strictly in order, the model's
+// per-channel FIFO.
+func (n *Node) forward(q *frameQueue) {
+	defer n.wg.Done()
+	for {
+		f, ok := q.head()
+		if !ok {
+			return
+		}
+		q.pop()
+		t := time.NewTimer(time.Duration(f.Latency) * n.tick)
+		select {
+		case <-t.C:
+		case <-n.stop:
+			t.Stop()
+			return
+		}
+		f.Hop = 1
+		kind, _, b := n.layout.Decode(int(f.Ch))
+		switch kind {
+		case engine.ChannelWired:
+			if b == n.cfg.ID {
+				// Self-loop wired channel: the message never leaves the
+				// station.
+				n.confirm(f.Ch, f.Seq)
+			} else {
+				n.mesh[b].send(f)
+			}
+		case engine.ChannelDown:
+			n.forwardDown(int32(b), f)
+		}
+	}
+}
+
+// forwardDown radios a downlink frame to the attached client, or confirms
+// it immediately when no one is listening in the cell.
+func (n *Node) forwardDown(mh int32, f wire.Frame) {
+	n.linkMu.Lock()
+	link := n.links[mh]
+	n.linkMu.Unlock()
+	if link == nil {
+		n.confirm(f.Ch, f.Seq)
+		return
+	}
+	k := pendKey{f.Ch, f.Seq}
+	link.pmu.Lock()
+	if link.flushed {
+		link.pmu.Unlock()
+		n.confirm(f.Ch, f.Seq)
+		return
+	}
+	link.pending[k] = struct{}{}
+	link.pmu.Unlock()
+
+	link.wmu.Lock()
+	err := link.w.WriteFrame(f)
+	link.wmu.Unlock()
+	if err != nil && link.take(k) {
+		n.confirm(f.Ch, f.Seq)
+	}
+}
+
+// confirm reports (ch, seq) delivered to the hub.
+func (n *Node) confirm(ch int32, seq uint64) {
+	n.hub.send(wire.Frame{Type: wire.TDelivered, Ch: ch, Seq: seq})
+}
+
+// acceptLoop admits mesh connections from other stations and wireless
+// connections from MH clients, telling them apart by the handshake frame.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go n.handshake(conn)
+	}
+}
+
+func (n *Node) handshake(conn net.Conn) {
+	defer n.wg.Done()
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch f.Type {
+	case wire.THello:
+		// Inbound mesh connection: a peer station relays wired frames here.
+		n.wg.Add(1)
+		go n.meshReader(conn, r)
+	case wire.TAttach:
+		n.attachClient(conn, r, f.Ch)
+	default:
+		conn.Close()
+	}
+}
+
+// meshReader confirms wired frames arriving from a peer station.
+func (n *Node) meshReader(conn net.Conn, r *wire.Reader) {
+	defer n.wg.Done()
+	defer conn.Close()
+	n.closeOnStop(conn)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		if f.Type == wire.TData && f.Hop == 1 {
+			n.confirm(f.Ch, f.Seq)
+		}
+	}
+}
+
+// closeOnStop ties a raw accepted connection's lifetime to the node's.
+func (n *Node) closeOnStop(conn net.Conn) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		<-n.stop
+		conn.Close()
+	}()
+}
+
+// attachClient registers a wireless connection from MH mh and serves it:
+// uplink TData is confirmed to the hub and echoed back to the client (which
+// prunes its own at-least-once set); TDelivered echoes prune and confirm
+// forwarded downlinks. When the link drops, every un-echoed downlink is
+// confirmed as delivered-into-the-cell.
+func (n *Node) attachClient(conn net.Conn, r *wire.Reader, mh int32) {
+	if mh < 0 || int(mh) >= n.cfg.Cluster.N {
+		conn.Close()
+		return
+	}
+	w := wire.NewWriter(conn)
+	w.Tap = n.cfg.FrameTap
+	link := &clientLink{conn: conn, w: w, pending: make(map[pendKey]struct{})}
+	n.linkMu.Lock()
+	old := n.links[mh]
+	n.links[mh] = link
+	n.linkMu.Unlock()
+	if old != nil {
+		old.conn.Close() // its reader flushes the old pending set
+	}
+	n.closeOnStop(conn)
+	n.wg.Add(1)
+	go n.clientReader(link, r, mh)
+}
+
+func (n *Node) clientReader(link *clientLink, r *wire.Reader, mh int32) {
+	defer n.wg.Done()
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			break
+		}
+		switch f.Type {
+		case wire.TData:
+			// Uplink arrival: confirm to the hub, echo to the client.
+			n.confirm(f.Ch, f.Seq)
+			link.wmu.Lock()
+			_ = link.w.WriteFrame(wire.Frame{Type: wire.TDelivered, Ch: f.Ch, Seq: f.Seq})
+			link.wmu.Unlock()
+		case wire.TDelivered:
+			// Downlink echo: the client saw the frame.
+			if link.take(pendKey{f.Ch, f.Seq}) {
+				n.confirm(f.Ch, f.Seq)
+			}
+		}
+	}
+	link.conn.Close()
+	n.linkMu.Lock()
+	if n.links[mh] == link {
+		delete(n.links, mh)
+	}
+	n.linkMu.Unlock()
+	// Flush: every forwarded-but-unechoed downlink was still transmitted
+	// into the cell; the model decides what a delivery to a departed MH
+	// means.
+	link.pmu.Lock()
+	link.flushed = true
+	keys := make([]pendKey, 0, len(link.pending))
+	for k := range link.pending {
+		keys = append(keys, k)
+	}
+	link.pending = nil
+	link.pmu.Unlock()
+	for _, k := range keys {
+		n.confirm(k.ch, k.seq)
+	}
+}
+
+// Stop shuts the node down and waits for every goroutine to exit.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.ln.Close()
+		n.pipeMu.Lock()
+		for _, q := range n.pipes {
+			q.close()
+		}
+		n.pipeMu.Unlock()
+		n.hub.close()
+		for _, p := range n.mesh {
+			if p != nil {
+				p.close()
+			}
+		}
+		n.linkMu.Lock()
+		for _, l := range n.links {
+			l.conn.Close()
+		}
+		n.linkMu.Unlock()
+		n.wg.Wait()
+		close(n.done)
+	})
+}

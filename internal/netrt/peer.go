@@ -1,0 +1,232 @@
+package netrt
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"mobiledist/internal/wire"
+)
+
+// Reconnect backoff bounds for dialling peers.
+const (
+	dialBackoffMin = 5 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+)
+
+// peer is one logical neighbour of a cluster process: a persistent outbox
+// of frames plus whatever TCP connection currently reaches the neighbour.
+// The outbox is the FIFO unit — frames written to one peer arrive in order
+// because a single writer goroutine drains the queue onto one connection at
+// a time, and a frame is only consumed (popped) after a successful write,
+// so a dropped connection retries it on the next one. Peers are either
+// dialling (they own reconnection with capped exponential backoff) or
+// accept-managed (the owner hands them each new inbound connection).
+type peer struct {
+	name string
+	// onFrame, when non-nil, handles frames read from the current
+	// connection. It is called on the connection's reader goroutine.
+	onFrame func(f wire.Frame)
+	// hello, when non-nil, is written first on every new dialled connection.
+	hello *wire.Frame
+	// dial, when non-nil, makes this a dialling peer.
+	dial func() (net.Conn, error)
+	// tap, when non-nil, observes every written frame with its wire bytes.
+	tap func(raw []byte, f wire.Frame)
+
+	out  *frameQueue
+	stop chan struct{}
+	wg   *sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conn   net.Conn
+	w      *wire.Writer
+	gen    uint64
+	closed bool
+
+	closeOnce sync.Once
+}
+
+// newPeer builds a peer; start must be called to launch its goroutines.
+func newPeer(name string, wg *sync.WaitGroup, onFrame func(wire.Frame)) *peer {
+	p := &peer{
+		name:    name,
+		onFrame: onFrame,
+		out:     newFrameQueue(),
+		stop:    make(chan struct{}),
+		wg:      wg,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// send queues f for delivery, reporting false after close.
+func (p *peer) send(f wire.Frame) bool { return p.out.put(f) }
+
+// connected reports whether a live connection is installed.
+func (p *peer) connected() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn != nil
+}
+
+// drained reports whether the outbox is empty.
+func (p *peer) drained() bool { return p.out.drained() }
+
+// start launches the writer loop and, for dialling peers, the dialler.
+func (p *peer) start() {
+	p.wg.Add(1)
+	go p.writeLoop()
+	if p.dial != nil {
+		p.wg.Add(1)
+		go p.dialLoop()
+	}
+}
+
+// writeLoop drains the outbox onto whatever connection is current.
+func (p *peer) writeLoop() {
+	defer p.wg.Done()
+	for {
+		f, ok := p.out.head()
+		if !ok {
+			return
+		}
+		w, gen, ok := p.writer()
+		if !ok {
+			return
+		}
+		if err := w.WriteFrame(f); err != nil {
+			p.dropConn(gen)
+			continue // retry the same frame on the next connection
+		}
+		p.out.pop()
+	}
+}
+
+// writer blocks until a connection is installed or the peer closes.
+func (p *peer) writer() (*wire.Writer, uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.conn == nil && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil, 0, false
+	}
+	return p.w, p.gen, true
+}
+
+// dialLoop (re)establishes the connection whenever none is current.
+func (p *peer) dialLoop() {
+	defer p.wg.Done()
+	backoff := dialBackoffMin
+	for {
+		p.mu.Lock()
+		for p.conn != nil && !p.closed {
+			p.cond.Wait()
+		}
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		conn, err := p.dial()
+		if err != nil {
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > dialBackoffMax {
+				backoff = dialBackoffMax
+			}
+			continue
+		}
+		backoff = dialBackoffMin
+		w := wire.NewWriter(conn)
+		w.Tap = p.tap
+		if p.hello != nil {
+			if err := w.WriteFrame(*p.hello); err != nil {
+				conn.Close()
+				continue
+			}
+		}
+		p.install(conn, w, wire.NewReader(conn))
+	}
+}
+
+// install publishes conn as the current connection and spawns its reader.
+// Accept-managed owners call this directly (attach) with the handshake
+// reader so buffered bytes are not lost; a previous connection is dropped.
+func (p *peer) install(conn net.Conn, w *wire.Writer, r *wire.Reader) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.gen++
+	gen := p.gen
+	p.conn, p.w = conn, w
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			f, err := r.ReadFrame()
+			if err != nil {
+				p.dropConn(gen)
+				return
+			}
+			if p.onFrame != nil {
+				p.onFrame(f)
+			}
+		}
+	}()
+}
+
+// attach hands an accepted connection (whose handshake frame was already
+// read through r) to the peer.
+func (p *peer) attach(conn net.Conn, r *wire.Reader) {
+	w := wire.NewWriter(conn)
+	w.Tap = p.tap
+	p.install(conn, w, r)
+}
+
+// dropConn tears down the connection of generation gen (stale generations
+// are ignored, so a replaced connection's reader cannot kill its successor).
+func (p *peer) dropConn(gen uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gen != gen || p.conn == nil {
+		return
+	}
+	p.conn.Close()
+	p.conn, p.w = nil, nil
+	p.cond.Broadcast()
+}
+
+// close shuts the peer down: the writer stops (even with frames queued),
+// the dialler stops, and the current connection closes, unblocking its
+// reader.
+func (p *peer) close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn, p.w = nil, nil
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		close(p.stop)
+		p.out.close()
+	})
+}

@@ -1,0 +1,144 @@
+package netrt
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+	"time"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/mutex/ring"
+)
+
+// -soak stretches TestLoopbackSoak past its quick default; `make soak` runs
+// it for 15s under the race detector.
+var soakFor = flag.Duration("soak", 0, "run the loopback soak test for this long (0: quick pass)")
+
+// TestLoopbackSoak drives a loopback cluster with everything at once, for a
+// bounded wall-clock window: an ordered MH→MH stream whose receiver keeps
+// switching cells, disconnect/reconnect churn on bystanders, R2 token-ring
+// CS traffic, and the deterministic fault injector dropping, duplicating
+// and reordering wireless transmissions the whole time. The assertions are
+// the ones that matter for a network runtime: the system never deadlocks
+// (every settle drains), the stream arrives complete and in order (no FIFO
+// violation leaked through real TCP + loss + ARQ), the token was actually
+// granted, and shutdown is clean to the goroutine.
+func TestLoopbackSoak(t *testing.T) {
+	dur := *soakFor
+	if dur <= 0 {
+		dur = 2 * time.Second
+		if testing.Short() {
+			dur = 750 * time.Millisecond
+		}
+	}
+	before := runtime.NumGoroutine()
+
+	cfg := DefaultConfig(3, 6)
+	cfg.Seed = 42
+	cfg.Faults = &core.FaultPlan{
+		Seed: 0x50AC,
+		Down: core.LinkFaults{Drop: 0.2, Duplicate: 0.1, Reorder: 0.05},
+		Up:   core.LinkFaults{Drop: 0.2, Duplicate: 0.1, Reorder: 0.05},
+	}
+	lb := startLoopback(t, cfg)
+
+	var received []int
+	p := &probe{onMH: func(_ core.Context, at core.MHID, msg core.Message) {
+		if at == 1 {
+			received = append(received, msg.(int))
+		}
+	}}
+	ctx := lb.Sys.Register(p)
+
+	grants := 0
+	r2, err := ring.NewR2(lb.Sys, ring.VariantCounter, ring.Options{
+		Hold:    1,
+		OnEnter: func(core.MHID) { grants++ },
+	}, 64, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+
+	lb.Sys.Start()
+	waitReady(t, lb)
+
+	deadline := time.Now().Add(dur)
+	seq, round := 0, 0
+	started := false
+	for time.Now().Before(deadline) {
+		// The ordered stream: mh0 (pinned to its cell) → mh1 (roaming).
+		lb.Sys.Do(func() {
+			for i := 0; i < 4; i++ {
+				if err := ctx.SendMHToMH(0, 1, seq, cost.CatAlgorithm); err != nil {
+					t.Errorf("SendMHToMH: %v", err)
+				}
+				seq++
+			}
+		})
+		// Churn: the receiver and a second connected host roam; mh4 flaps
+		// its registration entirely.
+		lb.Sys.Move(1, core.MSSID((round+1)%3))
+		lb.Sys.Move(2, core.MSSID((round+2)%3))
+		switch round % 4 {
+		case 0:
+			lb.Sys.Disconnect(4)
+		case 2:
+			lb.Sys.Reconnect(4, core.MSSID(round%3))
+		}
+		// CS traffic: requests from connected hosts; token injected once.
+		lb.Sys.Do(func() {
+			for _, mh := range []core.MHID{0, 2, 3} {
+				if err := r2.Request(mh); err != nil {
+					t.Errorf("Request: %v", err)
+				}
+			}
+		})
+		if !started {
+			lb.Sys.Do(func() {
+				if err := r2.Start(); err != nil {
+					t.Errorf("Start: %v", err)
+				}
+			})
+			started = true
+		}
+		round++
+		// Periodic full drains bound the retransmission backlog (20% loss
+		// outpaces ARQ if traffic is injected non-stop) and re-assert the
+		// no-deadlock property throughout the run, not just at the end.
+		if round%8 == 0 {
+			settle(t, lb)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	settle(t, lb) // no deadlock: the network must drain completely
+
+	var snap []int
+	var snapGrants int
+	lb.Sys.Do(func() {
+		snap = append(snap, received...)
+		snapGrants = grants
+	})
+	if len(snap) != seq {
+		t.Fatalf("received %d of %d stream messages (lost under churn + faults)", len(snap), seq)
+	}
+	for i, v := range snap {
+		if v != i {
+			t.Fatalf("received[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+	if snapGrants == 0 {
+		t.Error("the token ring granted no critical sections during the soak")
+	}
+	st := lb.Sys.Stats()
+	if st.WirelessDrops == 0 || st.Retransmits == 0 {
+		t.Errorf("fault injector idle during soak: drops=%d retransmits=%d",
+			st.WirelessDrops, st.Retransmits)
+	}
+	t.Logf("soak: %v, %d rounds, %d stream msgs, %d grants, %d drops, %d retransmits, %d dups suppressed",
+		dur, round, seq, snapGrants, st.WirelessDrops, st.Retransmits, st.DuplicatesSuppressed)
+
+	lb.Stop()
+	assertNoGoroutineLeak(t, before)
+}

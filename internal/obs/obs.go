@@ -32,6 +32,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mobiledist/internal/sim"
 )
@@ -95,30 +96,48 @@ const (
 	// EvCrashDiscard: a wired transmission died at a crashed station.
 	// A = channel, B = 1 when discarded at the receiver, 0 at the sender.
 	EvCrashDiscard
+	// EvGroupInform: a group strategy propagated a location update — the
+	// always-inform broadcast that follows a member's join (Section 4.2).
+	// A = mh that moved, B = mss whose broadcast carries the news.
+	EvGroupInform
+	// EvGroupViewUpdate: the group-view coordinator committed a view
+	// change. A = mss added (-1 for none), B = mss removed (-1 for none),
+	// C = view size after the change.
+	EvGroupViewUpdate
+	// EvGroupStaleLookup: a group send found its sender's local view not
+	// usable and fell back to coordinator routing. A = sender mh, B = the
+	// mss whose view was stale.
+	EvGroupStaleLookup
 
 	evKindCount // internal: number of kinds, for metrics arrays
 )
 
+// The per-kind enable mask packs one bit per kind into a uint64.
+const _ uint64 = 1 << evKindCount
+
 var kindNames = [evKindCount]string{
-	EvTransmit:     "transmit",
-	EvDeliver:      "deliver",
-	EvLeave:        "leave",
-	EvJoin:         "join",
-	EvDisconnect:   "disconnect",
-	EvReconnect:    "reconnect",
-	EvHandoff:      "handoff",
-	EvTokenPass:    "token-pass",
-	EvCSRequest:    "cs-request",
-	EvCSEnter:      "cs-enter",
-	EvCSExit:       "cs-exit",
-	EvRetransmit:   "retransmit",
-	EvAck:          "ack",
-	EvSearch:       "search",
-	EvFailure:      "failure",
-	EvDrop:         "drop",
-	EvDuplicate:    "duplicate",
-	EvReorder:      "reorder",
-	EvCrashDiscard: "crash-discard",
+	EvTransmit:         "transmit",
+	EvDeliver:          "deliver",
+	EvLeave:            "leave",
+	EvJoin:             "join",
+	EvDisconnect:       "disconnect",
+	EvReconnect:        "reconnect",
+	EvHandoff:          "handoff",
+	EvTokenPass:        "token-pass",
+	EvCSRequest:        "cs-request",
+	EvCSEnter:          "cs-enter",
+	EvCSExit:           "cs-exit",
+	EvRetransmit:       "retransmit",
+	EvAck:              "ack",
+	EvSearch:           "search",
+	EvFailure:          "failure",
+	EvDrop:             "drop",
+	EvDuplicate:        "duplicate",
+	EvReorder:          "reorder",
+	EvCrashDiscard:     "crash-discard",
+	EvGroupInform:      "group-inform",
+	EvGroupViewUpdate:  "group-view-update",
+	EvGroupStaleLookup: "group-stale-lookup",
 }
 
 // String returns the kind's wire name (the "k" field of the JSONL format).
@@ -169,6 +188,16 @@ type Event struct {
 // no-ops on it, which is how tracing-disabled systems stay allocation- and
 // overhead-free.
 type Tracer struct {
+	// disabled and sampleN form the recording seam's admission filter,
+	// consulted before the lock: a masked-out or sampled-out event takes
+	// one atomic load and returns, touching neither the ring nor the
+	// metrics. Bit k of disabled set = kind k masked out (zero value: all
+	// kinds enabled). sampleN[k] > 1 = keep 1 in every sampleN[k] events
+	// of kind k; seen[k] counts arrivals to decide which.
+	disabled atomic.Uint64
+	sampleN  [evKindCount]atomic.Uint32
+	seen     [evKindCount]atomic.Uint64
+
 	mu      sync.Mutex
 	ring    []Event // ring mode: fixed backing store
 	events  []Event // recorder mode: append-only
@@ -244,11 +273,72 @@ func (t *Tracer) Topology() (m, n int) {
 	return t.m, t.n
 }
 
-// Record appends one event. On a nil tracer it is a no-op; on a live one
-// it allocates nothing in ring mode (recorder mode amortises appends).
-func (t *Tracer) Record(now sim.Time, kind EventKind, a, b, c int32) {
+// SetKindEnabled includes (enabled) or masks out (disabled) one kind at
+// the recording seam. A masked-out kind is rejected before the tracer's
+// lock: it reaches neither the ring buffer nor the attached metrics, and
+// the Record call allocates nothing. All kinds start enabled.
+func (t *Tracer) SetKindEnabled(kind EventKind, enabled bool) {
+	if t == nil || kind >= evKindCount {
+		return
+	}
+	bit := uint64(1) << kind
+	for {
+		old := t.disabled.Load()
+		next := old | bit
+		if enabled {
+			next = old &^ bit
+		}
+		if t.disabled.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// EnableOnly masks out every kind except those listed — the whitelist form
+// of SetKindEnabled for tracers that should record, say, only the mobility
+// protocol.
+func (t *Tracer) EnableOnly(kinds ...EventKind) {
 	if t == nil {
 		return
+	}
+	mask := ^uint64(0) >> (64 - evKindCount) // all kinds disabled
+	for _, k := range kinds {
+		if k < evKindCount {
+			mask &^= uint64(1) << k
+		}
+	}
+	t.disabled.Store(mask)
+}
+
+// SetSampleEvery keeps one in every n recorded events of kind, starting
+// with the first, rejecting the rest before the ring buffer (and before
+// the metrics — sampled counters count sampled events). n <= 1 restores
+// every-event recording for the kind.
+func (t *Tracer) SetSampleEvery(kind EventKind, n int) {
+	if t == nil || kind >= evKindCount {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.sampleN[kind].Store(uint32(n))
+}
+
+// Record appends one event. On a nil tracer it is a no-op; on a live one
+// it allocates nothing in ring mode (recorder mode amortises appends).
+// Events masked out by SetKindEnabled or thinned by SetSampleEvery are
+// rejected here, before the lock and the ring, with zero allocation.
+func (t *Tracer) Record(now sim.Time, kind EventKind, a, b, c int32) {
+	if t == nil || kind >= evKindCount {
+		return
+	}
+	if t.disabled.Load()&(uint64(1)<<kind) != 0 {
+		return
+	}
+	if n := t.sampleN[kind].Load(); n > 1 {
+		if (t.seen[kind].Add(1)-1)%uint64(n) != 0 {
+			return
+		}
 	}
 	ev := Event{T: now, Kind: kind, A: a, B: b, C: c}
 	t.mu.Lock()

@@ -43,6 +43,78 @@ func TestRecordAllocatesNothing(t *testing.T) {
 	}
 }
 
+func TestMaskedKindRecordsNothingAndAllocatesNothing(t *testing.T) {
+	tr := NewTracer(0).WithMetrics(NewMetrics()) // recorder mode: appends would allocate
+	tr.SetKindEnabled(EvTransmit, false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(1, EvTransmit, 3, 7, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("masked-out Record allocates %.1f per run, want 0", allocs)
+	}
+	if tr.Total() != 0 || len(tr.Events()) != 0 {
+		t.Errorf("masked-out kind recorded: total=%d events=%d", tr.Total(), len(tr.Events()))
+	}
+	if got := tr.MetricsSnapshot().Counts[EvTransmit.String()]; got != 0 {
+		t.Errorf("masked-out kind reached metrics: count=%d", got)
+	}
+
+	tr.Record(2, EvDeliver, 1, 0, 1) // other kinds unaffected
+	tr.SetKindEnabled(EvTransmit, true)
+	tr.Record(3, EvTransmit, 3, 7, 0)
+	if tr.Total() != 2 {
+		t.Errorf("after re-enable Total = %d, want 2", tr.Total())
+	}
+}
+
+func TestEnableOnlyWhitelistsKinds(t *testing.T) {
+	tr := NewTracer(0)
+	tr.EnableOnly(MobilityKinds()...)
+	for _, k := range Kinds() {
+		tr.Record(1, k, 0, 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != len(MobilityKinds()) {
+		t.Fatalf("recorded %d events, want %d", len(evs), len(MobilityKinds()))
+	}
+	for i, want := range MobilityKinds() {
+		if evs[i].Kind != want {
+			t.Errorf("event %d: kind %v, want %v", i, evs[i].Kind, want)
+		}
+	}
+}
+
+func TestSampleEveryKeepsOneInN(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetSampleEvery(EvTransmit, 10)
+	for i := int32(0); i < 95; i++ {
+		tr.Record(sim.Time(i), EvTransmit, i, 0, 0)
+		tr.Record(sim.Time(i), EvDeliver, i, 0, 0) // unsampled control
+	}
+	var transmits, delivers int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case EvTransmit:
+			if ev.A%10 != 0 {
+				t.Errorf("sampled event A = %d, want a multiple of 10 (first of each stride)", ev.A)
+			}
+			transmits++
+		case EvDeliver:
+			delivers++
+		}
+	}
+	if transmits != 10 || delivers != 95 {
+		t.Errorf("kept %d transmits (want 10) and %d delivers (want 95)", transmits, delivers)
+	}
+	tr.SetSampleEvery(EvTransmit, 0) // restore every-event recording
+	tr.Record(100, EvTransmit, -1, 0, 0)
+	tr.Record(101, EvTransmit, -2, 0, 0)
+	evs := tr.Events()
+	if evs[len(evs)-1].A != -2 || evs[len(evs)-2].A != -1 {
+		t.Error("SetSampleEvery(kind, 0) did not restore every-event recording")
+	}
+}
+
 func TestRingOverwritesOldest(t *testing.T) {
 	tr := NewTracer(4)
 	for i := int32(0); i < 10; i++ {

@@ -336,27 +336,6 @@ func TestLiveCostAccountingMatchesSimulatorShape(t *testing.T) {
 	}
 }
 
-func TestTaskQueueCloseDrains(t *testing.T) {
-	q := newTaskQueue()
-	var ran int
-	q.push(func() { ran++ })
-	q.push(func() { ran++ })
-	q.close()
-	if q.push(func() {}) {
-		t.Error("push after close succeeded")
-	}
-	for {
-		fn, ok := q.pop()
-		if !ok {
-			break
-		}
-		fn()
-	}
-	if ran != 2 {
-		t.Errorf("ran = %d, want 2 (queued tasks drain after close)", ran)
-	}
-}
-
 func TestLiveConfigValidation(t *testing.T) {
 	bad := DefaultConfig(3, 3)
 	bad.Wired = core.Delay{Min: 5, Max: 1}

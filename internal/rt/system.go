@@ -32,6 +32,7 @@ import (
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
+	"mobiledist/internal/execq"
 	"mobiledist/internal/faults"
 	"mobiledist/internal/obs"
 	"mobiledist/internal/sim"
@@ -134,7 +135,7 @@ type System struct {
 	rng *sim.RNG // executor-only
 	inj *faults.Injector
 
-	tasks    *taskQueue
+	tasks    *execq.Queue
 	stopped  chan struct{}
 	execDone chan struct{}
 	started  bool
@@ -164,11 +165,19 @@ func (l *liveSubstrate) Enqueue(fn func()) { l.s.exec(fn) }
 func (l *liveSubstrate) After(d sim.Time, fn func()) { l.s.afterTicks(d, fn) }
 
 // Transmit hands the delivery to the channel's pipe goroutine, which sleeps
-// the latency and forwards to the executor — FIFO by construction.
+// the latency and forwards to the executor — FIFO by construction. The send
+// races Stop: once the pipe's forward goroutine has exited, a full buffer
+// would block the executor forever, so a stopped runtime resolves the op
+// and drops the delivery instead (shutdown discards in-flight traffic by
+// design).
 func (l *liveSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
 	s := l.s
 	s.opStart()
-	s.pipe(ch) <- delivery{latency: time.Duration(latency) * s.cfg.Tick, fn: deliver}
+	select {
+	case s.pipe(ch) <- delivery{latency: time.Duration(latency) * s.cfg.Tick, fn: deliver}:
+	case <-s.stopped:
+		s.opDone()
+	}
 }
 
 func (l *liveSubstrate) RNG() *sim.RNG { return l.s.rng }
@@ -183,7 +192,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		cfg:      cfg,
 		rng:      sim.NewRNG(cfg.Seed),
-		tasks:    newTaskQueue(),
+		tasks:    execq.New(),
 		stopped:  make(chan struct{}),
 		execDone: make(chan struct{}),
 		pipes:    make(map[int]chan delivery),
@@ -260,12 +269,12 @@ func (s *System) Start() {
 	go func() {
 		defer close(s.execDone)
 		for {
-			fn, ok := s.tasks.pop()
+			fn, ok := s.tasks.Pop()
 			if !ok {
 				return
 			}
 			fn()
-			s.tasks.done()
+			s.tasks.Done()
 		}
 	}()
 }
@@ -277,7 +286,7 @@ func (s *System) Do(fn func()) {
 		panic("rt: Do before Start")
 	}
 	done := make(chan struct{})
-	if !s.tasks.push(func() {
+	if !s.tasks.Push(func() {
 		defer close(done)
 		fn()
 	}) {
@@ -295,7 +304,7 @@ func (s *System) Do(fn func()) {
 func (s *System) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
-		ch, idle := s.tasks.idleWait()
+		ch, idle := s.tasks.IdleWait()
 		if idle {
 			return true
 		}
@@ -322,7 +331,7 @@ func (s *System) Stop() {
 		return
 	}
 	close(s.stopped)
-	s.tasks.close()
+	s.tasks.Close()
 	<-s.execDone
 	s.wg.Wait()
 }
@@ -337,12 +346,12 @@ func (s *System) now() sim.Time {
 
 // exec enqueues fn on the executor (fire and forget).
 func (s *System) exec(fn func()) {
-	s.tasks.push(fn)
+	s.tasks.Push(fn)
 }
 
 // opStart/opDone bracket an asynchronous operation for idle tracking.
-func (s *System) opStart()         { s.tasks.opStart() }
-func (s *System) opDone()          { s.tasks.opDone() }
+func (s *System) opStart()         { s.tasks.OpStart() }
+func (s *System) opDone()          { s.tasks.OpDone() }
 func (s *System) execOp(fn func()) { s.exec(func() { defer s.opDone(); fn() }) }
 func (s *System) afterTicks(d sim.Time, fn func()) {
 	s.opStart()

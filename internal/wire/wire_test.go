@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"mobiledist/internal/sim"
+)
+
+// sampleFrames covers every type, negative ids, zero values, and payloads.
+func sampleFrames() []Frame {
+	return []Frame{
+		{Type: THello, Ch: -1, Payload: Hello{Role: RoleMSS, ID: 2, M: 3, N: 5}.Encode()},
+		{Type: THello, Ch: -1, Payload: Hello{Role: RoleMH, ID: 0, M: 1, N: 1}.Encode()},
+		{Type: TAttach, Ch: 4},
+		{Type: TData, Ch: 17, Seq: 0, Hop: 0, Latency: 3, Payload: Envelope{Kind: 1, A: 2, B: 0}.Encode()},
+		{Type: TData, Ch: 0, Seq: 1 << 40, Hop: 1, Latency: 4_000_000, Payload: Envelope{Kind: 3, A: 0, B: 7}.Encode()},
+		{Type: TDelivered, Ch: 17, Seq: 9},
+		{Type: TRetarget, Ch: -1, Payload: Handoff{MH: 3, MSS: 1, Prev: -1, Gen: 12, Addr: "127.0.0.1:4242"}.Encode()},
+		{Type: TRetarget, Ch: -1, Payload: Handoff{MH: 3, MSS: -1, Prev: 2, Gen: 13}.Encode()},
+		{Type: TAttached, Ch: 3, Seq: 13},
+		{Type: TBye, Ch: -1},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		b, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("AppendFrame(%v): %v", f.Type, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%v): %v", f.Type, err)
+		}
+		if n != len(b) {
+			t.Errorf("%v: consumed %d of %d bytes", f.Type, n, len(b))
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", f.Type, got, f)
+		}
+	}
+}
+
+// TestFrameReencodeByteIdentical pins the canonical-encoding property the
+// conformance suite relies on: encode→decode→re-encode is the identity on
+// bytes.
+func TestFrameReencodeByteIdentical(t *testing.T) {
+	rng := sim.NewRNG(42)
+	frames := sampleFrames()
+	for i := 0; i < 200; i++ {
+		frames = append(frames, Frame{
+			Type:    TData,
+			Ch:      int32(rng.Intn(1 << 16)),
+			Seq:     uint64(rng.Intn(1 << 30)),
+			Hop:     uint8(rng.Intn(2)),
+			Latency: uint32(rng.Intn(1 << 20)),
+			Payload: Envelope{Kind: uint8(rng.Intn(3) + 1), A: int32(rng.Intn(64)), B: int32(rng.Intn(64))}.Encode(),
+		})
+	}
+	for _, f := range frames {
+		b1, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, _, err := DecodeFrame(b1)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		b2, err := AppendFrame(nil, dec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("re-encode not byte-identical for %+v:\n b1=%x\n b2=%x", f, b1, b2)
+		}
+	}
+}
+
+func TestStreamReaderWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var tapped int
+	w.Tap = func(raw []byte, f Frame) {
+		tapped++
+		if _, _, err := DecodeFrame(raw); err != nil {
+			t.Errorf("tap saw undecodable bytes: %v", err)
+		}
+	}
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatalf("WriteFrame(%v): %v", f.Type, err)
+		}
+	}
+	if tapped != len(frames) {
+		t.Errorf("tap saw %d frames, want %d", tapped, len(frames))
+	}
+	r := NewReader(&buf)
+	for _, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame(%v): %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stream round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Errorf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := AppendFrame(nil, Frame{Type: TData, Ch: 3, Seq: 7, Latency: 2, Payload: Envelope{Kind: 1, A: 1, B: 2}.Encode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad magic", append([]byte("XY"), good[2:]...), ErrMagic},
+		{"bad version", append([]byte{magic0, magic1, 99}, good[3:]...), ErrVersion},
+		{"bad type", append([]byte{magic0, magic1, Version, 200}, good[4:]...), ErrType},
+		{"zero type", append([]byte{magic0, magic1, Version, 0}, good[4:]...), ErrType},
+		{"truncated body", good[:len(good)-2], ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Oversize length prefix fails fast, before any allocation.
+	huge := []byte{magic0, magic1, Version, byte(TData), 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize: err = %v, want ErrTooLarge", err)
+	}
+
+	if _, err := AppendFrame(nil, Frame{Type: typeCount}); !errors.Is(err, ErrType) {
+		t.Errorf("encode unknown type: err = %v, want ErrType", err)
+	}
+}
+
+func TestPayloadBlobRoundTrips(t *testing.T) {
+	h := Hello{Role: RoleMH, ID: 7, M: 3, N: 9}
+	gotH, err := DecodeHello(h.Encode())
+	if err != nil || gotH != h {
+		t.Errorf("hello round trip: %+v, %v (want %+v)", gotH, err, h)
+	}
+	if _, err := DecodeHello([]byte{9, 0, 0, 0}); err == nil {
+		t.Error("bad role accepted")
+	}
+	if _, err := DecodeHello(nil); err == nil {
+		t.Error("empty hello accepted")
+	}
+
+	e := Envelope{Kind: 2, A: 1, B: 5}
+	gotE, err := DecodeEnvelope(e.Encode())
+	if err != nil || gotE != e {
+		t.Errorf("envelope round trip: %+v, %v (want %+v)", gotE, err, e)
+	}
+
+	for _, ho := range []Handoff{
+		{MH: 3, MSS: 2, Prev: -1, Gen: 1, Addr: "10.0.0.1:9000"},
+		{MH: 0, MSS: -1, Prev: 0, Gen: 1 << 50, Addr: ""},
+	} {
+		got, err := DecodeHandoff(ho.Encode())
+		if err != nil || got != ho {
+			t.Errorf("handoff round trip: %+v, %v (want %+v)", got, err, ho)
+		}
+	}
+	if _, err := DecodeHandoff([]byte{0}); err == nil {
+		t.Error("truncated handoff accepted")
+	}
+}
