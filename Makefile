@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz chaos soak tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check scale-smoke fuzz fuzz-short chaos soak tables
 
-ci: vet staticcheck build test race chaos bench-smoke
+ci: vet staticcheck build test race chaos bench-smoke scale-smoke fuzz-short bench-check
 
 vet:
 	$(GO) vet ./...
@@ -42,9 +42,40 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkKernel' -benchtime 100x ./internal/sim
 
+# Scale-suite smoke: generator determinism + the N=10^4 points of every
+# traffic shape on both kernels (-short skips the 10^5/10^6 sizes).
+scale-smoke:
+	$(GO) test -run 'TestScale' -count 1 ./internal/workload/
+	$(GO) test -run xxx -bench 'BenchmarkScale' -benchtime 1x -short .
+
+# Full scale trajectory (route/churn/search-chase at N=10^4..10^6, both
+# kernels), recorded to BENCH_scale.json. Minutes of wall clock; not in ci.
+bench-scale:
+	$(GO) run ./cmd/mobilexp -scale -scale-reps 3 -bench-json BENCH_scale.json
+	$(GO) run ./cmd/mobilexp -check-bench BENCH_scale.json
+
+# Regenerate the experiment-suite timing baseline.
+bench-snapshot:
+	$(GO) run ./cmd/mobilexp -bench-json BENCH_mobilexp.json -o /dev/null
+	$(GO) run ./cmd/mobilexp -check-bench BENCH_mobilexp.json
+
+# Validate the checked-in snapshots against the mobiledist-bench schema.
+bench-check:
+	$(GO) run ./cmd/mobilexp -check-bench BENCH_mobilexp.json
+	$(GO) run ./cmd/mobilexp -check-bench BENCH_scale.json
+
 # Short fuzz pass over the kernel heap oracle and scheduler invariants.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzKernelHeapOracle -fuzztime 30s ./internal/sim
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzPayloadDecoders -fuzztime 30s ./internal/wire
+
+# The same fuzz targets with a budget small enough for the ci gate: the
+# wire decoders read bytes straight off sockets, so even a few seconds of
+# coverage-guided input on every change is worth the wall clock.
+fuzz-short:
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzPayloadDecoders -fuzztime 5s ./internal/wire
 
 # Chaos conformance: the substrate-parity invariants re-run under seeded
 # fault plans (wireless loss, link flaps, MSS crash/restart) on the

@@ -1,10 +1,13 @@
 package mobiledist_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"mobiledist"
 	"mobiledist/internal/experiments"
+	"mobiledist/internal/workload"
 )
 
 // One benchmark per experiment table (see the DESIGN.md index): each
@@ -122,6 +125,80 @@ func BenchmarkGroupSendLocationView(b *testing.B) {
 		}
 	}
 }
+
+// The scale suite: full engine runs at 10^4..10^6 hosts on pre-generated
+// scenarios (internal/workload GenScale/RunScale), each size on both the
+// single-heap kernel (shards=1) and the sharded kernel. Reported metrics:
+// simulated msgs/sec (cost-meter messages per wall second) and the default
+// allocs/op. The N=10^5 and 10^6 sizes are skipped under -short so the CI
+// smoke stays fast; cmd/mobilexp -scale records the full trajectory.
+
+type scaleSize struct {
+	label  string
+	n, m   int
+	ops    int
+	chains int
+}
+
+// Each size keeps the standing in-flight population proportional to the
+// host count (chains == ops: every op is independently in flight), which
+// is the regime a million-host system actually runs in — and the one that
+// separates the kernels: the single heap's per-op sift walks a multi-MB
+// array while the sharded queue drains same-tick runs in O(1).
+var scaleSizes = []scaleSize{
+	{label: "N=1e4", n: 10_000, m: 100, ops: 40_000, chains: 40_000},
+	{label: "N=1e5", n: 100_000, m: 1000, ops: 2_000_000, chains: 2_000_000},
+	{label: "N=1e6", n: 1_000_000, m: 10_000, ops: 5_000_000, chains: 5_000_000},
+}
+
+func benchScale(b *testing.B, kind workload.ScaleKind) {
+	for _, sz := range scaleSizes {
+		for _, shards := range []int{1, 512} {
+			b.Run(fmt.Sprintf("%s/shards=%d", sz.label, shards), func(b *testing.B) {
+				if sz.n > 10_000 && testing.Short() {
+					b.Skip("large scale sizes skipped in -short mode")
+				}
+				sc, err := workload.GenScale(workload.ScaleConfig{
+					N: sz.n, M: sz.m, Seed: 1, Kind: kind, Ops: sz.ops, Chains: sz.chains,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var msgs, steps int64
+				var wall time.Duration
+				for i := 0; i < b.N; i++ {
+					b.StopTimer() // system construction is not the measured path
+					sys, err := workload.NewScaleSystem(sc, shards)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					start := time.Now()
+					res, err := workload.RunScale(sys, sc)
+					wall += time.Since(start)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Injected != int64(len(sc.Ops)) {
+						b.Fatalf("injected %d of %d ops", res.Injected, len(sc.Ops))
+					}
+					msgs += res.Messages
+					steps += int64(res.Steps)
+				}
+				if sec := wall.Seconds(); sec > 0 {
+					b.ReportMetric(float64(msgs)/sec, "msgs/sec")
+					b.ReportMetric(float64(steps)/sec, "events/sec")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkScaleRoute(b *testing.B)       { benchScale(b, workload.ScaleRoute) }
+func BenchmarkScaleChurn(b *testing.B)       { benchScale(b, workload.ScaleChurn) }
+func BenchmarkScaleSearchChase(b *testing.B) { benchScale(b, workload.ScaleSearchChase) }
 
 // BenchmarkMobilityChurn measures raw mobility-protocol throughput: 32 MHs
 // each completing 8 leave/join cycles over 8 cells.

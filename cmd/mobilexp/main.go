@@ -6,7 +6,9 @@
 //	mobilexp [-seed N] [-id E4] [-markdown] [-o FILE] [-parallel W]
 //	         [-drop P] [-dup P] [-reorder P] [-flap MSS:FROM:UNTIL,...]
 //	         [-crash MSS:AT:RESTART,...] [-faultseed N]
-//	         [-trace FILE] [-bench-json FILE]
+//	         [-trace FILE] [-bench-json FILE] [-scale] [-scale-max N]
+//	         [-scale-reps R] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-check-bench FILE]
 //
 // Without -id every experiment runs in index order, generated on up to
 // -parallel worker goroutines (default: one per CPU); the tables are
@@ -21,9 +23,30 @@
 // byte-identical trace files.
 //
 // -bench-json FILE writes a machine-readable benchmark snapshot (schema
-// mobiledist-bench/v1): per-experiment wall-clock generation times plus
-// the platform triple, for tracking the suite's performance trajectory.
-// Timing forces sequential generation so experiments don't contend.
+// mobiledist-bench/v2): wall-clock timings plus platform, host, CPU count
+// and VCS revision, for tracking the repo's performance trajectory. v2 is
+// a strict superset of the v1 document — every v1 field keeps its name and
+// meaning, so v1 readers still parse v2 snapshots. Timing forces
+// sequential generation so experiments don't contend.
+//
+// -scale replaces the experiment tables with the million-host scale suite
+// (internal/workload GenScale/RunScale): the route, churn and search-chase
+// traffic shapes at N=10^4/10^5/10^6 mobile hosts, each on the single-heap
+// and sharded kernels, reporting simulated msgs/sec and the
+// sharded-vs-single speedup. -scale-max caps the largest N (e.g.
+// -scale-max 100000 for a quick pass); -scale-reps R records the fastest
+// of R repetitions per point, the standard defence against scheduler
+// noise. Combined with -bench-json the runs are recorded in the
+// snapshot's "scale" array — that is how the checked-in BENCH_scale.json
+// trajectory is produced (via `make bench-scale`).
+//
+// -cpuprofile / -memprofile write pprof profiles covering the whole run
+// (tables or scale suite), for digging into regressions the snapshots
+// surface.
+//
+// -check-bench FILE validates a snapshot written by -bench-json (v1 or
+// v2) and exits non-zero on malformed documents; CI runs it over the
+// checked-in snapshots so schema drift is caught at the gate.
 //
 // The fault flags build a deterministic fault plan (see internal/faults)
 // and install it process-wide, so every experiment regenerates under the
@@ -41,6 +64,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -66,7 +91,14 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "worker goroutines for the full suite (output is identical for any value)")
 
 		tracePath = fs.String("trace", "", "capture the observability event stream to FILE as JSONL (forces sequential generation)")
-		benchJSON = fs.String("bench-json", "", "write a mobiledist-bench/v1 timing snapshot to FILE (forces sequential generation)")
+		benchJSON = fs.String("bench-json", "", "write a mobiledist-bench/v2 timing snapshot to FILE (forces sequential generation)")
+
+		scale      = fs.Bool("scale", false, "run the million-host scale suite instead of the experiment tables")
+		scaleMax   = fs.Int("scale-max", 1_000_000, "largest host count N the scale suite runs")
+		scaleReps  = fs.Int("scale-reps", 1, "repetitions per scale point; the fastest is recorded")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken at the end of the run to FILE")
+		checkBench = fs.String("check-bench", "", "validate the bench snapshot in FILE (schema v1 or v2) and exit")
 
 		drop      = fs.Float64("drop", 0, "wireless drop probability per transmission, both directions [0,1]")
 		dup       = fs.Float64("dup", 0, "wireless duplicate probability per transmission, both directions [0,1]")
@@ -77,6 +109,61 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *checkBench != "" {
+		if err := checkBenchFile(*checkBench); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: ok\n", *checkBench)
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Taken on the way out so it reflects what the run left live.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mobilexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mobilexp:", err)
+			}
+		}()
+	}
+
+	if *scale {
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		runs, err := runScaleSuite(out, *seed, *scaleMax, *scaleReps)
+		if err != nil {
+			return err
+		}
+		if *benchJSON != "" {
+			return writeBenchJSON(*benchJSON, *seed, nil, runs)
+		}
+		return nil
 	}
 
 	plan, err := buildFaultPlan(*drop, *dup, *reorder, *flaps, *crashes, *faultseed)
@@ -169,7 +256,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *seed, bench); err != nil {
+		if err := writeBenchJSON(*benchJSON, *seed, bench, nil); err != nil {
 			return err
 		}
 	}
@@ -189,6 +276,15 @@ func writeTrace(path string, tracer *mobiledist.Tracer) error {
 	return f.Close()
 }
 
+// Bench snapshot schema identifiers. v2 is a strict superset of v1: every
+// v1 field keeps its JSON name and meaning, and v2 adds host/cpus/commit
+// metadata plus the optional "scale" results array, so a v1 reader parses a
+// v2 document (minus the fields it doesn't know) and this binary reads both.
+const (
+	benchSchemaV1 = "mobiledist-bench/v1"
+	benchSchemaV2 = "mobiledist-bench/v2"
+)
+
 // benchExperiment is one experiment's timing in the bench snapshot.
 type benchExperiment struct {
 	ID     string  `json:"id"`
@@ -196,28 +292,74 @@ type benchExperiment struct {
 	Millis float64 `json:"ms"`
 }
 
-// benchSnapshot is the mobiledist-bench/v1 document -bench-json writes.
+// benchScaleRun is one scale-suite run in the bench snapshot: a traffic
+// shape at a population size on one kernel configuration.
+type benchScaleRun struct {
+	Kind         string  `json:"kind"`
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	Ops          int     `json:"ops"`
+	Shards       int     `json:"shards"`
+	Millis       float64 `json:"ms"`
+	Messages     int64   `json:"messages"`
+	Steps        uint64  `json:"steps"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is msgs/sec relative to the shards=1 run of the same
+	// (kind, n) pair; set only on sharded rows.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// benchSnapshot is the mobiledist-bench/v2 document -bench-json writes.
 type benchSnapshot struct {
 	Schema      string            `json:"schema"`
 	GOOS        string            `json:"goos"`
 	GOARCH      string            `json:"goarch"`
 	GoVersion   string            `json:"go"`
+	Host        string            `json:"host,omitempty"`
+	CPUs        int               `json:"cpus,omitempty"`
+	Commit      string            `json:"commit,omitempty"`
 	Seed        uint64            `json:"seed"`
 	TotalMillis float64           `json:"total_ms"`
-	Experiments []benchExperiment `json:"experiments"`
+	Experiments []benchExperiment `json:"experiments,omitempty"`
+	Scale       []benchScaleRun   `json:"scale,omitempty"`
 }
 
-func writeBenchJSON(path string, seed uint64, bench []benchExperiment) error {
+// vcsRevision reports the commit the binary was built from, when the
+// toolchain stamped one (go build from a clean checkout; `go run` and test
+// binaries usually carry none).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+func writeBenchJSON(path string, seed uint64, bench []benchExperiment, scale []benchScaleRun) error {
+	host, _ := os.Hostname()
 	snap := benchSnapshot{
-		Schema:      "mobiledist-bench/v1",
+		Schema:      benchSchemaV2,
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		GoVersion:   runtime.Version(),
+		Host:        host,
+		CPUs:        runtime.NumCPU(),
+		Commit:      vcsRevision(),
 		Seed:        seed,
 		Experiments: bench,
+		Scale:       scale,
 	}
 	for _, b := range bench {
 		snap.TotalMillis += b.Millis
+	}
+	for _, s := range scale {
+		snap.TotalMillis += s.Millis
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -230,6 +372,68 @@ func writeBenchJSON(path string, seed uint64, bench []benchExperiment) error {
 		return err
 	}
 	return f.Close()
+}
+
+// checkBenchFile validates a snapshot written by -bench-json, accepting
+// both schema versions.
+func checkBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%s: %s", path, fmt.Sprintf(format, args...))
+	}
+	switch snap.Schema {
+	case benchSchemaV1:
+		if len(snap.Scale) > 0 {
+			return bad("scale results require schema %s", benchSchemaV2)
+		}
+	case benchSchemaV2:
+	default:
+		return bad("unknown schema %q (want %s or %s)", snap.Schema, benchSchemaV1, benchSchemaV2)
+	}
+	if snap.GOOS == "" || snap.GOARCH == "" || snap.GoVersion == "" {
+		return bad("missing platform triple")
+	}
+	if len(snap.Experiments) == 0 && len(snap.Scale) == 0 {
+		return bad("no experiment or scale results")
+	}
+	var total float64
+	for i, e := range snap.Experiments {
+		if e.ID == "" {
+			return bad("experiment %d: empty id", i)
+		}
+		if e.Millis < 0 {
+			return bad("experiment %s: negative ms", e.ID)
+		}
+		total += e.Millis
+	}
+	for i, s := range snap.Scale {
+		name := fmt.Sprintf("scale %d (%s N=%d shards=%d)", i, s.Kind, s.N, s.Shards)
+		if s.Kind == "" {
+			return bad("%s: empty kind", name)
+		}
+		if s.N < 1 || s.M < 1 || s.Ops < 1 || s.Shards < 1 {
+			return bad("%s: non-positive dimension", name)
+		}
+		if s.Millis <= 0 || s.MsgsPerSec <= 0 || s.EventsPerSec <= 0 {
+			return bad("%s: non-positive timing", name)
+		}
+		if s.Messages < 1 || s.Steps < 1 {
+			return bad("%s: empty run", name)
+		}
+		total += s.Millis
+	}
+	// TotalMillis is the sum of the parts; allow float slack.
+	if diff := snap.TotalMillis - total; diff > 1 || diff < -1 {
+		return bad("total_ms %.1f does not match sum of parts %.1f", snap.TotalMillis, total)
+	}
+	return nil
 }
 
 // buildFaultPlan turns the fault flags into a plan, or nil when every flag

@@ -169,14 +169,135 @@ func TestRunBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("bench snapshot is not valid JSON: %v\n%s", err, data)
 	}
-	if snap.Schema != "mobiledist-bench/v1" {
-		t.Errorf("schema = %q, want mobiledist-bench/v1", snap.Schema)
+	if snap.Schema != benchSchemaV2 {
+		t.Errorf("schema = %q, want %s", snap.Schema, benchSchemaV2)
 	}
 	if len(snap.Experiments) != 1 || snap.Experiments[0].ID != "E10" || snap.Experiments[0].Millis <= 0 {
 		t.Errorf("experiment timings malformed: %+v", snap.Experiments)
 	}
 	if snap.GOOS == "" || snap.GoVersion == "" {
 		t.Errorf("platform fields missing: %+v", snap)
+	}
+	if snap.CPUs < 1 {
+		t.Errorf("cpus = %d, want >= 1", snap.CPUs)
+	}
+	// The snapshot must pass its own validator (the -check-bench path).
+	if err := checkBenchFile(path); err != nil {
+		t.Errorf("checkBenchFile rejected a fresh snapshot: %v", err)
+	}
+	var check strings.Builder
+	if err := run([]string{"-check-bench", path}, &check); err != nil {
+		t.Fatalf("run -check-bench: %v", err)
+	}
+	if !strings.Contains(check.String(), "ok") {
+		t.Errorf("-check-bench output missing ok: %q", check.String())
+	}
+}
+
+// writeTestSnapshot marshals snap to a temp file and returns the path.
+func writeTestSnapshot(t *testing.T, snap benchSnapshot) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckBenchFileRejectsMalformed(t *testing.T) {
+	valid := benchSnapshot{
+		Schema: benchSchemaV2, GOOS: "linux", GOARCH: "amd64", GoVersion: "go1.24",
+		TotalMillis: 5,
+		Experiments: []benchExperiment{{ID: "E1", Title: "t", Millis: 5}},
+	}
+	if err := checkBenchFile(writeTestSnapshot(t, valid)); err != nil {
+		t.Errorf("valid v2 snapshot rejected: %v", err)
+	}
+
+	v1 := valid
+	v1.Schema = benchSchemaV1
+	if err := checkBenchFile(writeTestSnapshot(t, v1)); err != nil {
+		t.Errorf("valid v1 snapshot rejected: %v", err)
+	}
+
+	cases := map[string]func(*benchSnapshot){
+		"unknown schema":     func(s *benchSnapshot) { s.Schema = "mobiledist-bench/v9" },
+		"missing platform":   func(s *benchSnapshot) { s.GOOS = "" },
+		"no results":         func(s *benchSnapshot) { s.Experiments = nil; s.TotalMillis = 0 },
+		"empty id":           func(s *benchSnapshot) { s.Experiments[0].ID = "" },
+		"total mismatch":     func(s *benchSnapshot) { s.TotalMillis = 99 },
+		"scale needs v2":     func(s *benchSnapshot) { s.Schema = benchSchemaV1; s.Scale = []benchScaleRun{{}} },
+		"zero-dim scale run": func(s *benchSnapshot) { s.Scale = []benchScaleRun{{Kind: "route"}} },
+	}
+	for name, mutate := range cases {
+		snap := valid
+		snap.Experiments = []benchExperiment{valid.Experiments[0]}
+		mutate(&snap)
+		if err := checkBenchFile(writeTestSnapshot(t, snap)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := checkBenchFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunScaleSuiteRecordsSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale suite run skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "scale.json")
+	cpu := filepath.Join(t.TempDir(), "cpu.prof")
+	var out strings.Builder
+	// Smallest trajectory point only (N=10^4), both kernels, all kinds.
+	if err := run([]string{"-scale", "-scale-max", "10000", "-bench-json", path, "-cpuprofile", cpu}, &out); err != nil {
+		t.Fatalf("run -scale: %v", err)
+	}
+	if err := checkBenchFile(path); err != nil {
+		t.Fatalf("scale snapshot fails validation: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Experiments) != 0 {
+		t.Errorf("scale snapshot carries experiment timings: %+v", snap.Experiments)
+	}
+	// 3 kinds x 1 size x 2 kernels.
+	if len(snap.Scale) != 6 {
+		t.Fatalf("scale runs = %d, want 6", len(snap.Scale))
+	}
+	for i, s := range snap.Scale {
+		if s.N != 10_000 || s.M != 100 {
+			t.Errorf("run %d: unexpected size N=%d M=%d", i, s.N, s.M)
+		}
+		odd := i%2 == 1
+		if odd && s.Speedup <= 0 {
+			t.Errorf("run %d: sharded row missing speedup: %+v", i, s)
+		}
+		if !odd && s.Speedup != 0 {
+			t.Errorf("run %d: single-heap row carries speedup: %+v", i, s)
+		}
+	}
+	// Both kernels processed identical scenarios: messages and steps match
+	// pairwise (the determinism contract, visible in the snapshot itself).
+	for i := 0; i < len(snap.Scale); i += 2 {
+		a, b := snap.Scale[i], snap.Scale[i+1]
+		if a.Messages != b.Messages || a.Steps != b.Steps {
+			t.Errorf("kernel pair %s diverged: %d/%d msgs, %d/%d steps",
+				a.Kind, a.Messages, b.Messages, a.Steps, b.Steps)
+		}
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile not written: %v", err)
 	}
 }
 

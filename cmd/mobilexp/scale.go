@@ -1,0 +1,122 @@
+package main
+
+// The -scale mode: the recorded million-host perf trajectory. It runs the
+// same pre-generated scenarios as the root BenchmarkScale* suite (see
+// bench_test.go), but as a plain sequential driver that prints one line per
+// run and, with -bench-json, records the runs in the snapshot's "scale"
+// array. The checked-in BENCH_scale.json is produced this way.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mobiledist/internal/workload"
+)
+
+// scalePoint is one population size on the trajectory. Chains == ops keeps
+// every op independently in flight, so the standing event population —
+// the regime that separates the kernels — scales with the host count
+// (several ops per host at every size) while a full pass stays in minutes.
+type scalePoint struct {
+	n, m, ops int
+}
+
+var scalePoints = []scalePoint{
+	{n: 10_000, m: 100, ops: 40_000},
+	{n: 100_000, m: 1_000, ops: 2_000_000},
+	{n: 1_000_000, m: 10_000, ops: 5_000_000},
+}
+
+var scaleKinds = []workload.ScaleKind{
+	workload.ScaleRoute,
+	workload.ScaleChurn,
+	workload.ScaleSearchChase,
+}
+
+// scaleShards pairs the single-heap kernel with the sharded one; 512 shards
+// is past the knee of the shard-count sweep at every trajectory size.
+var scaleShards = []int{1, 512}
+
+// runScaleSuite runs every (kind, size, shards) point up to maxN hosts and
+// returns the recorded runs in execution order. With reps > 1 each point
+// runs that many times and the fastest wall clock is recorded — the
+// standard defence against scheduler noise on a shared box (the slow reps
+// measure interference, not the kernel).
+func runScaleSuite(out io.Writer, seed uint64, maxN, reps int) ([]benchScaleRun, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var runs []benchScaleRun
+	for _, kind := range scaleKinds {
+		for _, pt := range scalePoints {
+			if pt.n > maxN {
+				continue
+			}
+			sc, err := workload.GenScale(workload.ScaleConfig{
+				N:      pt.n,
+				M:      pt.m,
+				Seed:   seed,
+				Kind:   kind,
+				Ops:    pt.ops,
+				Chains: pt.ops,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Reps alternate kernels (1, k, 1, k, …) rather than running one
+			// kernel's reps back to back, so neither side systematically
+			// inherits a heap bloated by the other's dead systems; the
+			// explicit GC before each timed run evens out the rest.
+			walls := make([]time.Duration, len(scaleShards))
+			results := make([]workload.ScaleResult, len(scaleShards))
+			for rep := 0; rep < reps; rep++ {
+				for i, shards := range scaleShards {
+					sys, err := workload.NewScaleSystem(sc, shards)
+					if err != nil {
+						return nil, err
+					}
+					runtime.GC()
+					start := time.Now()
+					r, err := workload.RunScale(sys, sc)
+					if err != nil {
+						return nil, err
+					}
+					if w := time.Since(start); rep == 0 || w < walls[i] {
+						walls[i], results[i] = w, r
+					}
+				}
+			}
+			var base float64
+			for i, shards := range scaleShards {
+				wall, res := walls[i], results[i]
+				run := benchScaleRun{
+					Kind:         kind.String(),
+					N:            pt.n,
+					M:            pt.m,
+					Ops:          pt.ops,
+					Shards:       shards,
+					Millis:       float64(wall) / float64(time.Millisecond),
+					Messages:     res.Messages,
+					Steps:        res.Steps,
+					MsgsPerSec:   float64(res.Messages) / wall.Seconds(),
+					EventsPerSec: float64(res.Steps) / wall.Seconds(),
+				}
+				if shards == scaleShards[0] {
+					base = run.MsgsPerSec
+				} else if base > 0 {
+					run.Speedup = run.MsgsPerSec / base
+				}
+				runs = append(runs, run)
+				line := fmt.Sprintf("scale %-12s N=%-8d M=%-6d shards=%-4d %11.0f msgs/sec %11.0f events/sec %9.0f ms",
+					run.Kind, run.N, run.M, run.Shards, run.MsgsPerSec, run.EventsPerSec, run.Millis)
+				if run.Speedup != 0 {
+					line += fmt.Sprintf("  %.2fx", run.Speedup)
+				}
+				fmt.Fprintln(out, line)
+			}
+		}
+	}
+	return runs, nil
+}

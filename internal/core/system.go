@@ -31,7 +31,10 @@ func (s *simSubstrate) After(d sim.Time, fn func()) { s.kernel.Schedule(d, fn) }
 
 func (s *simSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
 	arrival := s.fifo.Arrival(ch, s.kernel.Now(), latency)
-	if err := s.kernel.ScheduleAt(arrival, deliver); err != nil {
+	// The channel id doubles as the shard key: on a sharded kernel each
+	// shard owns a slice of the channel space, and FIFO clamping makes
+	// same-channel arrivals collide into cheap same-timestamp runs.
+	if err := s.kernel.ScheduleAtKeyed(ch, arrival, deliver); err != nil {
 		panic(fmt.Sprintf("core: schedule transmit: %v", err))
 	}
 }
@@ -53,7 +56,7 @@ type System struct {
 // A non-empty cfg.Faults plan interposes the deterministic fault injector
 // between the engine and the kernel substrate.
 func NewSystem(cfg Config) (*System, error) {
-	k := sim.NewKernel(cfg.Seed)
+	k := sim.NewShardedKernel(cfg.Seed, cfg.Shards)
 	limit := cfg.StepLimit
 	if limit == 0 {
 		limit = defaultStepLimit
@@ -79,7 +82,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw.fifo = engine.NewFIFOClock(engine.ChannelCount(cfg.M, cfg.N))
+	raw.fifo = engine.NewFIFOClockLayout(cfg.M, cfg.N)
 	return &System{cfg: cfg, kernel: k, eng: eng, inj: inj}, nil
 }
 

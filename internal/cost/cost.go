@@ -126,58 +126,72 @@ func (p Params) Of(k Kind) float64 {
 }
 
 // Meter accumulates message counts by (category, kind) plus per-MH energy
-// counters. The zero value is ready to use after NewMeter; use NewMeter so
-// maps are allocated.
+// counters. Counters are flat arrays indexed by the small dense Category and
+// Kind enums, and per-MH counters are slices indexed by MH id, so charging a
+// message on the simulation hot path is an array increment — no hashing, no
+// allocation, regardless of host count. The zero value is ready to use;
+// NewMeter is retained for callers that prefer a constructor.
 type Meter struct {
-	counts map[Category]map[Kind]int64
+	counts [CatStale + 1][KindSearch + 1]int64
 
 	// Per-MH wireless activity: transmissions and receptions both consume
-	// battery power (Section 1). Keyed by an opaque int id supplied by the
-	// caller (the core package uses MH ids).
-	txByMH map[int]int64
-	rxByMH map[int]int64
+	// battery power (Section 1). Indexed by the non-negative int id supplied
+	// by the caller (the core package uses MH ids); grown on demand.
+	txByMH []int64
+	rxByMH []int64
 }
 
 // NewMeter returns an empty meter.
-func NewMeter() *Meter {
-	return &Meter{
-		counts: make(map[Category]map[Kind]int64),
-		txByMH: make(map[int]int64),
-		rxByMH: make(map[int]int64),
+func NewMeter() *Meter { return &Meter{} }
+
+// NewMeterSized returns an empty meter with per-MH energy counters
+// pre-sized for ids 0..mhs-1, so large systems never grow them mid-run.
+func NewMeterSized(mhs int) *Meter {
+	return &Meter{txByMH: make([]int64, mhs), rxByMH: make([]int64, mhs)}
+}
+
+// grow extends s so index mh is addressable; the caller has checked
+// mh >= len(s). Capacity doubles so id-ordered growth stays amortized O(1).
+func grow(s []int64, mh int) []int64 {
+	if mh < cap(s) {
+		return s[:mh+1] // make zeroed the backing array up to cap
 	}
+	ns := make([]int64, mh+1, max(mh+1, 2*cap(s)))
+	copy(ns, s)
+	return ns
 }
 
 // Charge records one message of the given category and kind.
 func (m *Meter) Charge(cat Category, kind Kind) {
-	byKind, ok := m.counts[cat]
-	if !ok {
-		byKind = make(map[Kind]int64)
-		m.counts[cat] = byKind
-	}
-	byKind[kind]++
+	m.counts[cat][kind]++
 }
 
 // ChargeN records n messages at once.
 func (m *Meter) ChargeN(cat Category, kind Kind, n int64) {
-	if n == 0 {
-		return
-	}
-	byKind, ok := m.counts[cat]
-	if !ok {
-		byKind = make(map[Kind]int64)
-		m.counts[cat] = byKind
-	}
-	byKind[kind] += n
+	m.counts[cat][kind] += n
 }
 
 // WirelessTx records that MH mh transmitted one wireless message.
-func (m *Meter) WirelessTx(mh int) { m.txByMH[mh]++ }
+func (m *Meter) WirelessTx(mh int) {
+	if mh >= len(m.txByMH) {
+		m.txByMH = grow(m.txByMH, mh)
+	}
+	m.txByMH[mh]++
+}
 
 // WirelessRx records that MH mh received one wireless message.
-func (m *Meter) WirelessRx(mh int) { m.rxByMH[mh]++ }
+func (m *Meter) WirelessRx(mh int) {
+	if mh >= len(m.rxByMH) {
+		m.rxByMH = grow(m.rxByMH, mh)
+	}
+	m.rxByMH[mh]++
+}
 
 // Count returns the number of messages recorded for (cat, kind).
 func (m *Meter) Count(cat Category, kind Kind) int64 {
+	if cat < 0 || int(cat) >= len(m.counts) || kind < 0 || int(kind) >= len(m.counts[0]) {
+		return 0
+	}
 	return m.counts[cat][kind]
 }
 
@@ -185,8 +199,8 @@ func (m *Meter) Count(cat Category, kind Kind) int64 {
 // categories.
 func (m *Meter) KindTotal(kind Kind) int64 {
 	var total int64
-	for _, byKind := range m.counts {
-		total += byKind[kind]
+	for _, cat := range Categories() {
+		total += m.counts[cat][kind]
 	}
 	return total
 }
@@ -194,8 +208,10 @@ func (m *Meter) KindTotal(kind Kind) int64 {
 // CategoryCost returns the total cost of one category under params p.
 func (m *Meter) CategoryCost(cat Category, p Params) float64 {
 	var total float64
-	for kind, n := range m.counts[cat] {
-		total += float64(n) * p.Of(kind)
+	for _, kind := range Kinds() {
+		if n := m.counts[cat][kind]; n != 0 {
+			total += float64(n) * p.Of(kind)
+		}
 	}
 	return total
 }
@@ -203,7 +219,7 @@ func (m *Meter) CategoryCost(cat Category, p Params) float64 {
 // TotalCost returns the cost across all categories under params p.
 func (m *Meter) TotalCost(p Params) float64 {
 	var total float64
-	for cat := range m.counts {
+	for _, cat := range Categories() {
 		total += m.CategoryCost(cat, p)
 	}
 	return total
@@ -211,7 +227,13 @@ func (m *Meter) TotalCost(p Params) float64 {
 
 // Energy returns the wireless activity (transmissions, receptions) of MH mh.
 func (m *Meter) Energy(mh int) (tx, rx int64) {
-	return m.txByMH[mh], m.rxByMH[mh]
+	if mh >= 0 && mh < len(m.txByMH) {
+		tx = m.txByMH[mh]
+	}
+	if mh >= 0 && mh < len(m.rxByMH) {
+		rx = m.rxByMH[mh]
+	}
+	return tx, rx
 }
 
 // TotalEnergy returns the summed wireless transmissions and receptions over
@@ -227,69 +249,62 @@ func (m *Meter) TotalEnergy() (tx, rx int64) {
 }
 
 // MaxEnergy returns the largest per-MH wireless activity (tx+rx) and the id
-// of the MH that incurred it. It returns (-1, 0) when no activity was
-// recorded.
+// of the MH that incurred it; ties go to the smallest id. It returns
+// (-1, 0) when no activity was recorded.
 func (m *Meter) MaxEnergy() (mh int, total int64) {
 	mh = -1
-	seen := make(map[int]int64, len(m.txByMH)+len(m.rxByMH))
-	for id, n := range m.txByMH {
-		seen[id] += n
-	}
-	for id, n := range m.rxByMH {
-		seen[id] += n
-	}
-	for id, n := range seen {
-		if n > total || (n == total && (mh == -1 || id < mh)) {
-			mh, total = id, n
+	n := max(len(m.txByMH), len(m.rxByMH))
+	for id := 0; id < n; id++ {
+		tx, rx := m.Energy(id)
+		if sum := tx + rx; sum != 0 && sum > total {
+			mh, total = id, sum
 		}
 	}
 	return mh, total
 }
 
-// Reset clears all counters.
+// Reset clears all counters but keeps the per-MH capacity.
 func (m *Meter) Reset() {
-	m.counts = make(map[Category]map[Kind]int64)
-	m.txByMH = make(map[int]int64)
-	m.rxByMH = make(map[int]int64)
+	m.counts = [CatStale + 1][KindSearch + 1]int64{}
+	for i := range m.txByMH {
+		m.txByMH[i] = 0
+	}
+	for i := range m.rxByMH {
+		m.rxByMH[i] = 0
+	}
 }
 
 // Snapshot returns a copy of the meter, so callers can diff before/after.
 func (m *Meter) Snapshot() *Meter {
 	s := NewMeter()
-	for cat, byKind := range m.counts {
-		dst := make(map[Kind]int64, len(byKind))
-		for k, n := range byKind {
-			dst[k] = n
-		}
-		s.counts[cat] = dst
-	}
-	for id, n := range m.txByMH {
-		s.txByMH[id] = n
-	}
-	for id, n := range m.rxByMH {
-		s.rxByMH[id] = n
-	}
+	s.counts = m.counts
+	s.txByMH = append([]int64(nil), m.txByMH...)
+	s.rxByMH = append([]int64(nil), m.rxByMH...)
 	return s
 }
 
 // Diff returns a new meter holding m minus old, counter by counter.
 func (m *Meter) Diff(old *Meter) *Meter {
 	d := NewMeter()
-	for cat, byKind := range m.counts {
-		for k, n := range byKind {
-			delta := n - old.counts[cat][k]
-			if delta != 0 {
-				d.ChargeN(cat, k, delta)
-			}
+	for _, cat := range Categories() {
+		for _, kind := range Kinds() {
+			d.counts[cat][kind] = m.counts[cat][kind] - old.counts[cat][kind]
 		}
 	}
-	for id, n := range m.txByMH {
-		if delta := n - old.txByMH[id]; delta != 0 {
+	n := max(len(m.txByMH), len(m.rxByMH))
+	for id := 0; id < n; id++ {
+		tx, rx := m.Energy(id)
+		otx, orx := old.Energy(id)
+		if delta := tx - otx; delta != 0 {
+			if id >= len(d.txByMH) {
+				d.txByMH = grow(d.txByMH, id)
+			}
 			d.txByMH[id] = delta
 		}
-	}
-	for id, n := range m.rxByMH {
-		if delta := n - old.rxByMH[id]; delta != 0 {
+		if delta := rx - orx; delta != 0 {
+			if id >= len(d.rxByMH) {
+				d.rxByMH = grow(d.rxByMH, id)
+			}
 			d.rxByMH[id] = delta
 		}
 	}
@@ -301,8 +316,8 @@ func (m *Meter) Report(p Params) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s\n", "category", "fixed", "wireless", "search", "cost")
 	for _, cat := range Categories() {
-		byKind := m.counts[cat]
-		if len(byKind) == 0 {
+		byKind := &m.counts[cat]
+		if byKind[KindFixed] == 0 && byKind[KindWireless] == 0 && byKind[KindSearch] == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "%-10s %10d %10d %10d %12.1f\n",

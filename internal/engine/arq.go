@@ -65,7 +65,8 @@ type arqChan struct {
 
 type arq struct {
 	e      *Engine
-	chans  []*arqChan // flat channel numbering; nil until first use
+	chans  []*arqChan       // flat channel numbering; entries nil until first use
+	sparse map[int]*arqChan // replaces chans above DenseChannelLimit
 	rto0   sim.Time
 	rtoMax sim.Time
 }
@@ -77,15 +78,24 @@ func newARQ(e *Engine) *arq {
 		// for same-instant scheduling.
 		rto = 2*e.cfg.Wireless.Max + 4
 	}
-	return &arq{
-		e:      e,
-		chans:  make([]*arqChan, ChannelCount(e.cfg.M, e.cfg.N)),
-		rto0:   rto,
-		rtoMax: 8 * rto,
+	a := &arq{e: e, rto0: rto, rtoMax: 8 * rto}
+	if n := ChannelCount(e.cfg.M, e.cfg.N); n > DenseChannelLimit {
+		a.sparse = make(map[int]*arqChan)
+	} else {
+		a.chans = make([]*arqChan, n)
 	}
+	return a
 }
 
 func (a *arq) state(ch int) *arqChan {
+	if a.sparse != nil {
+		st := a.sparse[ch]
+		if st == nil {
+			st = &arqChan{rto: a.rto0}
+			a.sparse[ch] = st
+		}
+		return st
+	}
 	st := a.chans[ch]
 	if st == nil {
 		st = &arqChan{rto: a.rto0}

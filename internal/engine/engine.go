@@ -101,8 +101,10 @@ type Engine struct {
 	ctxs []Context
 
 	// waiters holds continuations blocked on a MH that is between cells;
-	// they fire once it joins a cell.
-	waiters map[MHID][]func()
+	// they fire once it joins a cell. Fired slices are recycled through
+	// waiterPool so churn-heavy runs stop allocating once warm.
+	waiters    map[MHID][]func()
+	waiterPool [][]func()
 
 	// pairs is the per-ordered-(MH,MH)-pair FIFO reorder state for
 	// SendMHToMH traffic.
@@ -129,7 +131,7 @@ func New(cfg Config, sub Substrate) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		sub:     sub,
-		meter:   cost.NewMeter(),
+		meter:   cost.NewMeterSized(cfg.N),
 		mss:     make([]mssState, cfg.M),
 		mh:      make([]mhState, cfg.N),
 		waiters: make(map[MHID][]func()),
@@ -145,11 +147,27 @@ func New(cfg Config, sub Substrate) (*Engine, error) {
 	if place == nil {
 		place = func(mh MHID) MSSID { return MSSID(int(mh) % cfg.M) }
 	}
+	// Two passes: count each cell's population first so membership slices
+	// are allocated at final size, then fill them. MH ids ascend, so each
+	// add is an append — building a million-host system stays O(N log N)
+	// with exactly one allocation per cell.
+	cells := make([]MSSID, cfg.N)
+	counts := make([]int, cfg.M)
 	for i := range e.mh {
 		at := place(MHID(i))
 		if int(at) < 0 || int(at) >= cfg.M {
 			return nil, fmt.Errorf("engine: placement of mh%d at invalid mss%d", i, int(at))
 		}
+		cells[i] = at
+		counts[at]++
+	}
+	for i := range e.mss {
+		if counts[i] > 0 {
+			e.mss[i].local.ids = make([]MHID, 0, counts[i])
+		}
+	}
+	for i := range e.mh {
+		at := cells[i]
 		e.mh[i] = mhState{status: StatusConnected, at: at}
 		e.mss[at].local.add(MHID(i))
 	}
@@ -338,7 +356,9 @@ func (e *Engine) notifyDisconnect(at MSSID, mh MHID) {
 
 func (e *Engine) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason FailReason) {
 	e.stats.FailedDeliveries++
-	e.trace("delivery-failure", "mss%d notified: mh%d %v", int(at), int(mh), reason)
+	if e.cfg.Trace != nil {
+		e.trace("delivery-failure", "mss%d notified: mh%d %v", int(at), int(mh), reason)
+	}
 	e.event(obs.EvFailure, int32(mh), int32(at), 0)
 	h, ok := e.algs[alg].(DeliveryFailureHandler)
 	if !ok {
@@ -347,6 +367,19 @@ func (e *Engine) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason F
 		return
 	}
 	h.OnDeliveryFailure(e.ctxs[alg], at, mh, msg, reason)
+}
+
+// addWaiter parks fn until mh joins a cell, reusing a pooled slice when the
+// MH has no waiters yet.
+func (e *Engine) addWaiter(mh MHID, fn func()) {
+	w, ok := e.waiters[mh]
+	if !ok {
+		if n := len(e.waiterPool); n > 0 {
+			w = e.waiterPool[n-1]
+			e.waiterPool = e.waiterPool[:n-1]
+		}
+	}
+	e.waiters[mh] = append(w, fn)
 }
 
 func (e *Engine) fireWaiters(mh MHID) {
@@ -360,6 +393,10 @@ func (e *Engine) fireWaiters(mh MHID) {
 		// network state and deterministic ordering.
 		e.sub.Enqueue(fn)
 	}
+	for i := range pending {
+		pending[i] = nil // release the continuation references
+	}
+	e.waiterPool = append(e.waiterPool, pending[:0])
 }
 
 // localMHs returns the cell's membership in ascending order. The slice is

@@ -8,6 +8,21 @@ import (
 	"mobiledist/internal/sim"
 )
 
+// StatusError reports a mobility operation (move, disconnect, reconnect)
+// rejected because the host's connectivity status does not permit it. The
+// message is formatted lazily: churn workloads reject such operations by the
+// million and almost always only test err != nil, so the constructor must
+// not pay for fmt.
+type StatusError struct {
+	Op     string
+	MH     MHID
+	Status MHStatus
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("engine: mh%d cannot %s while %s", int(e.MH), e.Op, e.Status)
+}
+
 // Move initiates a cell switch: mh sends leave(r) to its current MSS,
 // travels, then sends join(mh, prev) to the new cell's MSS. While between
 // cells the MH neither sends nor receives (Section 2); routed messages park
@@ -17,7 +32,7 @@ func (e *Engine) Move(mh MHID, to MSSID) error {
 	e.checkMSS(to)
 	st := &e.mh[mh]
 	if st.status != StatusConnected {
-		return fmt.Errorf("engine: mh%d cannot move while %s", int(mh), st.status)
+		return &StatusError{Op: "move", MH: mh, Status: st.status}
 	}
 	from := st.at
 	if from == to {
@@ -30,10 +45,14 @@ func (e *Engine) Move(mh MHID, to MSSID) error {
 	st.status = StatusInTransit
 	st.at = from // remembered as the previous cell for the join message
 
-	e.trace("leave", "mh%d leaving mss%d for mss%d", int(mh), int(from), int(to))
+	if e.cfg.Trace != nil {
+		e.trace("leave", "mh%d leaving mss%d for mss%d", int(mh), int(from), int(to))
+	}
 	e.transmitUp(mh, func() {
 		e.mss[from].local.remove(mh)
-		e.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
+		if e.cfg.Trace != nil {
+			e.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
+		}
 		e.event(obs.EvLeave, int32(mh), int32(from), 0)
 		e.notifyLeave(from, mh)
 
@@ -61,7 +80,9 @@ func (e *Engine) completeJoin(mh MHID, to, prev MSSID, wasDisconnected bool) {
 		if !wasDisconnected {
 			e.stats.Moves++
 		}
-		e.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
+		if e.cfg.Trace != nil {
+			e.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
+		}
 		e.event(obs.EvJoin, int32(mh), int32(to), int32(prev))
 		e.notifyJoin(to, mh, prev, wasDisconnected)
 		e.fireWaiters(mh)
@@ -75,7 +96,7 @@ func (e *Engine) Disconnect(mh MHID) error {
 	e.checkMH(mh)
 	st := &e.mh[mh]
 	if st.status != StatusConnected {
-		return fmt.Errorf("engine: mh%d cannot disconnect while %s", int(mh), st.status)
+		return &StatusError{Op: "disconnect", MH: mh, Status: st.status}
 	}
 	at := st.at
 
@@ -88,7 +109,9 @@ func (e *Engine) Disconnect(mh MHID) error {
 		e.mss[at].local.remove(mh)
 		e.mss[at].disconnected[mh] = true
 		e.stats.Disconnects++
-		e.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
+		if e.cfg.Trace != nil {
+			e.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
+		}
 		e.event(obs.EvDisconnect, int32(mh), int32(at), 0)
 		e.notifyDisconnect(at, mh)
 	})
@@ -104,7 +127,7 @@ func (e *Engine) Reconnect(mh MHID, at MSSID, knowsPrev bool) error {
 	e.checkMSS(at)
 	st := &e.mh[mh]
 	if st.status != StatusDisconnected {
-		return fmt.Errorf("engine: mh%d cannot reconnect while %s", int(mh), st.status)
+		return &StatusError{Op: "reconnect", MH: mh, Status: st.status}
 	}
 	prev := st.at
 
@@ -148,7 +171,9 @@ func (e *Engine) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
 				st.status = StatusConnected
 				st.at = at
 				e.stats.Reconnects++
-				e.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
+				if e.cfg.Trace != nil {
+					e.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
+				}
 				e.event(obs.EvHandoff, int32(mh), int32(at), int32(prev))
 				e.event(obs.EvJoin, int32(mh), int32(at), int32(prev))
 				e.notifyJoin(at, mh, prev, true)

@@ -100,7 +100,7 @@ func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stal
 		// The model guarantees the MH eventually joins some cell; park the
 		// message until it does, then retry. No charge is incurred for
 		// waiting.
-		e.waiters[mh] = append(e.waiters[mh], func() {
+		e.addWaiter(mh, func() {
 			e.routeToMH(via, mh, msg, opts, stale)
 		})
 		return
@@ -160,7 +160,9 @@ func (e *Engine) reclassifyWastedWireless(cat cost.Category) {
 // chargeSearch records one search under the configured search mode.
 func (e *Engine) chargeSearch(opts routeOpts, stale bool) {
 	e.stats.Searches++
-	e.trace("search", "origin mss%d (stale=%v)", int(opts.origin), stale)
+	if e.cfg.Trace != nil {
+		e.trace("search", "origin mss%d (stale=%v)", int(opts.origin), stale)
+	}
 	e.event(obs.EvSearch, int32(opts.origin), boolOperand(stale), 0)
 	cat := opts.cat
 	if stale {
@@ -216,10 +218,15 @@ func (e *Engine) wirelessDown(mss MSSID, mh MHID, msg Message, opts routeOpts) {
 		// message is routed onwards from here; the eventual successful
 		// delivery stays in the primary category, so primary accounting
 		// charges exactly one delivery per message.
+		//
+		// opts must stay unmutated in this closure: a read-only capture is
+		// copied into the closure object, where an assigned one costs a
+		// second heap cell per transmission.
 		e.reclassifyWastedWireless(opts.cat)
 		e.stats.StaleReroutes++
-		opts.hops++
-		e.routeToMH(mss, mh, msg, opts, true)
+		ropts := opts
+		ropts.hops++
+		e.routeToMH(mss, mh, msg, ropts, true)
 	})
 }
 
@@ -253,7 +260,7 @@ func (e *Engine) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) er
 	case StatusDisconnected:
 		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(mh))
 	case StatusInTransit:
-		e.waiters[mh] = append(e.waiters[mh], func() {
+		e.addWaiter(mh, func() {
 			if err := e.sendFromMH(alg, mh, msg, cat); err != nil {
 				// The MH disconnected before the deferred send could run, so
 				// the transmission never happened. The loss is counted in
@@ -261,7 +268,9 @@ func (e *Engine) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) er
 				// DeliveryFailureHandler fires because there is no origin MSS
 				// to notify — the message never left the MH.
 				e.stats.FailedDeliveries++
-				e.trace("send-dropped", "mh%d disconnected before deferred send", int(mh))
+				if e.cfg.Trace != nil {
+					e.trace("send-dropped", "mh%d disconnected before deferred send", int(mh))
+				}
 			}
 		})
 		return nil
@@ -322,7 +331,7 @@ func (e *Engine) sendMHViaMSS(alg int, from MHID, via MSSID, to MHID, msg Messag
 	case StatusDisconnected:
 		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(from))
 	case StatusInTransit:
-		e.waiters[from] = append(e.waiters[from], func() {
+		e.addWaiter(from, func() {
 			_ = e.sendMHViaMSS(alg, from, via, to, msg, cat)
 		})
 		return nil
@@ -356,7 +365,7 @@ func (e *Engine) routeToMSSOfMH(via MSSID, mh MHID, msg Message, opts routeOpts,
 	st := &e.mh[mh]
 	switch st.status {
 	case StatusInTransit:
-		e.waiters[mh] = append(e.waiters[mh], func() {
+		e.addWaiter(mh, func() {
 			e.routeToMSSOfMH(via, mh, msg, opts, stale)
 		})
 		return
@@ -410,7 +419,7 @@ func (e *Engine) sendMHToMH(alg int, from, to MHID, msg Message, cat cost.Catego
 	case StatusDisconnected:
 		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(from))
 	case StatusInTransit:
-		e.waiters[from] = append(e.waiters[from], func() {
+		e.addWaiter(from, func() {
 			_ = e.sendMHToMH(alg, from, to, msg, cat)
 		})
 		return nil

@@ -114,19 +114,93 @@ func (e *Engine) chanUp(mh MHID) int {
 	return e.cfg.M*e.cfg.M + e.cfg.M*e.cfg.N + int(mh)
 }
 
-// FIFOClock computes FIFO-respecting arrival times for virtual-time
-// substrates: per-channel high-water marks in one flat slice indexed by the
-// engine's channel numbering, so the per-message lookup is an array read
-// with no hashing or allocation. The zero value of an entry means "no prior
-// traffic". Substrates that serialize channels physically (one goroutine
-// per channel, as internal/rt does) do not need it.
-type FIFOClock struct {
-	last []sim.Time
+// DenseChannelLimit is the largest channel count for which per-channel
+// state is kept in flat arrays. ChannelCount is dominated by the M*N
+// downlink block, which reaches ~10^10 at M=10^4/N=10^6 — far beyond what
+// flat slices can hold — while the number of channels that ever carry
+// traffic is bounded by live (cell, MH) attachments, O(N). Above the limit,
+// per-channel structures switch to sparse maps keyed by channel id; the
+// semantics are identical either way.
+const DenseChannelLimit = 1 << 22
+
+// denseWiredLimit is the largest wired block (M*M entries) a layout-aware
+// FIFOClock keeps as a flat slice. It is far above DenseChannelLimit because
+// the wired block is only quadratic in the station count — 10^8 entries at
+// M=10^4, within reach of a flat allocation — whereas the downlink block is
+// M*N and genuinely intractable flat.
+const denseWiredLimit = 1 << 27
+
+// downMark is one per-MH downlink high-water mark: the latest arrival
+// scheduled on the (mss, mh) downlink. A host accumulates one entry per
+// distinct cell that has ever sent to it, which mobility keeps small.
+type downMark struct {
+	mss  int32
+	mark sim.Time
 }
 
-// NewFIFOClock returns a clock for the given channel count (ChannelCount).
+// FIFOClock computes FIFO-respecting arrival times for virtual-time
+// substrates: per-channel high-water marks indexed by the engine's channel
+// numbering. A missing entry means "no prior traffic". Substrates that
+// serialize channels physically (one goroutine per channel, as internal/rt
+// does) do not need it.
+//
+// Two storage modes exist. NewFIFOClock keeps one flat slice up to
+// DenseChannelLimit channels and overflows to a sparse map — the generic
+// form for any channel numbering. NewFIFOClockLayout knows the engine's
+// wired/down/up block structure and never needs a global map: the wired and
+// uplink blocks stay flat (they are M^2 and N entries), and the downlink
+// block — M*N ids, ~10^10 at full scale — is held as per-MH mark lists,
+// exploiting that a host only carries downlink history from cells that have
+// actually transmitted to it. The arrival semantics are identical in every
+// mode; only the lookup cost differs.
+type FIFOClock struct {
+	// Generic single-block storage (NewFIFOClock).
+	last   []sim.Time
+	sparse map[int]sim.Time
+
+	// Layout-aware storage (NewFIFOClockLayout). up non-nil selects this
+	// mode. Downlink marks are split into a flat hottest-mark-per-MH array
+	// (one cache line per lookup in the common case of a host served by its
+	// current cell) and a rarely-touched overflow list holding marks from the
+	// host's previous cells. A zero mark means "no prior traffic", which is
+	// exact: clamping against 0 is a no-op.
+	n        int
+	wiredEnd int
+	downEnd  int
+	wired    []sim.Time
+	wiredMap map[int]sim.Time // wired fallback above denseWiredLimit
+	down0    []downMark
+	downOv   [][]downMark
+	up       []sim.Time
+}
+
+// NewFIFOClock returns a clock for the given channel count with generic
+// storage: flat up to DenseChannelLimit channels, sparse beyond.
 func NewFIFOClock(channels int) *FIFOClock {
+	if channels > DenseChannelLimit {
+		return &FIFOClock{sparse: make(map[int]sim.Time)}
+	}
 	return &FIFOClock{last: make([]sim.Time, channels)}
+}
+
+// NewFIFOClockLayout returns a clock for the engine's (m, n) channel
+// numbering using per-block storage, avoiding sparse-map lookups on the
+// per-message hot path at every supported scale.
+func NewFIFOClockLayout(m, n int) *FIFOClock {
+	c := &FIFOClock{
+		n:        n,
+		wiredEnd: m * m,
+		downEnd:  m*m + m*n,
+		down0:    make([]downMark, n),
+		downOv:   make([][]downMark, n),
+		up:       make([]sim.Time, n),
+	}
+	if m*m <= denseWiredLimit {
+		c.wired = make([]sim.Time, m*m)
+	} else {
+		c.wiredMap = make(map[int]sim.Time)
+	}
+	return c
 }
 
 // Arrival returns the delivery time for a message sent now with the given
@@ -134,9 +208,73 @@ func NewFIFOClock(channels int) *FIFOClock {
 // the same channel, and records it as the channel's new high-water mark.
 func (c *FIFOClock) Arrival(ch int, now, latency sim.Time) sim.Time {
 	arrival := now + latency
-	if last := c.last[ch]; arrival < last {
-		arrival = last
+	if c.up == nil {
+		// Generic single-block storage.
+		if c.sparse != nil {
+			if last := c.sparse[ch]; arrival < last {
+				arrival = last
+			}
+			c.sparse[ch] = arrival
+			return arrival
+		}
+		if last := c.last[ch]; arrival < last {
+			arrival = last
+		}
+		c.last[ch] = arrival
+		return arrival
 	}
-	c.last[ch] = arrival
-	return arrival
+	switch {
+	case ch < c.wiredEnd:
+		if c.wired != nil {
+			slot := &c.wired[ch]
+			if *slot > arrival {
+				arrival = *slot
+			}
+			*slot = arrival
+			return arrival
+		}
+		if last := c.wiredMap[ch]; last > arrival {
+			arrival = last
+		}
+		c.wiredMap[ch] = arrival
+		return arrival
+	case ch < c.downEnd:
+		rel := ch - c.wiredEnd
+		mh := rel % c.n
+		mss := int32(rel / c.n)
+		d := &c.down0[mh]
+		if d.mss == mss && d.mark != 0 {
+			if d.mark > arrival {
+				arrival = d.mark
+			}
+			d.mark = arrival
+			return arrival
+		}
+		ov := c.downOv[mh]
+		for i := range ov {
+			if ov[i].mss == mss {
+				if ov[i].mark > arrival {
+					arrival = ov[i].mark
+				}
+				// Promote the hit to the hot slot; the displaced mark keeps
+				// the overflow position.
+				ov[i], *d = *d, downMark{mss: mss, mark: arrival}
+				return arrival
+			}
+		}
+		// First traffic on this (mss, mh) downlink: it takes the hot slot,
+		// demoting whatever held it.
+		if d.mark != 0 {
+			c.downOv[mh] = append(ov, *d)
+		}
+		*d = downMark{mss: mss, mark: arrival}
+		return arrival
+	default:
+		slot := &c.up[ch-c.downEnd]
+		if *slot > arrival {
+			arrival = *slot
+		}
+		*slot = arrival
+		return arrival
+	}
 }

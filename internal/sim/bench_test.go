@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkKernelScheduleRun measures the per-event cost of the kernel hot
 // path: schedule a batch of events with pseudo-random delays (including
@@ -45,6 +48,41 @@ func BenchmarkKernelHotQueue(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !k.Step() {
 			b.Fatal("queue drained unexpectedly")
+		}
+	}
+}
+
+// BenchmarkKernelStanding compares the single-heap and sharded kernels on
+// the million-host regime: a large standing event population with keyed
+// scheduling and colliding timestamps (FIFO-clamped channels produce long
+// same-time runs). Reported per processed event.
+func BenchmarkKernelStanding(b *testing.B) {
+	for _, pop := range []int{1 << 14, 1 << 17, 1 << 20} {
+		for _, shards := range []int{1, 256} {
+			name := fmt.Sprintf("pop=%d/shards=%d", pop, shards)
+			b.Run(name, func(b *testing.B) {
+				k := NewShardedKernel(1, shards)
+				rng := NewRNG(7)
+				// Each chain reschedules itself on its own key; delays are
+				// coarse so many chains collide on each timestamp, as
+				// FIFO-clamped channels do.
+				var churn func(key int) func()
+				churn = func(key int) func() {
+					return func() {
+						k.ScheduleKeyed(key, Time(rng.Intn(16)+1), churn(key))
+					}
+				}
+				for j := 0; j < pop; j++ {
+					k.ScheduleKeyed(j, Time(rng.Intn(16)+1), churn(j))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if !k.Step() {
+						b.Fatal("queue drained unexpectedly")
+					}
+				}
+			})
 		}
 	}
 }

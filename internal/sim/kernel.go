@@ -13,6 +13,13 @@
 // in steady state. Because (at, seq) is a total order, the pop sequence is
 // identical to any correct priority queue over the same events; replacing
 // the previous container/heap binary heap changed no observable schedule.
+//
+// For million-host simulations, NewShardedKernel replaces the single heap
+// with per-shard time-bucket heaps under a small top-level merge (see
+// sharded.go). The pop sequence is still exactly the (at, seq) total order,
+// so a sharded kernel is byte-identical to a single-heap kernel on seeded
+// runs; the single-heap kernel remains the oracle the sharded queue is
+// fuzzed against.
 package sim
 
 import (
@@ -50,7 +57,8 @@ var ErrNegativeDelay = errors.New("sim: negative delay")
 type Kernel struct {
 	now    Time
 	seq    uint64
-	events []event // 4-ary min-heap ordered by (at, seq)
+	events []event // 4-ary min-heap ordered by (at, seq); unused when sq != nil
+	sq     *shardQueue
 	rng    *RNG
 
 	// stepLimit bounds the number of events processed by Run as a
@@ -62,6 +70,29 @@ type Kernel struct {
 // NewKernel returns a kernel whose RNG is seeded with seed.
 func NewKernel(seed uint64) *Kernel {
 	return &Kernel{rng: NewRNG(seed)}
+}
+
+// NewShardedKernel returns a kernel whose pending-event set is partitioned
+// into the given number of shards (rounded up to a power of two) selected
+// by the key passed to ScheduleKeyed/ScheduleAtKeyed. Scheduling and pop
+// order are byte-identical to NewKernel for the same calls; shards only
+// change the data structure's constants (see sharded.go). shards <= 1
+// returns a plain single-heap kernel.
+func NewShardedKernel(seed uint64, shards int) *Kernel {
+	k := NewKernel(seed)
+	if shards > 1 {
+		k.sq = newShardQueue(shards)
+	}
+	return k
+}
+
+// Shards reports the shard count of the pending-event set (1 for a
+// single-heap kernel).
+func (k *Kernel) Shards() int {
+	if k.sq == nil {
+		return 1
+	}
+	return len(k.sq.shards)
 }
 
 // Now returns the current virtual time.
@@ -145,6 +176,22 @@ func (k *Kernel) Schedule(delay Time, fn func()) {
 
 // ScheduleErr is Schedule returning an error instead of panicking.
 func (k *Kernel) ScheduleErr(delay Time, fn func()) error {
+	return k.ScheduleKeyedErr(0, delay, fn)
+}
+
+// ScheduleKeyed is Schedule with a shard key: callers with a natural
+// partition (the engine's flat channel ids) spread their events across the
+// sharded queue. On a single-heap kernel the key is ignored; the schedule
+// is identical either way.
+func (k *Kernel) ScheduleKeyed(key int, delay Time, fn func()) {
+	if err := k.ScheduleKeyedErr(key, delay, fn); err != nil {
+		panic(fmt.Sprintf("sim: schedule: %v", err))
+	}
+}
+
+// ScheduleKeyedErr is ScheduleKeyed returning an error instead of
+// panicking.
+func (k *Kernel) ScheduleKeyedErr(key int, delay Time, fn func()) error {
 	if delay < 0 {
 		return ErrNegativeDelay
 	}
@@ -152,6 +199,17 @@ func (k *Kernel) ScheduleErr(delay Time, fn func()) error {
 		return errors.New("sim: nil event function")
 	}
 	k.seq++
+	if q := k.sq; q != nil {
+		if delay == 0 {
+			// An event for the current instant can never precede anything
+			// already queued at it (seq only grows), so it skips the heaps
+			// entirely; see the now-queue ordering argument in sharded.go.
+			q.pushNow(fn)
+		} else {
+			q.push(key, event{at: k.now + delay, seq: k.seq, fn: fn})
+		}
+		return nil
+	}
 	k.push(event{at: k.now + delay, seq: k.seq, fn: fn})
 	return nil
 }
@@ -162,15 +220,46 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) error {
 	if at < k.now {
 		return ErrNegativeDelay
 	}
-	return k.ScheduleErr(at-k.now, fn)
+	return k.ScheduleKeyedErr(0, at-k.now, fn)
+}
+
+// ScheduleAtKeyed is ScheduleAt with a shard key.
+func (k *Kernel) ScheduleAtKeyed(key int, at Time, fn func()) error {
+	if at < k.now {
+		return ErrNegativeDelay
+	}
+	return k.ScheduleKeyedErr(key, at-k.now, fn)
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int {
+	if k.sq != nil {
+		return k.sq.pending()
+	}
+	return len(k.events)
+}
+
+// nextAt returns the timestamp of the earliest queued event.
+func (k *Kernel) nextAt() (Time, bool) {
+	if q := k.sq; q != nil {
+		if q.nowHead < len(q.nowQ) {
+			return k.now, true
+		}
+		at, _, ok := q.peek()
+		return at, ok
+	}
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].at, true
+}
 
 // Step processes the single earliest event. It reports whether an event was
 // processed.
 func (k *Kernel) Step() bool {
+	if k.sq != nil {
+		return k.stepSharded()
+	}
 	if len(k.events) == 0 {
 		return false
 	}
@@ -181,13 +270,40 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
+// stepSharded is Step on the sharded queue. Shard-held events at the
+// current instant run before the now-queue (they carry smaller seqs — see
+// sharded.go); then the now-queue drains FIFO; then the clock advances to
+// the next shard-held timestamp.
+func (k *Kernel) stepSharded() bool {
+	q := k.sq
+	at, _, ok := q.peek()
+	switch {
+	case ok && at == k.now:
+		ev := q.pop()
+		k.steps++
+		ev.fn()
+	case q.nowHead < len(q.nowQ):
+		fn := q.popNow()
+		k.steps++
+		fn()
+	case ok:
+		ev := q.pop()
+		k.now = ev.at
+		k.steps++
+		ev.fn()
+	default:
+		return false
+	}
+	return true
+}
+
 // Run processes events until the queue drains or the step limit is hit.
 // It returns an error if the step limit was exhausted with work remaining.
 func (k *Kernel) Run() error {
 	for k.Step() {
 		if k.stepLimit != 0 && k.steps >= k.stepLimit {
-			if len(k.events) > 0 {
-				return fmt.Errorf("sim: step limit %d reached with %d events pending", k.stepLimit, len(k.events))
+			if k.Pending() > 0 {
+				return fmt.Errorf("sim: step limit %d reached with %d events pending", k.stepLimit, k.Pending())
 			}
 			return nil
 		}
@@ -198,7 +314,11 @@ func (k *Kernel) Run() error {
 // RunUntil processes events with timestamps <= deadline, then advances the
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline Time) error {
-	for len(k.events) > 0 && k.events[0].at <= deadline {
+	for {
+		at, ok := k.nextAt()
+		if !ok || at > deadline {
+			break
+		}
 		k.Step()
 		if k.stepLimit != 0 && k.steps >= k.stepLimit {
 			return fmt.Errorf("sim: step limit %d reached at t=%d", k.stepLimit, k.now)
