@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check scale-smoke fuzz fuzz-short chaos soak tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos soak tables
 
 ci: vet staticcheck build test race chaos bench-smoke scale-smoke fuzz-short bench-check
 
@@ -43,16 +43,28 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkKernel' -benchtime 100x ./internal/sim
 
 # Scale-suite smoke: generator determinism + the N=10^4 points of every
-# traffic shape on both kernels (-short skips the 10^5/10^6 sizes).
+# traffic shape on both kernels (-short skips the 10^5/10^6 sizes), plus a
+# driver pass of the same points through mobilexp -scale so the recorded
+# delivery-record path is exercised end to end on every change.
 scale-smoke:
 	$(GO) test -run 'TestScale' -count 1 ./internal/workload/
 	$(GO) test -run xxx -bench 'BenchmarkScale' -benchtime 1x -short .
+	$(GO) run ./cmd/mobilexp -scale -scale-max 10000 -o /dev/null
 
 # Full scale trajectory (route/churn/search-chase at N=10^4..10^6, both
 # kernels), recorded to BENCH_scale.json. Minutes of wall clock; not in ci.
+# The outgoing snapshot is kept as BENCH_scale.prev.json so bench-delta can
+# compare the kernel ratios across the re-record.
 bench-scale:
+	@if [ -f BENCH_scale.json ]; then cp BENCH_scale.json BENCH_scale.prev.json; fi
 	$(GO) run ./cmd/mobilexp -scale -scale-reps 3 -bench-json BENCH_scale.json
 	$(GO) run ./cmd/mobilexp -check-bench BENCH_scale.json
+
+# Compare the current scale snapshot against the previous one (written by
+# the last bench-scale): per-row msgs/sec ratios and the sharded-vs-single
+# kernel ratio trajectory.
+bench-delta:
+	$(GO) run ./cmd/mobilexp -check-bench BENCH_scale.json -delta BENCH_scale.prev.json
 
 # Regenerate the experiment-suite timing baseline.
 bench-snapshot:

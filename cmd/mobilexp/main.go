@@ -8,7 +8,7 @@
 //	         [-crash MSS:AT:RESTART,...] [-faultseed N]
 //	         [-trace FILE] [-bench-json FILE] [-scale] [-scale-max N]
 //	         [-scale-reps R] [-cpuprofile FILE] [-memprofile FILE]
-//	         [-check-bench FILE]
+//	         [-check-bench FILE [-delta PREV]]
 //
 // Without -id every experiment runs in index order, generated on up to
 // -parallel worker goroutines (default: one per CPU); the tables are
@@ -46,7 +46,11 @@
 //
 // -check-bench FILE validates a snapshot written by -bench-json (v1 or
 // v2) and exits non-zero on malformed documents; CI runs it over the
-// checked-in snapshots so schema drift is caught at the gate.
+// checked-in snapshots so schema drift is caught at the gate. Adding
+// -delta PREV also compares FILE's scale results against the previous
+// snapshot PREV, row-matched by (kind, N, shards): absolute msgs/sec
+// ratios (host-dependent) and the sharded-vs-single kernel ratio (the
+// number `make bench-delta` tracks across commits).
 //
 // The fault flags build a deterministic fault plan (see internal/faults)
 // and install it process-wide, so every experiment regenerates under the
@@ -99,6 +103,7 @@ func run(args []string, stdout io.Writer) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken at the end of the run to FILE")
 		checkBench = fs.String("check-bench", "", "validate the bench snapshot in FILE (schema v1 or v2) and exit")
+		deltaBench = fs.String("delta", "", "with -check-bench: compare the snapshot's scale results against the previous snapshot in FILE")
 
 		drop      = fs.Float64("drop", 0, "wireless drop probability per transmission, both directions [0,1]")
 		dup       = fs.Float64("dup", 0, "wireless duplicate probability per transmission, both directions [0,1]")
@@ -116,7 +121,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "%s: ok\n", *checkBench)
+		if *deltaBench != "" {
+			return reportBenchDelta(stdout, *checkBench, *deltaBench)
+		}
 		return nil
+	}
+	if *deltaBench != "" {
+		return fmt.Errorf("-delta requires -check-bench (the snapshot to compare)")
 	}
 
 	if *cpuprofile != "" {
@@ -372,6 +383,78 @@ func writeBenchJSON(path string, seed uint64, bench []benchExperiment, scale []b
 		return err
 	}
 	return f.Close()
+}
+
+// readBenchFile loads and decodes a snapshot written by -bench-json.
+func readBenchFile(path string) (benchSnapshot, error) {
+	var snap benchSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %v", path, err)
+	}
+	return snap, nil
+}
+
+// reportBenchDelta compares the scale results of the snapshot at curPath
+// against the previous snapshot at prevPath, matching rows by
+// (kind, n, shards). The interesting column is the kernel ratio: the
+// sharded rows' speedup relative to the single-heap baseline, whose
+// trajectory across snapshots is what `make bench-delta` watches. The
+// report is informational — wall clocks shift with the host — so the only
+// errors are unreadable snapshots.
+func reportBenchDelta(out io.Writer, curPath, prevPath string) error {
+	cur, err := readBenchFile(curPath)
+	if err != nil {
+		return err
+	}
+	prev, err := readBenchFile(prevPath)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		kind   string
+		n      int
+		shards int
+	}
+	prevRows := make(map[key]benchScaleRun, len(prev.Scale))
+	for _, r := range prev.Scale {
+		prevRows[key{r.Kind, r.N, r.Shards}] = r
+	}
+	fmt.Fprintf(out, "delta %s (commit %.12s) vs %s (commit %.12s)\n", curPath, cur.Commit, prevPath, prev.Commit)
+	matched := 0
+	for _, r := range cur.Scale {
+		p, ok := prevRows[key{r.Kind, r.N, r.Shards}]
+		if !ok {
+			fmt.Fprintf(out, "  %-12s N=%-8d shards=%-4d (no previous row)\n", r.Kind, r.N, r.Shards)
+			continue
+		}
+		matched++
+		line := fmt.Sprintf("  %-12s N=%-8d shards=%-4d %11.0f msgs/sec (x%.2f vs prev)",
+			r.Kind, r.N, r.Shards, r.MsgsPerSec, ratio(r.MsgsPerSec, p.MsgsPerSec))
+		if r.Speedup != 0 && p.Speedup != 0 {
+			line += fmt.Sprintf("  kernel-ratio %.3f vs %.3f (%+.1f%%)",
+				r.Speedup, p.Speedup, 100*(r.Speedup-p.Speedup)/p.Speedup)
+		}
+		fmt.Fprintln(out, line)
+	}
+	if len(cur.Experiments) > 0 && len(prev.Experiments) > 0 {
+		fmt.Fprintf(out, "  experiment suite %.1f ms vs %.1f ms (x%.2f)\n",
+			cur.TotalMillis, prev.TotalMillis, ratio(cur.TotalMillis, prev.TotalMillis))
+	}
+	if matched == 0 && len(cur.Scale) == 0 {
+		fmt.Fprintln(out, "  (no scale rows to compare)")
+	}
+	return nil
+}
+
+func ratio(cur, prev float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	return cur / prev
 }
 
 // checkBenchFile validates a snapshot written by -bench-json, accepting

@@ -21,6 +21,10 @@ const defaultStepLimit = 50_000_000
 type simSubstrate struct {
 	kernel *sim.Kernel
 	fifo   *engine.FIFOClock
+	// step is the one closure allocated per system: the kernel invoker that
+	// hands a scheduled delivery record to the bound sink. Caching it at
+	// bind time is what keeps TransmitRec allocation-free.
+	step func(any)
 }
 
 func (s *simSubstrate) Now() sim.Time { return s.kernel.Now() }
@@ -29,13 +33,29 @@ func (s *simSubstrate) Enqueue(fn func()) { s.kernel.Schedule(0, fn) }
 
 func (s *simSubstrate) After(d sim.Time, fn func()) { s.kernel.Schedule(d, fn) }
 
-func (s *simSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+func (s *simSubstrate) BindRecSink(sink engine.RecSink) {
+	s.step = func(a any) { sink.StepRec(a.(*engine.DeliveryRec)) }
+}
+
+func (s *simSubstrate) TransmitRec(ch int, latency sim.Time, rec *engine.DeliveryRec) {
 	arrival := s.fifo.Arrival(ch, s.kernel.Now(), latency)
 	// The channel id doubles as the shard key: on a sharded kernel each
 	// shard owns a slice of the channel space, and FIFO clamping makes
 	// same-channel arrivals collide into cheap same-timestamp runs.
-	if err := s.kernel.ScheduleAtKeyed(ch, arrival, deliver); err != nil {
+	if err := s.kernel.ScheduleCallAtKeyed(ch, arrival, s.step, rec); err != nil {
 		panic(fmt.Sprintf("core: schedule transmit: %v", err))
+	}
+}
+
+func (s *simSubstrate) AfterRec(d sim.Time, rec *engine.DeliveryRec) {
+	if err := s.kernel.ScheduleCallKeyedErr(0, d, s.step, rec); err != nil {
+		panic(fmt.Sprintf("core: schedule record: %v", err))
+	}
+}
+
+func (s *simSubstrate) EnqueueRec(rec *engine.DeliveryRec) {
+	if err := s.kernel.ScheduleCallKeyedErr(0, 0, s.step, rec); err != nil {
+		panic(fmt.Sprintf("core: schedule record: %v", err))
 	}
 }
 

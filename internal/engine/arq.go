@@ -41,10 +41,18 @@ import (
 // for an uplink it is the downlink of the cell the MH occupied when it
 // sent (acks are network-layer control and not subject to presence
 // semantics, so a stale cell still acks correctly).
+//
+// Record ownership: rec is the payload delivery record. The sender queue
+// owns it from send() until recvAck pops the frame and frees it; the
+// receiver runs it (runRec, no free) on first acceptance. Air copies
+// (opArqData), acks (opArqAck) and ack timers (opArqTimeout) are fresh
+// records per transmission attempt, freed by StepRec like any other; a
+// dropped or duplicated air copy therefore never touches the payload's
+// lifetime, which is what makes retransmission safe under pooling.
 type arqFrame struct {
-	seq     uint64
-	ackCh   int
-	deliver func()
+	seq   uint64
+	ackCh int
+	rec   *DeliveryRec
 }
 
 // arqChan is the sender and receiver state of one wireless channel.
@@ -106,9 +114,9 @@ func (a *arq) state(ch int) *arqChan {
 
 // send enqueues one logical message on wireless channel ch, transmitting
 // immediately if the channel has no frame in flight.
-func (a *arq) send(ch, ackCh int, deliver func()) {
+func (a *arq) send(ch, ackCh int, rec *DeliveryRec) {
 	st := a.state(ch)
-	st.queue = append(st.queue, arqFrame{seq: st.sendNext, ackCh: ackCh, deliver: deliver})
+	st.queue = append(st.queue, arqFrame{seq: st.sendNext, ackCh: ackCh, rec: rec})
 	st.sendNext++
 	if !st.outstanding {
 		a.transmitHead(ch)
@@ -116,17 +124,24 @@ func (a *arq) send(ch, ackCh int, deliver func()) {
 }
 
 // transmitHead puts the head-of-queue frame on the air and arms its ack
-// timer. Called for both first transmissions and retransmissions.
+// timer. Called for both first transmissions and retransmissions; each
+// attempt gets a fresh air record and timer record, so an injector
+// dropping one copy frees only that copy.
 func (a *arq) transmitHead(ch int) {
 	st := a.state(ch)
 	f := st.queue[0]
 	st.outstanding = true
 	st.timerGen++
-	gen := st.timerGen
-	a.e.sub.Transmit(ch, a.e.delay(a.e.cfg.Wireless), func() {
-		a.recvData(ch, f.ackCh, f.seq, f.deliver)
-	})
-	a.e.sub.After(st.rto, func() { a.timeout(ch, gen) })
+	air := a.e.newRec(opArqData)
+	air.ch = int32(ch)
+	air.ackCh = int32(f.ackCh)
+	air.seq = f.seq
+	air.inner = f.rec
+	a.e.sub.TransmitRec(ch, a.e.delay(a.e.cfg.Wireless), air)
+	timer := a.e.newRec(opArqTimeout)
+	timer.ch = int32(ch)
+	timer.seq = st.timerGen
+	a.e.sub.AfterRec(st.rto, timer)
 }
 
 // timeout fires when an ack did not arrive in time; a stale generation
@@ -150,14 +165,17 @@ func (a *arq) timeout(ch int, gen uint64) {
 }
 
 // recvData runs at the receiving end of channel ch when a data frame
-// survives the link.
-func (a *arq) recvData(ch, ackCh int, seq uint64, deliver func()) {
+// survives the link. payload is the frame's delivery record; it is run in
+// place (not freed — the sender queue owns it until acked), and a
+// suppressed duplicate never touches it, so a payload already released by
+// a completed ack round is never dereferenced through a straggler copy.
+func (a *arq) recvData(ch, ackCh int, seq uint64, payload *DeliveryRec) {
 	st := a.state(ch)
 	switch {
 	case seq == st.recvNext:
 		st.recvNext++
 		a.sendAck(ackCh, ch, seq)
-		deliver()
+		a.e.runRec(payload)
 	case seq < st.recvNext:
 		// A retransmitted or injector-duplicated copy of an accepted frame:
 		// suppress it, but re-ack so a sender whose ack was lost makes
@@ -173,9 +191,10 @@ func (a *arq) recvData(ch, ackCh int, seq uint64, deliver func()) {
 // wireless channel. Acks are fire-and-forget: a lost ack is repaired by the
 // data sender's retransmission.
 func (a *arq) sendAck(ackCh, dataCh int, seq uint64) {
-	a.e.sub.Transmit(ackCh, a.e.delay(a.e.cfg.Wireless), func() {
-		a.recvAck(dataCh, seq)
-	})
+	ack := a.e.newRec(opArqAck)
+	ack.ch = int32(dataCh)
+	ack.seq = seq
+	a.e.sub.TransmitRec(ackCh, a.e.delay(a.e.cfg.Wireless), ack)
 }
 
 // recvAck resolves the in-flight frame of dataCh and releases the next.
@@ -185,6 +204,7 @@ func (a *arq) recvAck(ch int, seq uint64) {
 		return // duplicate or stale ack
 	}
 	st.outstanding = false
+	a.e.FreeRec(st.queue[0].rec) // delivered (and run) at the receiver; release the payload
 	st.queue = append(st.queue[:0], st.queue[1:]...)
 	st.rto = a.rto0
 	a.e.event(obs.EvAck, int32(ch), st.retries, 0)

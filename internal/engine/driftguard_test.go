@@ -88,12 +88,16 @@ func TestSubstrateAdaptersDoNotRedeclareEngineLogic(t *testing.T) {
 
 // faultInjectorAllowedEngineRefs is the complete engine surface the fault
 // injector (internal/faults) may touch: the Substrate seam it wraps, the
-// channel-numbering decoder, the loss-reporting types, and the public model
-// vocabulary. Anything else — routing, mobility, FIFO bookkeeping, ARQ —
-// is engine-internal, and an injector reaching for it is drifting from a
-// substrate wrapper into a second protocol implementation.
+// delivery-record currency that flows through it (DeliveryRec and the
+// RecSink pool protocol), the channel-numbering decoder, the loss-reporting
+// types, and the public model vocabulary. Anything else — routing,
+// mobility, FIFO bookkeeping, ARQ — is engine-internal, and an injector
+// reaching for it is drifting from a substrate wrapper into a second
+// protocol implementation.
 var faultInjectorAllowedEngineRefs = map[string]bool{
 	"Substrate":     true,
+	"DeliveryRec":   true,
+	"RecSink":       true,
 	"ChannelLayout": true,
 	"ChannelKind":   true,
 	"ChannelWired":  true,
@@ -144,6 +148,48 @@ func TestFaultInjectorUsesOnlyTheSubstrateSeam(t *testing.T) {
 			}
 			return true
 		})
+	}
+}
+
+// deliveryPathClosureAllowlist names the top-level functions in the
+// delivery-path files that may still build closures: build-time plumbing
+// that runs once per system, never per message. Everything else in these
+// files must express deferred work as a pooled DeliveryRec interpreted by
+// runRec — a closure on a routing, ARQ, or mobility path is a per-message
+// heap allocation creeping back in, exactly what the record refactor
+// removed. To add a legitimate control-path closure, name its enclosing
+// function here with a reason.
+var deliveryPathClosureAllowlist = map[string]string{
+	"New": "engine construction: default-placement closure, built once",
+}
+
+// TestDeliveryPathsBuildNoClosures fails if routing.go, arq.go,
+// mobility.go, or engine.go contains a func literal outside the allowlist
+// above. This is the record-discipline guard: the CPS delivery chain was
+// replaced by value-state records, and this test keeps it replaced.
+func TestDeliveryPathsBuildNoClosures(t *testing.T) {
+	for _, file := range []string{"routing.go", "arq.go", "mobility.go", "engine.go"} {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, allowed := deliveryPathClosureAllowlist[fd.Name.Name]; allowed {
+				continue
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					t.Errorf("%s: func literal in %s — delivery paths must use pooled DeliveryRecs (newRec + TransmitRec/AfterRec/EnqueueRec), not closures; see deliveryPathClosureAllowlist",
+						fset.Position(lit.Pos()), fd.Name.Name)
+				}
+				return true
+			})
+		}
 	}
 }
 

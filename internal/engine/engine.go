@@ -100,11 +100,16 @@ type Engine struct {
 	algs []Algorithm
 	ctxs []Context
 
-	// waiters holds continuations blocked on a MH that is between cells;
+	// waiters holds delivery records blocked on a MH that is between cells;
 	// they fire once it joins a cell. Fired slices are recycled through
 	// waiterPool so churn-heavy runs stop allocating once warm.
-	waiters    map[MHID][]func()
-	waiterPool [][]func()
+	waiters    map[MHID][]*DeliveryRec
+	waiterPool [][]*DeliveryRec
+
+	// recFree/recLive are the delivery-record pool: an intrusive free list
+	// and the checked-out count (see record.go).
+	recFree *DeliveryRec
+	recLive int
 
 	// pairs is the per-ordered-(MH,MH)-pair FIFO reorder state for
 	// SendMHToMH traffic.
@@ -134,9 +139,10 @@ func New(cfg Config, sub Substrate) (*Engine, error) {
 		meter:   cost.NewMeterSized(cfg.N),
 		mss:     make([]mssState, cfg.M),
 		mh:      make([]mhState, cfg.N),
-		waiters: make(map[MHID][]func()),
+		waiters: make(map[MHID][]*DeliveryRec),
 		pairs:   make(map[pairKey]*pairState),
 	}
+	sub.BindRecSink(e)
 	e.stats.DozeInterruptionsByMH = make(map[MHID]int64)
 	for i := range e.mss {
 		e.mss[i] = mssState{
@@ -286,32 +292,32 @@ func (e *Engine) delay(d Delay) sim.Time {
 	return e.sub.RNG().Duration(d.Min, d.Max)
 }
 
-// transmitWired sends deliver over the (from, to) wired channel: draw the
-// link latency, then hand the delivery to the substrate's FIFO transport.
-func (e *Engine) transmitWired(from, to MSSID, deliver func()) {
-	e.sub.Transmit(e.chanWired(from, to), e.delay(e.cfg.Wired), deliver)
+// transmitWired sends rec over the (from, to) wired channel: draw the link
+// latency, then hand the record to the substrate's FIFO transport.
+func (e *Engine) transmitWired(from, to MSSID, rec *DeliveryRec) {
+	e.sub.TransmitRec(e.chanWired(from, to), e.delay(e.cfg.Wired), rec)
 }
 
-// transmitDown sends deliver over the (mss, mh) wireless downlink, through
-// the ARQ sublayer when the wireless network is unreliable. Every caller's
-// deliver closure re-checks MH presence at delivery time, so retransmitted
-// frames keep the prefix semantics unchanged.
-func (e *Engine) transmitDown(mss MSSID, mh MHID, deliver func()) {
+// transmitDown sends rec over the (mss, mh) wireless downlink, through the
+// ARQ sublayer when the wireless network is unreliable. Every payload op
+// re-checks MH presence at delivery time, so retransmitted frames keep the
+// prefix semantics unchanged.
+func (e *Engine) transmitDown(mss MSSID, mh MHID, rec *DeliveryRec) {
 	if e.arq != nil {
-		e.arq.send(e.chanDown(mss, mh), e.chanUp(mh), deliver)
+		e.arq.send(e.chanDown(mss, mh), e.chanUp(mh), rec)
 		return
 	}
-	e.sub.Transmit(e.chanDown(mss, mh), e.delay(e.cfg.Wireless), deliver)
+	e.sub.TransmitRec(e.chanDown(mss, mh), e.delay(e.cfg.Wireless), rec)
 }
 
-// transmitUp sends deliver over mh's wireless uplink. Under ARQ, acks come
-// back on the downlink of the cell the MH occupies at send time.
-func (e *Engine) transmitUp(mh MHID, deliver func()) {
+// transmitUp sends rec over mh's wireless uplink. Under ARQ, acks come back
+// on the downlink of the cell the MH occupies at send time.
+func (e *Engine) transmitUp(mh MHID, rec *DeliveryRec) {
 	if e.arq != nil {
-		e.arq.send(e.chanUp(mh), e.chanDown(e.mh[mh].at, mh), deliver)
+		e.arq.send(e.chanUp(mh), e.chanDown(e.mh[mh].at, mh), rec)
 		return
 	}
-	e.sub.Transmit(e.chanUp(mh), e.delay(e.cfg.Wireless), deliver)
+	e.sub.TransmitRec(e.chanUp(mh), e.delay(e.cfg.Wireless), rec)
 }
 
 func (e *Engine) dispatchMSS(alg int, at MSSID, from From, msg Message) {
@@ -369,9 +375,9 @@ func (e *Engine) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason F
 	h.OnDeliveryFailure(e.ctxs[alg], at, mh, msg, reason)
 }
 
-// addWaiter parks fn until mh joins a cell, reusing a pooled slice when the
-// MH has no waiters yet.
-func (e *Engine) addWaiter(mh MHID, fn func()) {
+// addWaiter parks rec until mh joins a cell, reusing a pooled slice when
+// the MH has no waiters yet.
+func (e *Engine) addWaiter(mh MHID, rec *DeliveryRec) {
 	w, ok := e.waiters[mh]
 	if !ok {
 		if n := len(e.waiterPool); n > 0 {
@@ -379,7 +385,7 @@ func (e *Engine) addWaiter(mh MHID, fn func()) {
 			e.waiterPool = e.waiterPool[:n-1]
 		}
 	}
-	e.waiters[mh] = append(w, fn)
+	e.waiters[mh] = append(w, rec)
 }
 
 func (e *Engine) fireWaiters(mh MHID) {
@@ -388,13 +394,13 @@ func (e *Engine) fireWaiters(mh MHID) {
 		return
 	}
 	delete(e.waiters, mh)
-	for _, fn := range pending {
+	for _, rec := range pending {
 		// Re-enter through the substrate so continuations observe a settled
 		// network state and deterministic ordering.
-		e.sub.Enqueue(fn)
+		e.sub.EnqueueRec(rec)
 	}
 	for i := range pending {
-		pending[i] = nil // release the continuation references
+		pending[i] = nil // release the record references
 	}
 	e.waiterPool = append(e.waiterPool, pending[:0])
 }

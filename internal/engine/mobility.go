@@ -48,23 +48,33 @@ func (e *Engine) Move(mh MHID, to MSSID) error {
 	if e.cfg.Trace != nil {
 		e.trace("leave", "mh%d leaving mss%d for mss%d", int(mh), int(from), int(to))
 	}
-	e.transmitUp(mh, func() {
-		e.mss[from].local.remove(mh)
-		if e.cfg.Trace != nil {
-			e.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
-		}
-		e.event(obs.EvLeave, int32(mh), int32(from), 0)
-		e.notifyLeave(from, mh)
-
-		// The MH travels, then announces itself in the new cell. Joining is
-		// sequenced after the leave is processed so a MH is never in two
-		// local lists at once.
-		travel := e.delay(e.cfg.Travel)
-		e.sub.After(travel, func() {
-			e.completeJoin(mh, to, from, false)
-		})
-	})
+	rec := e.newRec(opLeave)
+	rec.mh = mh
+	rec.mss = from
+	rec.mss2 = to
+	e.transmitUp(mh, rec)
 	return nil
+}
+
+// leaveArrive runs when leave(r) reaches the old cell's MSS: the opLeave
+// interpreter case.
+func (e *Engine) leaveArrive(mh MHID, from, to MSSID) {
+	e.mss[from].local.remove(mh)
+	if e.cfg.Trace != nil {
+		e.trace("left", "mss%d processed leave of mh%d", int(from), int(mh))
+	}
+	e.event(obs.EvLeave, int32(mh), int32(from), 0)
+	e.notifyLeave(from, mh)
+
+	// The MH travels, then announces itself in the new cell. Joining is
+	// sequenced after the leave is processed so a MH is never in two
+	// local lists at once.
+	travel := e.delay(e.cfg.Travel)
+	rec := e.newRec(opCompleteJoin)
+	rec.mh = mh
+	rec.mss = to
+	rec.mss2 = from
+	e.sub.AfterRec(travel, rec)
 }
 
 // completeJoin performs the join(mh, prev) exchange in the new cell.
@@ -72,21 +82,30 @@ func (e *Engine) completeJoin(mh MHID, to, prev MSSID, wasDisconnected bool) {
 	// join(mh-id, prev): one wireless uplink transmission in the new cell.
 	e.meter.Charge(cost.CatControl, cost.KindWireless)
 	e.meter.WirelessTx(int(mh))
-	e.transmitUp(mh, func() {
-		st := &e.mh[mh]
-		e.mss[to].local.add(mh)
-		st.status = StatusConnected
-		st.at = to
-		if !wasDisconnected {
-			e.stats.Moves++
-		}
-		if e.cfg.Trace != nil {
-			e.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
-		}
-		e.event(obs.EvJoin, int32(mh), int32(to), int32(prev))
-		e.notifyJoin(to, mh, prev, wasDisconnected)
-		e.fireWaiters(mh)
-	})
+	rec := e.newRec(opJoin)
+	rec.mh = mh
+	rec.mss = to
+	rec.mss2 = prev
+	rec.flag = wasDisconnected
+	e.transmitUp(mh, rec)
+}
+
+// joinArrive runs when join(mh, prev) reaches the new cell's MSS: the
+// opJoin interpreter case.
+func (e *Engine) joinArrive(mh MHID, to, prev MSSID, wasDisconnected bool) {
+	st := &e.mh[mh]
+	e.mss[to].local.add(mh)
+	st.status = StatusConnected
+	st.at = to
+	if !wasDisconnected {
+		e.stats.Moves++
+	}
+	if e.cfg.Trace != nil {
+		e.trace("join", "mh%d joined mss%d (prev mss%d)", int(mh), int(to), int(prev))
+	}
+	e.event(obs.EvJoin, int32(mh), int32(to), int32(prev))
+	e.notifyJoin(to, mh, prev, wasDisconnected)
+	e.fireWaiters(mh)
 }
 
 // Disconnect performs a voluntary disconnection: mh sends disconnect(r) to
@@ -105,17 +124,24 @@ func (e *Engine) Disconnect(mh MHID) error {
 	// The MH is unreachable from the instant it decides to disconnect.
 	st.status = StatusDisconnected
 
-	e.transmitUp(mh, func() {
-		e.mss[at].local.remove(mh)
-		e.mss[at].disconnected[mh] = true
-		e.stats.Disconnects++
-		if e.cfg.Trace != nil {
-			e.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
-		}
-		e.event(obs.EvDisconnect, int32(mh), int32(at), 0)
-		e.notifyDisconnect(at, mh)
-	})
+	rec := e.newRec(opDisconnect)
+	rec.mh = mh
+	rec.mss = at
+	e.transmitUp(mh, rec)
 	return nil
+}
+
+// disconnectArrive runs when disconnect(r) reaches the cell's MSS: the
+// opDisconnect interpreter case.
+func (e *Engine) disconnectArrive(mh MHID, at MSSID) {
+	e.mss[at].local.remove(mh)
+	e.mss[at].disconnected[mh] = true
+	e.stats.Disconnects++
+	if e.cfg.Trace != nil {
+		e.trace("disconnect", "mh%d disconnected at mss%d", int(mh), int(at))
+	}
+	e.event(obs.EvDisconnect, int32(mh), int32(at), 0)
+	e.notifyDisconnect(at, mh)
 }
 
 // Reconnect re-attaches a disconnected MH at the given MSS with a
@@ -140,16 +166,26 @@ func (e *Engine) Reconnect(mh MHID, at MSSID, knowsPrev bool) error {
 	// reconnect(): one wireless uplink transmission in the new cell.
 	e.meter.Charge(cost.CatControl, cost.KindWireless)
 	e.meter.WirelessTx(int(mh))
-	e.transmitUp(mh, func() {
-		e.event(obs.EvReconnect, int32(mh), int32(at), int32(prev))
-		e.runReconnectHandoff(mh, at, prev, knowsPrev)
-	})
+	rec := e.newRec(opReconnect)
+	rec.mh = mh
+	rec.mss = at
+	rec.mss2 = prev
+	rec.flag = knowsPrev
+	e.transmitUp(mh, rec)
 	return nil
+}
+
+// reconnectArrive runs when reconnect(mh, prev) reaches the new cell's MSS:
+// the opReconnect interpreter case.
+func (e *Engine) reconnectArrive(mh MHID, at, prev MSSID, knowsPrev bool) {
+	e.event(obs.EvReconnect, int32(mh), int32(at), int32(prev))
+	e.runReconnectHandoff(mh, at, prev, knowsPrev)
 }
 
 // runReconnectHandoff executes the locate-and-handoff exchange at the new
 // MSS: optionally a broadcast query for the previous location, then a
-// request/reply with the previous MSS to clear the "disconnected" flag.
+// request/reply with the previous MSS to clear the "disconnected" flag
+// (opReconnectLocate → opHandoffReq → opHandoffReply).
 func (e *Engine) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
 	var locate sim.Time
 	if !knowsPrev {
@@ -158,27 +194,49 @@ func (e *Engine) runReconnectHandoff(mh MHID, at, prev MSSID, knowsPrev bool) {
 		e.meter.Charge(cost.CatControl, cost.KindFixed)
 		locate = e.delay(e.cfg.Wired) + e.delay(e.cfg.Wired)
 	}
-	e.sub.After(locate, func() {
-		// Handoff request to the previous MSS.
-		e.meter.Charge(cost.CatControl, cost.KindFixed)
-		e.transmitWired(at, prev, func() {
-			delete(e.mss[prev].disconnected, mh)
-			// Handoff reply back to the new MSS.
-			e.meter.Charge(cost.CatControl, cost.KindFixed)
-			e.transmitWired(prev, at, func() {
-				st := &e.mh[mh]
-				e.mss[at].local.add(mh)
-				st.status = StatusConnected
-				st.at = at
-				e.stats.Reconnects++
-				if e.cfg.Trace != nil {
-					e.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
-				}
-				e.event(obs.EvHandoff, int32(mh), int32(at), int32(prev))
-				e.event(obs.EvJoin, int32(mh), int32(at), int32(prev))
-				e.notifyJoin(at, mh, prev, true)
-				e.fireWaiters(mh)
-			})
-		})
-	})
+	rec := e.newRec(opReconnectLocate)
+	rec.mh = mh
+	rec.mss = at
+	rec.mss2 = prev
+	e.sub.AfterRec(locate, rec)
+}
+
+// reconnectLocate sends the handoff request to the previous MSS once the
+// (optional) locate query resolved: the opReconnectLocate interpreter case.
+func (e *Engine) reconnectLocate(mh MHID, at, prev MSSID) {
+	e.meter.Charge(cost.CatControl, cost.KindFixed)
+	rec := e.newRec(opHandoffReq)
+	rec.mh = mh
+	rec.mss = at
+	rec.mss2 = prev
+	e.transmitWired(at, prev, rec)
+}
+
+// handoffReqArrive runs at the previous MSS: clear the "disconnected" flag
+// and send the handoff reply back (the opHandoffReq interpreter case).
+func (e *Engine) handoffReqArrive(mh MHID, at, prev MSSID) {
+	delete(e.mss[prev].disconnected, mh)
+	e.meter.Charge(cost.CatControl, cost.KindFixed)
+	rec := e.newRec(opHandoffReply)
+	rec.mh = mh
+	rec.mss = at
+	rec.mss2 = prev
+	e.transmitWired(prev, at, rec)
+}
+
+// handoffReplyArrive finalizes the reconnection at the new MSS: the
+// opHandoffReply interpreter case.
+func (e *Engine) handoffReplyArrive(mh MHID, at, prev MSSID) {
+	st := &e.mh[mh]
+	e.mss[at].local.add(mh)
+	st.status = StatusConnected
+	st.at = at
+	e.stats.Reconnects++
+	if e.cfg.Trace != nil {
+		e.trace("reconnect", "mh%d reconnected at mss%d (was at mss%d)", int(mh), int(at), int(prev))
+	}
+	e.event(obs.EvHandoff, int32(mh), int32(at), int32(prev))
+	e.event(obs.EvJoin, int32(mh), int32(at), int32(prev))
+	e.notifyJoin(at, mh, prev, true)
+	e.fireWaiters(mh)
 }

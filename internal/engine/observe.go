@@ -8,7 +8,7 @@ import (
 // observedSubstrate interposes the event tracer at the Substrate/Transmit
 // seam — the same seam the fault injector wraps — so every message handed
 // to the transport is recorded, whatever substrate (or injector stack)
-// sits underneath. Only Transmit is observed here; model-level events
+// sits underneath. Only TransmitRec is observed here; model-level events
 // (mobility, delivery, search, ARQ) are emitted by the engine itself,
 // which is the only layer that knows their meaning.
 type observedSubstrate struct {
@@ -21,9 +21,9 @@ var (
 	_ FaultReporter = (*observedSubstrate)(nil)
 )
 
-// ObserveSubstrate wraps inner so every Transmit records an obs.EvTransmit
-// event. A nil tracer returns inner unchanged, keeping the tracing-disabled
-// hot path free of the extra indirection.
+// ObserveSubstrate wraps inner so every TransmitRec records an
+// obs.EvTransmit event. A nil tracer returns inner unchanged, keeping the
+// tracing-disabled hot path free of the extra indirection.
 func ObserveSubstrate(inner Substrate, t *obs.Tracer) Substrate {
 	if t == nil {
 		return inner
@@ -37,10 +37,16 @@ func (o *observedSubstrate) Enqueue(fn func()) { o.inner.Enqueue(fn) }
 
 func (o *observedSubstrate) After(d sim.Time, fn func()) { o.inner.After(d, fn) }
 
-func (o *observedSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+func (o *observedSubstrate) BindRecSink(sink RecSink) { o.inner.BindRecSink(sink) }
+
+func (o *observedSubstrate) TransmitRec(ch int, latency sim.Time, rec *DeliveryRec) {
 	o.t.Record(o.inner.Now(), obs.EvTransmit, int32(ch), int32(latency), 0)
-	o.inner.Transmit(ch, latency, deliver)
+	o.inner.TransmitRec(ch, latency, rec)
 }
+
+func (o *observedSubstrate) AfterRec(d sim.Time, rec *DeliveryRec) { o.inner.AfterRec(d, rec) }
+
+func (o *observedSubstrate) EnqueueRec(rec *DeliveryRec) { o.inner.EnqueueRec(rec) }
 
 func (o *observedSubstrate) RNG() *sim.RNG { return o.inner.RNG() }
 

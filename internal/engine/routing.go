@@ -7,7 +7,10 @@ import (
 	"mobiledist/internal/obs"
 )
 
-// routeOpts carries routing context through retries.
+// routeOpts carries routing context through retries. It travels by value
+// inside delivery records; record fields are the only mutation point on the
+// delivery path (runRec and the helpers below never write through shared
+// state to adjust a route in flight).
 type routeOpts struct {
 	alg    int
 	origin MSSID // MSS that initiated the routed send (receives failures)
@@ -17,9 +20,11 @@ type routeOpts struct {
 	// (the EvDeliver event and the chase-hop histogram); never charged.
 	hops int32
 	// pair/seq implement the per-(MH,MH)-pair FIFO reorder buffer when the
-	// final destination delivery came from SendMHToMH.
-	pair *pairKey
-	seq  uint64
+	// final destination delivery came from SendMHToMH. hasPair marks the
+	// pair key as set (the zero pairKey is a valid pair).
+	pair    pairKey
+	hasPair bool
+	seq     uint64
 }
 
 type pairKey struct {
@@ -53,10 +58,12 @@ func (e *Engine) sendFixed(alg int, from, to MSSID, msg Message, cat cost.Catego
 	e.checkMSS(from)
 	e.checkMSS(to)
 	e.meter.Charge(cat, cost.KindFixed)
-	sender := From{MSS: from}
-	e.transmitWired(from, to, func() {
-		e.dispatchMSS(alg, to, sender, msg)
-	})
+	rec := e.newRec(opDispatchMSS)
+	rec.mss = to
+	rec.from = From{MSS: from}
+	rec.msg = msg
+	rec.opts.alg = alg
+	e.transmitWired(from, to, rec)
 }
 
 // broadcastFixed sends msg from from to every other MSS.
@@ -100,9 +107,13 @@ func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stal
 		// The model guarantees the MH eventually joins some cell; park the
 		// message until it does, then retry. No charge is incurred for
 		// waiting.
-		e.addWaiter(mh, func() {
-			e.routeToMH(via, mh, msg, opts, stale)
-		})
+		rec := e.newRec(opRouteResume)
+		rec.mss = via
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts = opts
+		rec.stale = stale
+		e.addWaiter(mh, rec)
 		return
 
 	case StatusDisconnected:
@@ -112,9 +123,12 @@ func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stal
 		holder := st.at
 		e.chargeSearch(opts, stale)
 		e.meter.Charge(cost.CatControl, cost.KindFixed)
-		e.transmitWired(holder, opts.origin, func() {
-			e.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
-		})
+		rec := e.newRec(opNotifyFailure)
+		rec.mss = opts.origin
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts = opts
+		e.transmitWired(holder, opts.origin, rec)
 		return
 
 	case StatusConnected:
@@ -129,17 +143,12 @@ func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stal
 			return
 		}
 		e.chargeSearch(opts, stale)
-		e.transmitWired(via, target, func() {
-			// Re-check on arrival: the MH may have moved on while the
-			// message crossed the wired network.
-			cur := &e.mh[mh]
-			if cur.status == StatusConnected && cur.at == target {
-				e.wirelessDown(target, mh, msg, opts)
-				return
-			}
-			e.stats.StaleReroutes++
-			e.routeToMH(target, mh, msg, opts, true)
-		})
+		rec := e.newRec(opRouteArrive)
+		rec.mss = target
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts = opts
+		e.transmitWired(via, target, rec)
 		return
 
 	default:
@@ -186,58 +195,69 @@ func (e *Engine) chargeSearch(opts routeOpts, stale bool) {
 // wirelessDown transmits msg from mss to mh over the cell's wireless
 // channel. Prefix semantics: if the MH left the cell (or disconnected)
 // before the transmission completes, the message is not delivered there; it
-// is re-routed (or a failure is reported).
+// is re-routed (or a failure is reported). The delivery-time check is
+// downArrive.
 func (e *Engine) wirelessDown(mss MSSID, mh MHID, msg Message, opts routeOpts) {
 	e.meter.Charge(opts.cat, cost.KindWireless)
-	e.transmitDown(mss, mh, func() {
-		st := &e.mh[mh]
-		if st.status == StatusConnected && st.at == mss {
-			e.meter.WirelessRx(int(mh))
-			if st.dozing {
-				e.stats.DozeInterruptions++
-				e.stats.DozeInterruptionsByMH[mh]++
-			}
-			e.event(obs.EvDeliver, int32(mh), int32(mss), opts.hops+1)
-			e.deliverToMH(mh, msg, opts)
-			return
+	rec := e.newRec(opDownArrive)
+	rec.mss = mss
+	rec.mh = mh
+	rec.msg = msg
+	rec.opts = opts
+	e.transmitDown(mss, mh, rec)
+}
+
+// downArrive completes a wireless downlink transmission: the opDownArrive
+// interpreter case. rec stays owned by the caller (StepRec frees it, or the
+// ARQ sender queue holds it until acked); any mutation happens on rec's own
+// fields before the route continues through fresh records.
+func (e *Engine) downArrive(rec *DeliveryRec) {
+	mss, mh := rec.mss, rec.mh
+	st := &e.mh[mh]
+	if st.status == StatusConnected && st.at == mss {
+		e.meter.WirelessRx(int(mh))
+		if st.dozing {
+			e.stats.DozeInterruptions++
+			e.stats.DozeInterruptionsByMH[mh]++
 		}
-		if st.status == StatusDisconnected && st.at == mss {
-			// Disconnected in this very cell before the transmission
-			// completed: the transmission was wasted (reclassified as
-			// stale) and the local MSS notifies the sender.
-			e.reclassifyWastedWireless(opts.cat)
-			e.meter.Charge(cost.CatControl, cost.KindFixed)
-			e.transmitWired(mss, opts.origin, func() {
-				e.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
-			})
-			return
-		}
-		// Left the cell: the wireless message fell outside the received
-		// prefix (Section 2). The wasted transmission moves to the stale
-		// account (the paper's footnote-2 "second copy" case) and the
-		// message is routed onwards from here; the eventual successful
-		// delivery stays in the primary category, so primary accounting
-		// charges exactly one delivery per message.
-		//
-		// opts must stay unmutated in this closure: a read-only capture is
-		// copied into the closure object, where an assigned one costs a
-		// second heap cell per transmission.
-		e.reclassifyWastedWireless(opts.cat)
-		e.stats.StaleReroutes++
-		ropts := opts
-		ropts.hops++
-		e.routeToMH(mss, mh, msg, ropts, true)
-	})
+		e.event(obs.EvDeliver, int32(mh), int32(mss), rec.opts.hops+1)
+		e.deliverToMH(mh, rec.msg, rec.opts)
+		return
+	}
+	if st.status == StatusDisconnected && st.at == mss {
+		// Disconnected in this very cell before the transmission
+		// completed: the transmission was wasted (reclassified as
+		// stale) and the local MSS notifies the sender.
+		e.reclassifyWastedWireless(rec.opts.cat)
+		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		fail := e.newRec(opNotifyFailure)
+		fail.mss = rec.opts.origin
+		fail.mh = mh
+		fail.msg = rec.msg
+		fail.opts = rec.opts
+		e.transmitWired(mss, rec.opts.origin, fail)
+		return
+	}
+	// Left the cell: the wireless message fell outside the received
+	// prefix (Section 2). The wasted transmission moves to the stale
+	// account (the paper's footnote-2 "second copy" case) and the
+	// message is routed onwards from here; the eventual successful
+	// delivery stays in the primary category, so primary accounting
+	// charges exactly one delivery per message.
+	e.reclassifyWastedWireless(rec.opts.cat)
+	e.stats.StaleReroutes++
+	rec.opts.hops++
+	e.routeToMH(mss, mh, rec.msg, rec.opts, true)
 }
 
 // deliverToMH hands msg to the destination's handler, applying the
 // per-pair reorder buffer for MH-to-MH traffic.
 func (e *Engine) deliverToMH(mh MHID, msg Message, opts routeOpts) {
-	if opts.pair == nil {
+	if !opts.hasPair {
 		e.dispatchMH(opts.alg, mh, msg)
 		return
 	}
-	ps := e.pairState(*opts.pair)
+	ps := e.pairState(opts.pair)
 	ps.buffer[opts.seq] = deferredDelivery{alg: opts.alg, msg: msg}
 	for {
 		d, ok := ps.buffer[ps.nextDeliver]
@@ -260,30 +280,25 @@ func (e *Engine) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) er
 	case StatusDisconnected:
 		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(mh))
 	case StatusInTransit:
-		e.addWaiter(mh, func() {
-			if err := e.sendFromMH(alg, mh, msg, cat); err != nil {
-				// The MH disconnected before the deferred send could run, so
-				// the transmission never happened. The loss is counted in
-				// FailedDeliveries rather than silently swallowed; no
-				// DeliveryFailureHandler fires because there is no origin MSS
-				// to notify — the message never left the MH.
-				e.stats.FailedDeliveries++
-				if e.cfg.Trace != nil {
-					e.trace("send-dropped", "mh%d disconnected before deferred send", int(mh))
-				}
-			}
-		})
+		rec := e.newRec(opSendFromMH)
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts.alg = alg
+		rec.opts.cat = cat
+		e.addWaiter(mh, rec)
 		return nil
 	case StatusConnected:
 		at := st.at
 		e.meter.Charge(cat, cost.KindWireless)
 		e.meter.WirelessTx(int(mh))
-		sender := From{MH: mh, IsMH: true}
-		e.transmitUp(mh, func() {
-			// The message was transmitted before any subsequent leave(), so
-			// the MSS of the cell it was sent in processes it.
-			e.dispatchMSS(alg, at, sender, msg)
-		})
+		// The message was transmitted before any subsequent leave(), so
+		// the MSS of the cell it was sent in processes it.
+		rec := e.newRec(opDispatchMSS)
+		rec.mss = at
+		rec.from = From{MH: mh, IsMH: true}
+		rec.msg = msg
+		rec.opts.alg = alg
+		e.transmitUp(mh, rec)
 		return nil
 	default:
 		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(mh), int(st.status)))
@@ -292,20 +307,16 @@ func (e *Engine) sendFromMH(alg int, mh MHID, msg Message, cat cost.Category) er
 
 // forwardViaMSS routes msg to MH `to` through the MSS a directory names:
 // one fixed hop (charged unconditionally) then the wireless downlink. A
-// stale directory entry falls back to a search charged to cost.CatStale.
+// stale directory entry falls back to a search charged to cost.CatStale
+// (the opRouteArrive re-check at the named MSS).
 func (e *Engine) forwardViaMSS(origin, via MSSID, to MHID, msg Message, opts routeOpts) {
 	e.meter.Charge(opts.cat, cost.KindFixed)
-	e.transmitWired(origin, via, func() {
-		cur := &e.mh[to]
-		if cur.status == StatusConnected && cur.at == via {
-			e.wirelessDown(via, to, msg, opts)
-			return
-		}
-		// Stale directory entry: the destination moved (or is moving, or
-		// disconnected); fall back to a search.
-		e.stats.StaleReroutes++
-		e.routeToMH(via, to, msg, opts, true)
-	})
+	rec := e.newRec(opRouteArrive)
+	rec.mss = via
+	rec.mh = to
+	rec.msg = msg
+	rec.opts = opts
+	e.transmitWired(origin, via, rec)
 }
 
 // sendToMHVia implements directory-routed MSS-to-MH messaging (a fixed
@@ -331,20 +342,25 @@ func (e *Engine) sendMHViaMSS(alg int, from MHID, via MSSID, to MHID, msg Messag
 	case StatusDisconnected:
 		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(from))
 	case StatusInTransit:
-		e.addWaiter(from, func() {
-			_ = e.sendMHViaMSS(alg, from, via, to, msg, cat)
-		})
+		rec := e.newRec(opSendMHViaMSS)
+		rec.mh = from
+		rec.mss = via
+		rec.mh2 = to
+		rec.msg = msg
+		rec.opts.alg = alg
+		rec.opts.cat = cat
+		e.addWaiter(from, rec)
 		return nil
 	case StatusConnected:
 		at := st.at
 		e.meter.Charge(cat, cost.KindWireless)
 		e.meter.WirelessTx(int(from))
-		opts := routeOpts{alg: alg, origin: at, cat: cat}
-		e.transmitUp(from, func() {
-			// One fixed hop to the directory's MSS, charged even when the
-			// sender's own MSS is the target.
-			e.forwardViaMSS(at, via, to, msg, opts)
-		})
+		rec := e.newRec(opUpForwardVia)
+		rec.mss = via
+		rec.mh = to
+		rec.msg = msg
+		rec.opts = routeOpts{alg: alg, origin: at, cat: cat}
+		e.transmitUp(from, rec)
 		return nil
 	default:
 		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(from), int(st.status)))
@@ -365,42 +381,48 @@ func (e *Engine) routeToMSSOfMH(via MSSID, mh MHID, msg Message, opts routeOpts,
 	st := &e.mh[mh]
 	switch st.status {
 	case StatusInTransit:
-		e.addWaiter(mh, func() {
-			e.routeToMSSOfMH(via, mh, msg, opts, stale)
-		})
+		rec := e.newRec(opRouteMSSResume)
+		rec.mss = via
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts = opts
+		rec.stale = stale
+		e.addWaiter(mh, rec)
 		return
 
 	case StatusDisconnected:
 		holder := st.at
 		e.chargeSearch(opts, stale)
 		e.meter.Charge(cost.CatControl, cost.KindFixed)
-		e.transmitWired(holder, opts.origin, func() {
-			e.notifyFailure(opts.alg, opts.origin, mh, msg, FailDisconnected)
-		})
+		rec := e.newRec(opNotifyFailure)
+		rec.mss = opts.origin
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts = opts
+		e.transmitWired(holder, opts.origin, rec)
 		return
 
 	case StatusConnected:
 		target := st.at
-		sender := From{MSS: opts.origin}
 		if target == via {
 			if e.cfg.PessimisticSearch && e.cfg.SearchMode == SearchAbstract {
 				e.chargeSearch(opts, stale)
 			}
-			e.sub.Enqueue(func() {
-				e.dispatchMSS(opts.alg, target, sender, msg)
-			})
+			rec := e.newRec(opDispatchMSS)
+			rec.mss = target
+			rec.from = From{MSS: opts.origin}
+			rec.msg = msg
+			rec.opts.alg = opts.alg
+			e.sub.EnqueueRec(rec)
 			return
 		}
 		e.chargeSearch(opts, stale)
-		e.transmitWired(via, target, func() {
-			cur := &e.mh[mh]
-			if cur.status == StatusConnected && cur.at == target {
-				e.dispatchMSS(opts.alg, target, sender, msg)
-				return
-			}
-			e.stats.StaleReroutes++
-			e.routeToMSSOfMH(target, mh, msg, opts, true)
-		})
+		rec := e.newRec(opRouteMSSArrive)
+		rec.mss = target
+		rec.mh = mh
+		rec.msg = msg
+		rec.opts = opts
+		e.transmitWired(via, target, rec)
 		return
 
 	default:
@@ -419,9 +441,13 @@ func (e *Engine) sendMHToMH(alg int, from, to MHID, msg Message, cat cost.Catego
 	case StatusDisconnected:
 		return fmt.Errorf("engine: mh%d is disconnected and cannot send", int(from))
 	case StatusInTransit:
-		e.addWaiter(from, func() {
-			_ = e.sendMHToMH(alg, from, to, msg, cat)
-		})
+		rec := e.newRec(opSendMHToMH)
+		rec.mh = from
+		rec.mh2 = to
+		rec.msg = msg
+		rec.opts.alg = alg
+		rec.opts.cat = cat
+		e.addWaiter(from, rec)
 		return nil
 	case StatusConnected:
 		at := st.at
@@ -431,10 +457,12 @@ func (e *Engine) sendMHToMH(alg int, from, to MHID, msg Message, cat cost.Catego
 		ps.nextSeq++
 		e.meter.Charge(cat, cost.KindWireless)
 		e.meter.WirelessTx(int(from))
-		opts := routeOpts{alg: alg, origin: at, cat: cat, pair: &key, seq: seq}
-		e.transmitUp(from, func() {
-			e.routeToMH(at, to, msg, opts, false)
-		})
+		rec := e.newRec(opUpRoute)
+		rec.mss = at
+		rec.mh = to
+		rec.msg = msg
+		rec.opts = routeOpts{alg: alg, origin: at, cat: cat, pair: key, hasPair: true, seq: seq}
+		e.transmitUp(from, rec)
 		return nil
 	default:
 		panic(fmt.Sprintf("engine: mh%d in unknown status %d", int(from), int(st.status)))

@@ -22,14 +22,35 @@ func TestStatsMergeFoldsFaultStats(t *testing.T) {
 }
 
 // plainSubstrate is a minimal Substrate that does not report faults — the
-// path a live transport or a fault-free simulator takes.
-type plainSubstrate struct{ now sim.Time }
+// path a live transport or a fault-free simulator takes. Records are
+// stepped synchronously through the bound sink.
+type plainSubstrate struct {
+	now       sim.Time
+	sink      RecSink
+	transmits int
+}
 
-func (p *plainSubstrate) Now() sim.Time                                { return p.now }
-func (p *plainSubstrate) Enqueue(fn func())                            { fn() }
-func (p *plainSubstrate) After(d sim.Time, fn func())                  { fn() }
-func (p *plainSubstrate) Transmit(ch int, latency sim.Time, fn func()) { fn() }
-func (p *plainSubstrate) RNG() *sim.RNG                                { return sim.NewRNG(1) }
+func (p *plainSubstrate) Now() sim.Time               { return p.now }
+func (p *plainSubstrate) Enqueue(fn func())           { fn() }
+func (p *plainSubstrate) After(d sim.Time, fn func()) { fn() }
+func (p *plainSubstrate) BindRecSink(sink RecSink)    { p.sink = sink }
+func (p *plainSubstrate) TransmitRec(ch int, latency sim.Time, rec *DeliveryRec) {
+	p.transmits++
+	if p.sink != nil {
+		p.sink.StepRec(rec)
+	}
+}
+func (p *plainSubstrate) AfterRec(d sim.Time, rec *DeliveryRec) {
+	if p.sink != nil {
+		p.sink.StepRec(rec)
+	}
+}
+func (p *plainSubstrate) EnqueueRec(rec *DeliveryRec) {
+	if p.sink != nil {
+		p.sink.StepRec(rec)
+	}
+}
+func (p *plainSubstrate) RNG() *sim.RNG { return sim.NewRNG(1) }
 
 func TestObserveSubstrateFaultStats(t *testing.T) {
 	tracer := obs.NewTracer(0)
@@ -54,11 +75,11 @@ func TestObserveSubstrateFaultStats(t *testing.T) {
 
 func TestObserveSubstrateRecordsTransmit(t *testing.T) {
 	tracer := obs.NewTracer(0)
-	sub := ObserveSubstrate(&plainSubstrate{now: 42}, tracer)
-	delivered := false
-	sub.Transmit(3, 10, func() { delivered = true })
-	if !delivered {
-		t.Fatal("Transmit did not forward to inner")
+	raw := &plainSubstrate{now: 42}
+	sub := ObserveSubstrate(raw, tracer)
+	sub.TransmitRec(3, 10, &DeliveryRec{})
+	if raw.transmits != 1 {
+		t.Fatal("TransmitRec did not forward to inner")
 	}
 	evs := tracer.Events()
 	if len(evs) != 1 {

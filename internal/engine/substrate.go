@@ -11,8 +11,15 @@ import "mobiledist/internal/sim"
 // binds sim.Kernel) and the goroutine live runtime (internal/rt binds its
 // executor and channel pipes). Every Substrate method is invoked from the
 // engine's execution context (the kernel goroutine or the rt executor), and
-// every callback handed to the substrate must be run back on that same
-// execution context.
+// every callback or record handed to the substrate must be run back on that
+// same execution context.
+//
+// Message delivery travels as pooled DeliveryRec values, not closures: the
+// engine binds itself as the substrate's RecSink at construction, and the
+// substrate hands each scheduled record to the sink when its time arrives
+// (StepRec executes and recycles it). The closure forms Enqueue and After
+// remain for control-path callers — algorithm timers (Context.After) and
+// fault-plan arming — which are rare and may allocate.
 type Substrate interface {
 	// Now returns the current virtual time.
 	Now() sim.Time
@@ -21,11 +28,22 @@ type Substrate interface {
 	Enqueue(fn func())
 	// After runs fn on the execution context after d ticks of virtual time.
 	After(d sim.Time, fn func())
-	// Transmit delivers one message on FIFO channel ch: run deliver on the
-	// execution context after the drawn link latency, never overtaking an
-	// earlier Transmit on the same channel. Channel ids are the engine's
-	// flat numbering (see ChannelCount).
-	Transmit(ch int, latency sim.Time, deliver func())
+	// BindRecSink registers the sink that executes delivery records. The
+	// engine calls it exactly once, before any record is scheduled; a
+	// record-aware wrapper (the fault injector) forwards the bind and may
+	// interpose its own sink.
+	BindRecSink(sink RecSink)
+	// TransmitRec delivers rec on FIFO channel ch: hand it to the bound
+	// sink after the drawn link latency, never overtaking an earlier
+	// TransmitRec on the same channel. Channel ids are the engine's flat
+	// numbering (see ChannelCount).
+	TransmitRec(ch int, latency sim.Time, rec *DeliveryRec)
+	// AfterRec hands rec to the bound sink after d ticks of virtual time,
+	// outside any channel's FIFO order.
+	AfterRec(d sim.Time, rec *DeliveryRec)
+	// EnqueueRec hands rec to the bound sink as soon as possible,
+	// preserving submission order with Enqueue.
+	EnqueueRec(rec *DeliveryRec)
 	// RNG returns the deterministic random source latencies are drawn from.
 	RNG() *sim.RNG
 }

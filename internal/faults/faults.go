@@ -1,6 +1,7 @@
 // Package faults is a deterministic, seeded fault injector for the
 // two-tier network model. It wraps any engine.Substrate and disturbs the
-// traffic flowing through Transmit according to a declarative Plan:
+// delivery records flowing through TransmitRec according to a declarative
+// Plan:
 //
 //   - per-channel-class wireless loss: drop, duplicate, and
 //     reorder-within-latency probabilities, separately for downlinks and
@@ -157,15 +158,27 @@ type chanState struct {
 }
 
 // Injector implements engine.Substrate by wrapping an inner substrate and
-// disturbing wireless Transmits per the plan. Construct it around the raw
-// substrate, hand it to engine.New, and (for plans with crashes) call Arm
-// on the execution context before traffic flows.
+// disturbing wireless TransmitRecs per the plan. Construct it around the
+// raw substrate, hand it to engine.New, and (for plans with crashes) call
+// Arm on the execution context before traffic flows.
+//
+// Record lifecycle: a destroyed transmission (drop, dark link, crashed
+// station) returns its record to the engine's pool via RecSink.FreeRec —
+// the injector frees what it discards. Duplicates are pooled copies from
+// RecSink.CloneRec. For crash-at-receiver discards the injector interposes
+// itself as the inner substrate's sink (see BindRecSink): every record
+// surfacing from the transport passes its gate, which discards wired
+// records landing at a station that crashed while they were in flight.
 type Injector struct {
 	inner  engine.Substrate
 	plan   Plan
 	layout engine.ChannelLayout
 	chans  []chanState
 	stats  engine.FaultStats
+
+	// sink is the engine's record sink; the injector's own RecSink
+	// implementation gates deliveries in front of it.
+	sink engine.RecSink
 
 	onCrash, onRestart func(engine.MSSID)
 
@@ -182,6 +195,7 @@ type Injector struct {
 var (
 	_ engine.Substrate     = (*Injector)(nil)
 	_ engine.FaultReporter = (*Injector)(nil)
+	_ engine.RecSink       = (*Injector)(nil)
 )
 
 // New wraps inner for an (m, n) network under the given plan.
@@ -209,6 +223,48 @@ func (i *Injector) Enqueue(fn func()) { i.inner.Enqueue(fn) }
 
 // After implements engine.Substrate.
 func (i *Injector) After(d sim.Time, fn func()) { i.inner.After(d, fn) }
+
+// BindRecSink implements engine.Substrate: remember the engine's sink and
+// interpose the injector's own gate as the transport's sink, so records can
+// be discarded at delivery time (crash-at-receiver).
+func (i *Injector) BindRecSink(sink engine.RecSink) {
+	i.sink = sink
+	i.inner.BindRecSink(i)
+}
+
+// StepRec implements engine.RecSink: the delivery-time gate. A wired record
+// landing at a station that crashed while it was in flight is discarded
+// (the message travelled, but lands in a dead station) and its record freed;
+// everything else steps through to the engine.
+func (i *Injector) StepRec(rec *engine.DeliveryRec) {
+	if ch := rec.Chan(); ch >= 0 {
+		if kind, _, b := i.layout.Decode(ch); kind == engine.ChannelWired {
+			if i.crashedAt(engine.MSSID(b), i.inner.Now()) {
+				idx := int(rec.Tag())
+				i.stats.CrashDiscards++
+				i.amend(ch, idx, "crash-rx")
+				i.event(obs.EvCrashDiscard, ch, idx)
+				i.sink.FreeRec(rec)
+				return
+			}
+		}
+	}
+	i.sink.StepRec(rec)
+}
+
+// FreeRec implements engine.RecSink, forwarding to the engine's pool.
+func (i *Injector) FreeRec(rec *engine.DeliveryRec) { i.sink.FreeRec(rec) }
+
+// CloneRec implements engine.RecSink, forwarding to the engine's pool.
+func (i *Injector) CloneRec(rec *engine.DeliveryRec) *engine.DeliveryRec {
+	return i.sink.CloneRec(rec)
+}
+
+// AfterRec implements engine.Substrate.
+func (i *Injector) AfterRec(d sim.Time, rec *engine.DeliveryRec) { i.inner.AfterRec(d, rec) }
+
+// EnqueueRec implements engine.Substrate.
+func (i *Injector) EnqueueRec(rec *engine.DeliveryRec) { i.inner.EnqueueRec(rec) }
 
 // RNG implements engine.Substrate.
 func (i *Injector) RNG() *sim.RNG { return i.inner.RNG() }
@@ -321,36 +377,34 @@ func (i *Injector) channelRNG(ch int) *sim.RNG {
 	return st.rng
 }
 
-// Transmit implements engine.Substrate: classify the channel, consume the
-// channel's fixed fault-decision draws, and deliver zero, one, or two
-// copies through the inner substrate.
-func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
+// TransmitRec implements engine.Substrate: classify the channel, consume
+// the channel's fixed fault-decision draws, and deliver zero, one, or two
+// record copies through the inner substrate. Destroyed records return to
+// the pool via FreeRec; duplicates are pooled clones.
+func (i *Injector) TransmitRec(ch int, latency sim.Time, rec *engine.DeliveryRec) {
 	now := i.inner.Now()
 	kind, a, b := i.layout.Decode(ch)
 	st := &i.chans[ch]
 	idx := st.n
 	st.n++
+	// Stamp the channel (for the delivery-time gate) and the transmission
+	// index (so a crash-rx discard can amend this entry of the trace).
+	rec.SetChan(ch)
+	rec.SetTag(int32(idx))
 
 	if kind == engine.ChannelWired {
-		from, to := engine.MSSID(a), engine.MSSID(b)
+		from := engine.MSSID(a)
 		if i.crashedAt(from, now) {
 			i.stats.CrashDiscards++
 			i.record(ch, idx, "crash-tx")
 			i.event(obs.EvCrashDiscard, ch, idx)
+			i.sink.FreeRec(rec)
 			return
 		}
+		// The crash-at-receiver check happens in StepRec's gate when the
+		// record surfaces from the transport.
 		i.record(ch, idx, "relay")
-		i.inner.Transmit(ch, latency, func() {
-			// A crash discards the station's in-flight receptions: the
-			// message travelled, but lands in a dead station.
-			if i.crashedAt(to, i.inner.Now()) {
-				i.stats.CrashDiscards++
-				i.amend(ch, idx, "crash-rx")
-				i.event(obs.EvCrashDiscard, ch, idx)
-				return
-			}
-			deliver()
-		})
+		i.inner.TransmitRec(ch, latency, rec)
 		return
 	}
 
@@ -378,12 +432,14 @@ func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
 		i.stats.WirelessDrops++
 		i.record(ch, idx, "dark")
 		i.event(obs.EvDrop, ch, idx)
+		i.sink.FreeRec(rec)
 		return
 	}
 	if pDrop < lf.Drop {
 		i.stats.WirelessDrops++
 		i.record(ch, idx, "drop")
 		i.event(obs.EvDrop, ch, idx)
+		i.sink.FreeRec(rec)
 		return
 	}
 	dup := pDup < lf.Duplicate
@@ -391,27 +447,31 @@ func (i *Injector) Transmit(ch int, latency sim.Time, deliver func()) {
 	switch {
 	case dup && reorder:
 		// Primary copy in order; the duplicate straggles in outside the
-		// FIFO clamp (After bypasses the channel's ordering).
+		// FIFO clamp (AfterRec bypasses the channel's ordering). Clone
+		// before the primary is handed over: once scheduled, the record
+		// belongs to the transport.
 		i.stats.WirelessDuplicates++
 		i.stats.WirelessReorders++
-		i.inner.Transmit(ch, latency, deliver)
-		i.inner.After(latency+extra, deliver)
+		cl := i.sink.CloneRec(rec)
+		i.inner.TransmitRec(ch, latency, rec)
+		i.inner.AfterRec(latency+extra, cl)
 		i.record(ch, idx, "dup+reorder")
 		i.event(obs.EvDuplicate, ch, idx)
 		i.event(obs.EvReorder, ch, idx)
 	case dup:
 		i.stats.WirelessDuplicates++
-		i.inner.Transmit(ch, latency, deliver)
-		i.inner.Transmit(ch, latency, deliver)
+		cl := i.sink.CloneRec(rec)
+		i.inner.TransmitRec(ch, latency, rec)
+		i.inner.TransmitRec(ch, latency, cl)
 		i.record(ch, idx, "dup")
 		i.event(obs.EvDuplicate, ch, idx)
 	case reorder:
 		i.stats.WirelessReorders++
-		i.inner.After(latency+extra, deliver)
+		i.inner.AfterRec(latency+extra, rec)
 		i.record(ch, idx, "reorder")
 		i.event(obs.EvReorder, ch, idx)
 	default:
-		i.inner.Transmit(ch, latency, deliver)
+		i.inner.TransmitRec(ch, latency, rec)
 		i.record(ch, idx, "deliver")
 	}
 }

@@ -10,37 +10,66 @@ import (
 
 // stubSubstrate records what the injector lets through: a synchronous fake
 // with manual time, so each test controls the clock and observes exactly
-// which copies of a transmission survive.
+// which copies of a transmission survive. A record handed to the transport
+// is immediately surfaced back through the bound sink — which, because the
+// injector interposes its gate via BindRecSink, exercises the same
+// delivery-time path (crash-at-receiver) as the real substrates.
 type stubSubstrate struct {
 	now       sim.Time
 	rng       *sim.RNG
+	sink      engine.RecSink
 	transmits []string // "ch@latency" for in-order copies
-	afters    []string // "@delay" for out-of-order (After) copies
+	afters    []string // "@delay" for out-of-order (AfterRec) copies
 }
 
 func newStub() *stubSubstrate { return &stubSubstrate{rng: sim.NewRNG(99)} }
 
-func (s *stubSubstrate) Now() sim.Time     { return s.now }
-func (s *stubSubstrate) Enqueue(fn func()) { fn() }
-func (s *stubSubstrate) After(d sim.Time, fn func()) {
-	s.afters = append(s.afters, fmt.Sprintf("@%d", d))
-	fn()
-}
-func (s *stubSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+func (s *stubSubstrate) Now() sim.Time                   { return s.now }
+func (s *stubSubstrate) Enqueue(fn func())               { fn() }
+func (s *stubSubstrate) After(d sim.Time, fn func())     { fn() }
+func (s *stubSubstrate) BindRecSink(sink engine.RecSink) { s.sink = sink }
+func (s *stubSubstrate) TransmitRec(ch int, latency sim.Time, rec *engine.DeliveryRec) {
 	s.transmits = append(s.transmits, fmt.Sprintf("ch%d@%d", ch, latency))
-	deliver()
+	s.sink.StepRec(rec)
 }
-func (s *stubSubstrate) RNG() *sim.RNG { return s.rng }
+func (s *stubSubstrate) AfterRec(d sim.Time, rec *engine.DeliveryRec) {
+	s.afters = append(s.afters, fmt.Sprintf("@%d", d))
+	s.sink.StepRec(rec)
+}
+func (s *stubSubstrate) EnqueueRec(rec *engine.DeliveryRec) { s.sink.StepRec(rec) }
+func (s *stubSubstrate) RNG() *sim.RNG                      { return s.rng }
 
-// mustNew builds an injector over a fresh stub for a 2×4 network.
-func mustNew(t *testing.T, plan Plan) (*Injector, *stubSubstrate) {
+// fakeSink plays the engine's end of the record protocol: it counts records
+// that survive to delivery and records returned to the pool.
+type fakeSink struct {
+	delivered int
+	freed     int
+}
+
+func (f *fakeSink) StepRec(rec *engine.DeliveryRec) { f.delivered++ }
+func (f *fakeSink) FreeRec(rec *engine.DeliveryRec) { f.freed++ }
+func (f *fakeSink) CloneRec(rec *engine.DeliveryRec) *engine.DeliveryRec {
+	c := *rec
+	return &c
+}
+
+// mustNew builds an injector over a fresh stub for a 2×4 network, bound to
+// a fake engine sink exactly as engine.New would bind itself.
+func mustNew(t *testing.T, plan Plan) (*Injector, *stubSubstrate, *fakeSink) {
 	t.Helper()
 	stub := newStub()
 	inj, err := New(plan, 2, 4, stub)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	return inj, stub
+	sink := &fakeSink{}
+	inj.BindRecSink(sink)
+	return inj, stub, sink
+}
+
+// xmit pushes one fresh record through the injector.
+func xmit(inj *Injector, ch int, latency sim.Time) {
+	inj.TransmitRec(ch, latency, &engine.DeliveryRec{})
 }
 
 // layout2x4 mirrors the channel numbering for M=2, N=4.
@@ -73,13 +102,15 @@ func TestPlanValidate(t *testing.T) {
 }
 
 func TestDropGatesWirelessOnly(t *testing.T) {
-	inj, stub := mustNew(t, Plan{Down: LinkFaults{Drop: 1}, Up: LinkFaults{Drop: 1}})
-	delivered := 0
-	inj.Transmit(downCh(0, 0), 3, func() { delivered++ })
-	inj.Transmit(upCh(1), 3, func() { delivered++ })
-	inj.Transmit(0, 3, func() { delivered++ }) // wired 0→0 stays lossless
-	if delivered != 1 {
-		t.Errorf("delivered %d, want 1 (only the wired copy)", delivered)
+	inj, stub, sink := mustNew(t, Plan{Down: LinkFaults{Drop: 1}, Up: LinkFaults{Drop: 1}})
+	xmit(inj, downCh(0, 0), 3)
+	xmit(inj, upCh(1), 3)
+	xmit(inj, 0, 3) // wired 0→0 stays lossless
+	if sink.delivered != 1 {
+		t.Errorf("delivered %d, want 1 (only the wired copy)", sink.delivered)
+	}
+	if sink.freed != 2 {
+		t.Errorf("freed %d records, want 2 (dropped copies return to the pool)", sink.freed)
 	}
 	if got := inj.Stats().WirelessDrops; got != 2 {
 		t.Errorf("WirelessDrops = %d, want 2", got)
@@ -90,11 +121,10 @@ func TestDropGatesWirelessOnly(t *testing.T) {
 }
 
 func TestDuplicateInjectsTwoCopies(t *testing.T) {
-	inj, stub := mustNew(t, Plan{Down: LinkFaults{Duplicate: 1}})
-	delivered := 0
-	inj.Transmit(downCh(0, 0), 3, func() { delivered++ })
-	if delivered != 2 {
-		t.Errorf("delivered %d copies, want 2", delivered)
+	inj, stub, sink := mustNew(t, Plan{Down: LinkFaults{Duplicate: 1}})
+	xmit(inj, downCh(0, 0), 3)
+	if sink.delivered != 2 {
+		t.Errorf("delivered %d copies, want 2", sink.delivered)
 	}
 	if got := inj.Stats().WirelessDuplicates; got != 1 {
 		t.Errorf("WirelessDuplicates = %d, want 1", got)
@@ -105,11 +135,10 @@ func TestDuplicateInjectsTwoCopies(t *testing.T) {
 }
 
 func TestReorderBypassesFIFO(t *testing.T) {
-	inj, stub := mustNew(t, Plan{Up: LinkFaults{Reorder: 1, ReorderDelay: engine.Delay{Min: 2, Max: 2}}})
-	delivered := 0
-	inj.Transmit(upCh(0), 3, func() { delivered++ })
-	if delivered != 1 {
-		t.Errorf("delivered %d, want 1", delivered)
+	inj, stub, sink := mustNew(t, Plan{Up: LinkFaults{Reorder: 1, ReorderDelay: engine.Delay{Min: 2, Max: 2}}})
+	xmit(inj, upCh(0), 3)
+	if sink.delivered != 1 {
+		t.Errorf("delivered %d, want 1", sink.delivered)
 	}
 	if len(stub.transmits) != 0 || len(stub.afters) != 1 {
 		t.Errorf("inner saw %d transmits / %d afters, want the copy routed around the FIFO clamp", len(stub.transmits), len(stub.afters))
@@ -123,16 +152,18 @@ func TestReorderBypassesFIFO(t *testing.T) {
 }
 
 func TestCrashDiscardsWiredBothDirections(t *testing.T) {
-	inj, stub := mustNew(t, Plan{Crashes: []Crash{{MSS: 1, At: 10, RestartAt: 100}}})
-	delivered := 0
+	inj, stub, sink := mustNew(t, Plan{Crashes: []Crash{{MSS: 1, At: 10, RestartAt: 100}}})
 	stub.now = 50 // inside the crash window
 
-	inj.Transmit(1*2+0, 3, func() { delivered++ })        // wired 1→0: source crashed
-	inj.Transmit(0*2+1, 3, func() { delivered++ })        // wired 0→1: receiver crashed
-	inj.Transmit(downCh(1, 0), 3, func() { delivered++ }) // crashed station's radio is dark
+	xmit(inj, 1*2+0, 3)        // wired 1→0: source crashed
+	xmit(inj, 0*2+1, 3)        // wired 0→1: receiver crashed (delivery-time gate)
+	xmit(inj, downCh(1, 0), 3) // crashed station's radio is dark
 
-	if delivered != 0 {
-		t.Errorf("delivered %d, want 0 while mss1 is down", delivered)
+	if sink.delivered != 0 {
+		t.Errorf("delivered %d, want 0 while mss1 is down", sink.delivered)
+	}
+	if sink.freed != 3 {
+		t.Errorf("freed %d records, want 3 (every discarded copy returns to the pool)", sink.freed)
 	}
 	st := inj.Stats()
 	if st.CrashDiscards != 2 {
@@ -143,38 +174,35 @@ func TestCrashDiscardsWiredBothDirections(t *testing.T) {
 	}
 
 	stub.now = 100 // restarted
-	inj.Transmit(1*2+0, 3, func() { delivered++ })
-	inj.Transmit(downCh(1, 0), 3, func() { delivered++ })
-	if delivered != 2 {
-		t.Errorf("delivered %d after restart, want 2", delivered)
+	xmit(inj, 1*2+0, 3)
+	xmit(inj, downCh(1, 0), 3)
+	if sink.delivered != 2 {
+		t.Errorf("delivered %d after restart, want 2", sink.delivered)
 	}
 }
 
 func TestFlapDarkensCellAndListedUplinks(t *testing.T) {
-	inj, _ := mustNew(t, Plan{Flaps: []Flap{{MSS: 0, MHs: []engine.MHID{2}, From: 10, Until: 20}}})
-	delivered := 0
-	deliver := func() { delivered++ }
+	inj, stub, sink := mustNew(t, Plan{Flaps: []Flap{{MSS: 0, MHs: []engine.MHID{2}, From: 10, Until: 20}}})
 
-	stub := func(now sim.Time, wantDelivered int, step string) {
+	check := func(now sim.Time, wantDelivered int, step string) {
 		t.Helper()
-		delivered = 0
-		injStub := inj.inner.(*stubSubstrate)
-		injStub.now = now
-		inj.Transmit(downCh(0, 0), 1, deliver) // flapped cell's downlink
-		inj.Transmit(downCh(1, 0), 1, deliver) // other cell unaffected
-		inj.Transmit(upCh(2), 1, deliver)      // listed uplink
-		inj.Transmit(upCh(3), 1, deliver)      // unlisted uplink unaffected
-		if delivered != wantDelivered {
-			t.Errorf("%s: delivered %d, want %d", step, delivered, wantDelivered)
+		base := sink.delivered
+		stub.now = now
+		xmit(inj, downCh(0, 0), 1) // flapped cell's downlink
+		xmit(inj, downCh(1, 0), 1) // other cell unaffected
+		xmit(inj, upCh(2), 1)      // listed uplink
+		xmit(inj, upCh(3), 1)      // unlisted uplink unaffected
+		if got := sink.delivered - base; got != wantDelivered {
+			t.Errorf("%s: delivered %d, want %d", step, got, wantDelivered)
 		}
 	}
-	stub(5, 4, "before flap")
-	stub(15, 2, "during flap")
-	stub(25, 4, "after flap")
+	check(5, 4, "before flap")
+	check(15, 2, "during flap")
+	check(25, 4, "after flap")
 }
 
 func TestDownSinceOracle(t *testing.T) {
-	inj, stub := mustNew(t, Plan{Crashes: []Crash{{MSS: 1, At: 10, RestartAt: 100}}})
+	inj, stub, _ := mustNew(t, Plan{Crashes: []Crash{{MSS: 1, At: 10, RestartAt: 100}}})
 	if _, down := inj.DownSince(1); down {
 		t.Error("mss1 reported down before its crash")
 	}
@@ -193,7 +221,7 @@ func TestDownSinceOracle(t *testing.T) {
 }
 
 func TestArmFiresCrashAndRestartHooks(t *testing.T) {
-	inj, _ := mustNew(t, Plan{Crashes: []Crash{{MSS: 1, At: 10, RestartAt: 100}}})
+	inj, _, _ := mustNew(t, Plan{Crashes: []Crash{{MSS: 1, At: 10, RestartAt: 100}}})
 	var events []string
 	inj.OnCrash(func(mss engine.MSSID) { events = append(events, fmt.Sprintf("crash mss%d", int(mss))) })
 	inj.OnRestart(func(mss engine.MSSID) { events = append(events, fmt.Sprintf("restart mss%d", int(mss))) })
@@ -207,12 +235,12 @@ func TestArmFiresCrashAndRestartHooks(t *testing.T) {
 // injector and returns (trace, stats) — the determinism witness.
 func driveTraffic(t *testing.T, plan Plan, n int) (string, engine.FaultStats) {
 	t.Helper()
-	inj, _ := mustNew(t, plan)
+	inj, _, _ := mustNew(t, plan)
 	inj.RecordTrace(true)
 	for i := 0; i < n; i++ {
-		inj.Transmit(downCh(i%2, i%4), sim.Time(1+i%3), func() {})
-		inj.Transmit(upCh(i%4), sim.Time(1+i%2), func() {})
-		inj.Transmit((i%2)*2+(i+1)%2, 5, func() {})
+		xmit(inj, downCh(i%2, i%4), sim.Time(1+i%3))
+		xmit(inj, upCh(i%4), sim.Time(1+i%2))
+		xmit(inj, (i%2)*2+(i+1)%2, 5)
 	}
 	return inj.Trace(), inj.Stats()
 }

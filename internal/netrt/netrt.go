@@ -5,13 +5,13 @@
 // deployment the paper describes, on actual sockets.
 //
 // Architecture. The engine cannot be sharded across processes — its
-// Substrate seam hands the transport opaque deliver closures — so the
+// Substrate seam hands the transport opaque delivery records — so the
 // runtime splits the model plane from the data plane:
 //
 //   - the hub (this file) hosts the engine on a single executor goroutine,
-//     exactly like internal/rt. Every Transmit assigns the channel's next
-//     sequence number, parks the deliver closure, and ships a TData frame
-//     on a physical journey over TCP;
+//     exactly like internal/rt. Every TransmitRec assigns the channel's
+//     next sequence number, parks the delivery record, and ships a TData
+//     frame on a physical journey over TCP;
 //   - MSS relay nodes (node.go) carry the wired tier: a TData for wired
 //     channel (i,j) travels hub → node i, sleeps the link latency in node
 //     i's per-channel pipe, crosses the mesh connection to node j, and
@@ -22,7 +22,7 @@
 //     wireless connection into whatever cell serves it — so Cwireless
 //     traffic always crosses a real link, and handoffs physically re-dial;
 //   - when the hub receives TDelivered (ch, seq) it releases the parked
-//     closure — but only in per-channel sequence order, holding back any
+//     record — but only in per-channel sequence order, holding back any
 //     confirmation that arrives early. That release buffer, not TCP alone,
 //     is the model's per-channel FIFO guarantee; duplicate confirmations
 //     (possible during connection loss, which both ends resolve
@@ -31,7 +31,7 @@
 // Model-level semantics are therefore identical to internal/rt: a
 // transmission, once made, always resolves — a frame radioed into a cell
 // the MH already left is confirmed by the node, matching the model, whose
-// deliver closures re-check MH state at delivery time. The fault injector
+// record interpreter re-checks MH state at delivery time. The fault injector
 // (internal/faults) and the observability seam wrap the substrate exactly
 // as on the other runtimes, so loss is modelled, never accidental.
 //
@@ -196,12 +196,15 @@ type System struct {
 	mssPeers []*peer
 	mhPeers  []*peer
 
-	// Executor-only transmission state.
+	// Executor-only transmission state. Parked records are stepped (and
+	// freed) by the bound sink on the executor only; the record pool is
+	// not thread-safe, so stopped paths drop records rather than free them.
 	seqs      []uint64
 	chans     []chanState
-	pending   map[pendKey]func()
+	pending   map[pendKey]*engine.DeliveryRec
 	envelopes [][]byte
 	rtGen     uint64
+	sink      engine.RecSink
 
 	// Cluster-readiness tracking (own lock; written by reader goroutines).
 	readyMu  sync.Mutex
@@ -232,14 +235,16 @@ func (l *netSubstrate) After(d sim.Time, fn func()) {
 	})
 }
 
-// Transmit parks the deliver closure under the channel's next sequence
+func (l *netSubstrate) BindRecSink(sink engine.RecSink) { l.s.sink = sink }
+
+// TransmitRec parks the delivery record under the channel's next sequence
 // number and ships the TData frame toward the relay that owns the sending
 // end of the physical journey.
-func (l *netSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+func (l *netSubstrate) TransmitRec(ch int, latency sim.Time, rec *engine.DeliveryRec) {
 	s := l.s
 	seq := s.seqs[ch]
 	s.seqs[ch]++
-	s.pending[pendKey{int32(ch), seq}] = deliver
+	s.pending[pendKey{int32(ch), seq}] = rec
 	s.tasks.OpStart()
 	f := wire.Frame{
 		Type:    wire.TData,
@@ -260,6 +265,24 @@ func (l *netSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
 		// Shutdown: outboxes are closed; resolve so drains don't hang.
 		s.resolve(int32(ch), seq)
 	}
+}
+
+// AfterRec schedules a record the way After schedules a closure: a wall
+// timer that hands the record to the executor for interpretation. A record
+// landing after Stop is dropped (not freed — the pool is executor-only).
+func (l *netSubstrate) AfterRec(d sim.Time, rec *engine.DeliveryRec) {
+	s := l.s
+	s.tasks.OpStart()
+	time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() {
+		if !s.tasks.Push(func() { defer s.tasks.OpDone(); s.sink.StepRec(rec) }) {
+			s.tasks.OpDone()
+		}
+	})
+}
+
+// EnqueueRec runs the record on the executor without delay.
+func (l *netSubstrate) EnqueueRec(rec *engine.DeliveryRec) {
+	l.s.tasks.Push(func() { l.s.sink.StepRec(rec) })
 }
 
 func (l *netSubstrate) RNG() *sim.RNG { return l.s.rng }
@@ -288,7 +311,7 @@ func NewSystem(cfg Config) (*System, error) {
 		execDone: make(chan struct{}),
 		seqs:     make([]uint64, channels),
 		chans:    make([]chanState, channels),
-		pending:  make(map[pendKey]func()),
+		pending:  make(map[pendKey]*engine.DeliveryRec),
 		attached: make([]uint64, cfg.N),
 	}
 	s.envelopes = make([][]byte, channels)
@@ -435,12 +458,12 @@ func (s *System) resolve(ch int32, seq uint64) {
 
 func (s *System) deliver(ch int32, seq uint64) {
 	k := pendKey{ch, seq}
-	fn, ok := s.pending[k]
+	rec, ok := s.pending[k]
 	if !ok {
 		return
 	}
 	delete(s.pending, k)
-	fn()
+	s.sink.StepRec(rec)
 	s.tasks.OpDone()
 }
 

@@ -140,6 +140,13 @@ type System struct {
 	execDone chan struct{}
 	started  bool
 
+	// sink interprets delivery records; bound by engine.New (or by the
+	// fault injector wrapping the engine) via BindRecSink. Records are
+	// stepped and freed only on the executor goroutine — the engine's
+	// record pool is not thread-safe, which is why stopped paths drop
+	// records instead of freeing them (shutdown abandons the pool anyway).
+	sink engine.RecSink
+
 	pipesMu sync.Mutex
 	pipes   map[int]chan delivery
 	wg      sync.WaitGroup
@@ -164,20 +171,42 @@ func (l *liveSubstrate) Enqueue(fn func()) { l.s.exec(fn) }
 
 func (l *liveSubstrate) After(d sim.Time, fn func()) { l.s.afterTicks(d, fn) }
 
-// Transmit hands the delivery to the channel's pipe goroutine, which sleeps
-// the latency and forwards to the executor — FIFO by construction. The send
-// races Stop: once the pipe's forward goroutine has exited, a full buffer
-// would block the executor forever, so a stopped runtime resolves the op
-// and drops the delivery instead (shutdown discards in-flight traffic by
-// design).
-func (l *liveSubstrate) Transmit(ch int, latency sim.Time, deliver func()) {
+func (l *liveSubstrate) BindRecSink(sink engine.RecSink) { l.s.sink = sink }
+
+// TransmitRec hands the delivery record to the channel's pipe goroutine,
+// which sleeps the latency and forwards to the executor — FIFO by
+// construction. The send races Stop: once the pipe's forward goroutine has
+// exited, a full buffer would block the executor forever, so a stopped
+// runtime resolves the op and drops the record instead (shutdown discards
+// in-flight traffic by design; the record is abandoned, not freed, because
+// the pool is executor-only).
+func (l *liveSubstrate) TransmitRec(ch int, latency sim.Time, rec *engine.DeliveryRec) {
 	s := l.s
 	s.opStart()
 	select {
-	case s.pipe(ch) <- delivery{latency: time.Duration(latency) * s.cfg.Tick, fn: deliver}:
+	case s.pipe(ch) <- delivery{latency: time.Duration(latency) * s.cfg.Tick, rec: rec}:
 	case <-s.stopped:
 		s.opDone()
 	}
+}
+
+// AfterRec schedules a record the way After schedules a closure: a wall
+// timer that hands the record to the executor for interpretation.
+func (l *liveSubstrate) AfterRec(d sim.Time, rec *engine.DeliveryRec) {
+	s := l.s
+	s.opStart()
+	time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() {
+		s.exec(func() {
+			defer s.opDone()
+			s.sink.StepRec(rec)
+		})
+	})
+}
+
+// EnqueueRec runs the record on the executor without delay.
+func (l *liveSubstrate) EnqueueRec(rec *engine.DeliveryRec) {
+	s := l.s
+	s.exec(func() { s.sink.StepRec(rec) })
 }
 
 func (l *liveSubstrate) RNG() *sim.RNG { return l.s.rng }

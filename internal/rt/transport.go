@@ -1,6 +1,10 @@
 package rt
 
-import "time"
+import (
+	"time"
+
+	"mobiledist/internal/engine"
+)
 
 // The runtime's transport is purely physical: the engine decides what to
 // send, on which flat channel id, with which latency (see
@@ -11,10 +15,11 @@ import "time"
 // bookkeeping needed.
 
 // delivery is one message travelling a FIFO channel: sleep latency, then
-// run fn on the executor.
+// interpret rec on the executor. The record is opaque to the transport; it
+// is stepped (and freed) by the bound sink on the executor goroutine only.
 type delivery struct {
 	latency time.Duration
-	fn      func()
+	rec     *engine.DeliveryRec
 }
 
 // pipe returns (creating on demand) the goroutine-backed FIFO channel for
@@ -41,7 +46,11 @@ func (s *System) forward(ch chan delivery) {
 			t := time.NewTimer(d.latency)
 			select {
 			case <-t.C:
-				s.execOp(d.fn)
+				rec := d.rec
+				s.exec(func() {
+					defer s.opDone()
+					s.sink.StepRec(rec)
+				})
 			case <-s.stopped:
 				t.Stop()
 				s.opDone()

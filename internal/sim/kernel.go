@@ -30,12 +30,21 @@ import (
 // Time is virtual simulation time in abstract ticks.
 type Time int64
 
-// event is a scheduled callback, stored by value in the kernel's heap.
+// event is a scheduled callback, stored by value in the kernel's heap: an
+// invoker plus one opaque argument. Plain func() events use the package's
+// static runFn invoker with the closure as the argument; callers on the
+// allocation-free path (the engine's pooled delivery records) pass a
+// long-lived invoker and a pointer argument, so neither word boxes — func
+// values and pointers are stored directly in an interface.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	do  func(any)
+	arg any
 }
+
+// runFn is the invoker for plain func() events.
+func runFn(a any) { a.(func())() }
 
 // before is the heap order: earliest time first, scheduling order within a
 // tick. seq is unique, so this is a total order and the pop sequence is
@@ -192,10 +201,39 @@ func (k *Kernel) ScheduleKeyed(key int, delay Time, fn func()) {
 // ScheduleKeyedErr is ScheduleKeyed returning an error instead of
 // panicking.
 func (k *Kernel) ScheduleKeyedErr(key int, delay Time, fn func()) error {
+	if fn == nil {
+		return errors.New("sim: nil event function")
+	}
+	return k.ScheduleCallKeyedErr(key, delay, runFn, fn)
+}
+
+// ScheduleCall is Schedule in invoker/argument form: do(arg) runs after
+// delay ticks. Unlike Schedule, no closure is needed — a caller with a
+// long-lived invoker and a pointer argument (the engine's pooled delivery
+// records) schedules without allocating.
+func (k *Kernel) ScheduleCall(delay Time, do func(any), arg any) {
+	if err := k.ScheduleCallKeyedErr(0, delay, do, arg); err != nil {
+		panic(fmt.Sprintf("sim: schedule: %v", err))
+	}
+}
+
+// ScheduleCallAtKeyed is ScheduleCall at an absolute timestamp with a shard
+// key; it is the record-path analogue of ScheduleAtKeyed.
+func (k *Kernel) ScheduleCallAtKeyed(key int, at Time, do func(any), arg any) error {
+	if at < k.now {
+		return ErrNegativeDelay
+	}
+	return k.ScheduleCallKeyedErr(key, at-k.now, do, arg)
+}
+
+// ScheduleCallKeyedErr is the funnel every schedule path goes through: it
+// assigns the sequence number and routes the event to the now-queue, the
+// sharded queue, or the single heap.
+func (k *Kernel) ScheduleCallKeyedErr(key int, delay Time, do func(any), arg any) error {
 	if delay < 0 {
 		return ErrNegativeDelay
 	}
-	if fn == nil {
+	if do == nil {
 		return errors.New("sim: nil event function")
 	}
 	k.seq++
@@ -204,13 +242,13 @@ func (k *Kernel) ScheduleKeyedErr(key int, delay Time, fn func()) error {
 			// An event for the current instant can never precede anything
 			// already queued at it (seq only grows), so it skips the heaps
 			// entirely; see the now-queue ordering argument in sharded.go.
-			q.pushNow(fn)
+			q.pushNow(do, arg)
 		} else {
-			q.push(key, event{at: k.now + delay, seq: k.seq, fn: fn})
+			q.push(key, event{at: k.now + delay, seq: k.seq, do: do, arg: arg})
 		}
 		return nil
 	}
-	k.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.push(event{at: k.now + delay, seq: k.seq, do: do, arg: arg})
 	return nil
 }
 
@@ -266,7 +304,7 @@ func (k *Kernel) Step() bool {
 	ev := k.pop()
 	k.now = ev.at
 	k.steps++
-	ev.fn()
+	ev.do(ev.arg)
 	return true
 }
 
@@ -281,16 +319,16 @@ func (k *Kernel) stepSharded() bool {
 	case ok && at == k.now:
 		ev := q.pop()
 		k.steps++
-		ev.fn()
+		ev.do(ev.arg)
 	case q.nowHead < len(q.nowQ):
-		fn := q.popNow()
+		do, arg := q.popNow()
 		k.steps++
-		fn()
+		do(arg)
 	case ok:
 		ev := q.pop()
 		k.now = ev.at
 		k.steps++
-		ev.fn()
+		ev.do(ev.arg)
 	default:
 		return false
 	}

@@ -46,10 +46,13 @@ package sim
 // pins a long mixed workload.
 
 // bucketEvent is one queued callback inside a time bucket. The timestamp
-// lives on the bucket, so each event costs 16 bytes plus the closure.
+// lives on the bucket, so each event costs 32 bytes (seq, invoker, arg) —
+// and nothing else on the record path, where the argument is a pooled
+// delivery record rather than a fresh closure.
 type bucketEvent struct {
 	seq uint64
-	fn  func()
+	do  func(any)
+	arg any
 }
 
 // bucket is the run of events scheduled for one (shard, time). Buckets are
@@ -293,16 +296,16 @@ func (q *shardQueue) push(key int, ev event) {
 	// A live bucket already holds this time: append to the run.
 	slot := &s.slots[int(uint64(ev.at)&(timeSlots-1))]
 	if slot.at == ev.at && slot.idx >= 0 {
-		s.buckets[slot.idx].events = append(s.buckets[slot.idx].events, bucketEvent{seq: ev.seq, fn: ev.fn})
+		s.buckets[slot.idx].events = append(s.buckets[slot.idx].events, bucketEvent{seq: ev.seq, do: ev.do, arg: ev.arg})
 		return
 	}
 	if idx, ok := s.byTime[ev.at]; ok {
-		s.buckets[idx].events = append(s.buckets[idx].events, bucketEvent{seq: ev.seq, fn: ev.fn})
+		s.buckets[idx].events = append(s.buckets[idx].events, bucketEvent{seq: ev.seq, do: ev.do, arg: ev.arg})
 		slot.at, slot.idx = ev.at, idx
 		return
 	}
 	idx := s.alloc(ev.at)
-	s.buckets[idx].events = append(s.buckets[idx].events, bucketEvent{seq: ev.seq, fn: ev.fn})
+	s.buckets[idx].events = append(s.buckets[idx].events, bucketEvent{seq: ev.seq, do: ev.do, arg: ev.arg})
 	s.byTime[ev.at] = idx
 	slot.at, slot.idx = ev.at, idx
 	wasEmpty := len(s.heap) == 0
@@ -333,11 +336,11 @@ func (q *shardQueue) pop() event {
 	idx := s.heap[0].idx
 	b := &s.buckets[idx]
 	be := b.events[b.head]
-	b.events[b.head] = bucketEvent{} // release the closure reference
+	b.events[b.head] = bucketEvent{} // release the callback references
 	b.head++
 	q.size--
 
-	ev := event{at: b.at, seq: be.seq, fn: be.fn}
+	ev := event{at: b.at, seq: be.seq, do: be.do, arg: be.arg}
 	if b.head < len(b.events) {
 		// The run continues: only the head seq changed, and it grew, so the
 		// shard can only move deeper in the merge heap.
@@ -367,18 +370,18 @@ func (q *shardQueue) pending() int {
 }
 
 // pushNow appends an event scheduled for the kernel's current instant.
-func (q *shardQueue) pushNow(fn func()) {
-	q.nowQ = append(q.nowQ, bucketEvent{fn: fn})
+func (q *shardQueue) pushNow(do func(any), arg any) {
+	q.nowQ = append(q.nowQ, bucketEvent{do: do, arg: arg})
 }
 
 // popNow removes the front of the now-queue; the caller checks emptiness.
-func (q *shardQueue) popNow() func() {
-	fn := q.nowQ[q.nowHead].fn
+func (q *shardQueue) popNow() (func(any), any) {
+	be := q.nowQ[q.nowHead]
 	q.nowQ[q.nowHead] = bucketEvent{}
 	q.nowHead++
 	if q.nowHead == len(q.nowQ) {
 		q.nowQ = q.nowQ[:0]
 		q.nowHead = 0
 	}
-	return fn
+	return be.do, be.arg
 }
