@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos soak tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos chaos-net soak tables
 
-ci: vet staticcheck build test race chaos bench-smoke scale-smoke fuzz-short bench-check
+ci: vet staticcheck build test race chaos chaos-net bench-smoke scale-smoke fuzz-short bench-check
 
 vet:
 	$(GO) vet ./...
@@ -98,10 +98,18 @@ chaos:
 	$(GO) test -race -run 'Test' -count 1 ./internal/faults/
 	$(GO) test -race -run 'Test' -count 1 ./internal/netrt/ ./internal/wire/
 
-# Extended loopback soak: churn + CS traffic + fault injection over real
-# TCP sockets for 15s under the race detector (the same test runs for ~2s
-# in the regular suite; see DESIGN.md §10). Not part of `make ci` so CI
-# stays bounded.
+# Crash-recovery conformance: real relay-node kills and generation-fenced
+# restarts under the seeded socket nemesis (latency, stalls, resets), plus
+# the nemesis package's own determinism suite — race detector on. See
+# DESIGN.md §11.
+chaos-net:
+	$(GO) test -race -run 'TestCrash' -count 1 -timeout 300s ./internal/conformance/
+	$(GO) test -race -count 1 ./internal/nemesis/
+
+# Extended loopback soak: churn + CS traffic + fault injection + one relay
+# crash/restart cycle over real TCP sockets for 15s under the race detector
+# (the same test runs for ~2s in the regular suite; see DESIGN.md §10). Not
+# part of `make ci` so CI stays bounded.
 soak:
 	$(GO) test -race -run 'TestLoopbackSoak' -count 1 ./internal/netrt/ -soak 15s
 

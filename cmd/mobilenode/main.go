@@ -25,6 +25,19 @@
 // backoff, traffic queues in outboxes, and the hub's workload begins once
 // the cluster reports ready. Relays and clients exit when the hub says
 // goodbye.
+//
+// Operational surface:
+//
+//   - -health ADDR serves the role's /health and /status JSON endpoints
+//     (plus /metrics on the hub) on ADDR for probes and dashboards.
+//   - -supervise (mss/mh) auto-restarts the process's incarnation with
+//     capped, jittered backoff whenever it dies for any reason other than
+//     the hub's orderly goodbye. Each restart claims generation 0 in its
+//     hello, so the hub fences the dead incarnation and replays the
+//     unconfirmed suffix.
+//   - MOBILEDIST_HEARTBEAT_MS, MOBILEDIST_DIAL_BACKOFF_MIN_MS and
+//     MOBILEDIST_DIAL_BACKOFF_MAX_MS override the cluster file's liveness
+//     cadence and reconnect pacing per process.
 package main
 
 import (
@@ -32,8 +45,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"mobiledist/internal/core"
@@ -59,8 +74,10 @@ func run(args []string, out io.Writer) error {
 		m       = fs.Int("m", 3, "number of mobile support stations (-init)")
 		n       = fs.Int("n", 4, "number of mobile hosts (-init)")
 		base    = fs.String("base", "127.0.0.1:9200", "first address for -init; subsequent ports count up")
-		seed    = fs.Uint64("seed", 1, "latency RNG seed (hub)")
-		timeout = fs.Duration("timeout", 30*time.Second, "cluster ready/drain timeout (hub)")
+		seed      = fs.Uint64("seed", 1, "latency RNG seed (hub)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "cluster ready/drain timeout (hub)")
+		health    = fs.String("health", "", "serve the role's /health and /status endpoints on this address")
+		supervise = fs.Bool("supervise", false, "auto-restart mss/mh incarnations with capped backoff until the hub says goodbye")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +100,7 @@ func run(args []string, out io.Writer) error {
 
 	switch *role {
 	case "demo":
-		return runDemo(out, *seed, *timeout)
+		return runDemo(out, *seed, *timeout, *health)
 	case "hub", "mss", "mh":
 		if *cluster == "" {
 			return fmt.Errorf("-role %s needs -cluster FILE", *role)
@@ -92,28 +109,165 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		cc = applyEnv(cc)
 		switch *role {
 		case "hub":
-			return runHub(out, cc, *seed, *timeout)
+			return runHub(out, cc, *seed, *timeout, *health)
 		case "mss":
+			name := fmt.Sprintf("mss%d", *id)
+			start := func() (process, error) {
+				return netrt.StartNode(netrt.NodeConfig{ID: *id, Cluster: cc})
+			}
+			if *supervise {
+				return superviseProcess(out, name, *health, start)
+			}
 			node, err := netrt.StartNode(netrt.NodeConfig{ID: *id, Cluster: cc})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "mss%d relaying on %s\n", *id, node.Addr())
+			stopHealth, err := serveHealth(out, *health, node.HealthHandler())
+			if err != nil {
+				node.Stop()
+				return err
+			}
+			defer stopHealth()
+			fmt.Fprintf(out, "%s relaying on %s\n", name, node.Addr())
 			node.Wait()
 			return nil
 		default:
+			name := fmt.Sprintf("mh%d", *id)
+			start := func() (process, error) {
+				return netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc})
+			}
+			if *supervise {
+				return superviseProcess(out, name, *health, start)
+			}
 			client, err := netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "mh%d on the wireless tier\n", *id)
+			stopHealth, err := serveHealth(out, *health, client.HealthHandler())
+			if err != nil {
+				client.Stop()
+				return err
+			}
+			defer stopHealth()
+			fmt.Fprintf(out, "%s on the wireless tier\n", name)
 			client.Wait()
 			return nil
 		}
 	default:
 		return fmt.Errorf("unknown role %q (want demo, hub, mss, or mh)", *role)
+	}
+}
+
+// applyEnv overlays the MOBILEDIST_* environment overrides on a loaded
+// cluster file, so operators can tune liveness cadence and reconnect pacing
+// per process without editing the shared file.
+func applyEnv(cc netrt.ClusterConfig) netrt.ClusterConfig {
+	if v, ok := envInt64("MOBILEDIST_HEARTBEAT_MS"); ok {
+		cc.HeartbeatMS = v
+	}
+	if v, ok := envInt64("MOBILEDIST_DIAL_BACKOFF_MIN_MS"); ok {
+		cc.DialBackoffMinMS = v
+	}
+	if v, ok := envInt64("MOBILEDIST_DIAL_BACKOFF_MAX_MS"); ok {
+		cc.DialBackoffMaxMS = v
+	}
+	return cc
+}
+
+func envInt64(key string) (int64, bool) {
+	s := os.Getenv(key)
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// serveHealth serves h on addr (no-op when addr is empty), returning a stop
+// function.
+func serveHealth(out io.Writer, addr string, h http.Handler) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("health listener: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	fmt.Fprintf(out, "health endpoint on http://%s/health\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// process is one supervisable cluster incarnation (a relay node or an MH
+// client).
+type process interface {
+	Wait()
+	SaidBye() bool
+	Stop()
+	HealthHandler() http.Handler
+}
+
+// Supervision backoff: restarts pace up from min to cap; an incarnation
+// that stays up past resetAfter earns the next crash a fresh minimum.
+const (
+	superviseBackoffMin   = 250 * time.Millisecond
+	superviseBackoffMax   = 5 * time.Second
+	superviseResetAfter   = 10 * time.Second
+	superviseHealthUnavail = `{"status":"restarting"}` + "\n"
+)
+
+// superviseProcess keeps one incarnation of the role running: when it dies
+// for any reason other than the hub's orderly TBye, a fresh one is started
+// after a capped backoff. The health endpoint (when configured) outlives
+// every incarnation, answering 503 between them.
+func superviseProcess(out io.Writer, name, health string, start func() (process, error)) error {
+	var cur atomic.Value // process of the live incarnation
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p, ok := cur.Load().(process); ok && p != nil {
+			p.HealthHandler().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, superviseHealthUnavail)
+	})
+	stopHealth, err := serveHealth(out, health, handler)
+	if err != nil {
+		return err
+	}
+	defer stopHealth()
+
+	backoff := superviseBackoffMin
+	for attempt := 1; ; attempt++ {
+		p, err := start()
+		if err != nil {
+			fmt.Fprintf(out, "%s: start failed: %v (retry in %v)\n", name, err, backoff)
+		} else {
+			cur.Store(p)
+			began := time.Now()
+			fmt.Fprintf(out, "%s up (incarnation %d)\n", name, attempt)
+			p.Wait()
+			if p.SaidBye() {
+				fmt.Fprintf(out, "%s: hub said goodbye; exiting\n", name)
+				return nil
+			}
+			if time.Since(began) >= superviseResetAfter {
+				backoff = superviseBackoffMin
+			}
+			fmt.Fprintf(out, "%s died; restarting in %v\n", name, backoff)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > superviseBackoffMax {
+			backoff = superviseBackoffMax
+		}
 	}
 }
 
@@ -141,9 +295,17 @@ func initCluster(m, n int, base string) (netrt.ClusterConfig, error) {
 	return cc, nil
 }
 
+// hubHealthMux mounts the hub's health/status endpoints next to /metrics.
+func hubHealthMux(sys *netrt.System) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", sys.HealthHandler())
+	mux.Handle("/metrics", sys.MetricsHandler())
+	return mux
+}
+
 // runHub hosts the engine for an externally launched cluster and drives the
 // demo workload across it.
-func runHub(out io.Writer, cc netrt.ClusterConfig, seed uint64, timeout time.Duration) error {
+func runHub(out io.Writer, cc netrt.ClusterConfig, seed uint64, timeout time.Duration, health string) error {
 	cfg := netrt.DefaultConfig(cc.M, cc.N)
 	cfg.Seed = seed
 	cfg.ListenAddr = cc.Hub
@@ -151,17 +313,28 @@ func runHub(out io.Writer, cc netrt.ClusterConfig, seed uint64, timeout time.Dur
 	if cc.TickUS > 0 {
 		cfg.Tick = time.Duration(cc.TickUS) * time.Microsecond
 	}
+	if cc.HeartbeatMS != 0 {
+		cfg.HeartbeatEvery = time.Duration(cc.HeartbeatMS) * time.Millisecond
+	}
+	cfg.DialBackoffMin = time.Duration(cc.DialBackoffMinMS) * time.Millisecond
+	cfg.DialBackoffMax = time.Duration(cc.DialBackoffMaxMS) * time.Millisecond
 	sys, err := netrt.NewSystem(cfg)
 	if err != nil {
 		return err
 	}
+	stopHealth, err := serveHealth(out, health, hubHealthMux(sys))
+	if err != nil {
+		sys.Stop()
+		return err
+	}
+	defer stopHealth()
 	fmt.Fprintf(out, "hub listening on %s; waiting for %d stations and %d hosts\n", sys.Addr(), cc.M, cc.N)
 	return demoWorkload(out, sys, cc.M, cc.N, timeout)
 }
 
 // runDemo launches a full loopback cluster — 3 MSS relay nodes and 4 MH
 // clients on 127.0.0.1 sockets — and drives the same workload.
-func runDemo(out io.Writer, seed uint64, timeout time.Duration) error {
+func runDemo(out io.Writer, seed uint64, timeout time.Duration, health string) error {
 	const m, n = 3, 4
 	cfg := netrt.DefaultConfig(m, n)
 	cfg.Seed = seed
@@ -170,6 +343,11 @@ func runDemo(out io.Writer, seed uint64, timeout time.Duration) error {
 		return err
 	}
 	defer lb.Stop()
+	stopHealth, err := serveHealth(out, health, hubHealthMux(lb.Sys))
+	if err != nil {
+		return err
+	}
+	defer stopHealth()
 	fmt.Fprintf(out, "loopback cluster: hub %s, %d MSS nodes, %d MH clients\n", lb.Sys.Addr(), m, n)
 	return demoWorkload(out, lb.Sys, m, n, timeout)
 }

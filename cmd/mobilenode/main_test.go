@@ -2,6 +2,7 @@ package main
 
 import (
 	"net"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -112,6 +113,124 @@ func TestHubDrivesExternalNodesAndClients(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("nodes/clients did not exit after the hub said goodbye")
+	}
+}
+
+// fakeProcess scripts one supervised incarnation for unit tests.
+type fakeProcess struct {
+	bye  bool
+	dead chan struct{}
+}
+
+func (f *fakeProcess) Wait()         { <-f.dead }
+func (f *fakeProcess) SaidBye() bool { return f.bye }
+func (f *fakeProcess) Stop()         {}
+func (f *fakeProcess) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+}
+
+// TestSuperviseRestartsUntilBye: the supervision loop replaces crashed
+// incarnations (with backoff), keeps the health endpoint answering across
+// the generation gap, and exits cleanly when an incarnation reports the
+// hub's orderly goodbye.
+func TestSuperviseRestartsUntilBye(t *testing.T) {
+	var out syncBuilder
+	incarnations := make(chan *fakeProcess, 3)
+	starts := 0
+	start := func() (process, error) {
+		starts++
+		p := &fakeProcess{bye: starts >= 3, dead: make(chan struct{})}
+		incarnations <- p
+		return p, nil
+	}
+	done := make(chan error, 1)
+	go func() { done <- superviseProcess(&out, "mss0", "127.0.0.1:0", start) }()
+
+	for i := 0; i < 3; i++ {
+		select {
+		case p := <-incarnations:
+			close(p.dead) // this incarnation dies (or, on the third, says bye)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("incarnation %d never started", i+1)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("supervise: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervise did not exit after the goodbye incarnation")
+	}
+	if starts != 3 {
+		t.Errorf("started %d incarnations, want 3", starts)
+	}
+	text := out.String()
+	if !strings.Contains(text, "restarting in") || !strings.Contains(text, "goodbye") {
+		t.Errorf("supervise log missing restart/goodbye lines:\n%s", text)
+	}
+}
+
+// TestApplyEnvOverrides: the MOBILEDIST_* variables overlay the cluster
+// file's liveness and reconnect tuning.
+func TestApplyEnvOverrides(t *testing.T) {
+	t.Setenv("MOBILEDIST_HEARTBEAT_MS", "40")
+	t.Setenv("MOBILEDIST_DIAL_BACKOFF_MIN_MS", "2")
+	t.Setenv("MOBILEDIST_DIAL_BACKOFF_MAX_MS", "100")
+	cc := applyEnv(netrt.ClusterConfig{Hub: "h", M: 1, N: 1, MSS: []string{"a"}})
+	if cc.HeartbeatMS != 40 || cc.DialBackoffMinMS != 2 || cc.DialBackoffMaxMS != 100 {
+		t.Errorf("applyEnv = %+v, want 40/2/100", cc)
+	}
+	t.Setenv("MOBILEDIST_HEARTBEAT_MS", "not-a-number")
+	if cc2 := applyEnv(netrt.ClusterConfig{}); cc2.HeartbeatMS != 0 {
+		t.Errorf("malformed env applied: %+v", cc2)
+	}
+}
+
+// TestDemoServesHealthEndpoint: -health on the demo role answers /health
+// while the workload runs (polled concurrently, since runDemo is
+// synchronous).
+func TestDemoServesHealthEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port for -health to rebind
+
+	var out syncBuilder
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-role", "demo", "-seed", "5", "-health", addr}, &out) }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	healthy := false
+	for !healthy && time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/health")
+		if err == nil {
+			if resp.StatusCode == 200 {
+				healthy = true
+			}
+			resp.Body.Close()
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run demo: %v", err)
+			}
+			if !healthy {
+				t.Fatal("demo finished before /health ever answered")
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if !healthy {
+		t.Fatal("/health never answered 200 during the demo")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run demo: %v", err)
 	}
 }
 

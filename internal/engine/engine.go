@@ -84,6 +84,12 @@ type Stats struct {
 	// TokenRegenerations counts recovery elections that regenerated a lost
 	// token, reported by algorithms via Context.NoteTokenRegeneration.
 	TokenRegenerations int64
+	// ParkedOnDeadMSS counts transmissions a substrate parked because their
+	// relay station's process was declared dead (netrt liveness): the record
+	// stays pending and is replayed when the station resyncs, so the
+	// executor degrades to parking instead of wedging. Reported by the
+	// substrate via Engine.NoteParkedOnDeadMSS.
+	ParkedOnDeadMSS int64
 }
 
 // Engine is the substrate-independent driver of the two-tier model. Exactly
@@ -227,6 +233,11 @@ func (e *Engine) Stats() Stats {
 	}
 	return cp
 }
+
+// NoteParkedOnDeadMSS records one transmission parked by the substrate
+// because its relay station was dead (see Stats.ParkedOnDeadMSS). Must be
+// called on the engine's execution context, like every other engine method.
+func (e *Engine) NoteParkedOnDeadMSS() { e.stats.ParkedOnDeadMSS++ }
 
 // Where reports the cell and connectivity status of mh. While disconnected,
 // the returned MSS is the cell holding the "disconnected" flag; while in

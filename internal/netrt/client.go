@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiledist/internal/wire"
@@ -17,6 +18,9 @@ type ClientConfig struct {
 	Cluster ClusterConfig
 	// FrameTap observes every frame the client writes (see Config.FrameTap).
 	FrameTap func(raw []byte, f wire.Frame)
+	// Gen is the incarnation generation claimed in the hub handshake
+	// (0: "assign me one"; see NodeConfig.Gen).
+	Gen uint64
 }
 
 // Client is a mobile host on the wireless tier. It holds one connection to
@@ -37,6 +41,9 @@ type ClientConfig struct {
 type Client struct {
 	cfg  ClientConfig
 	tick time.Duration
+
+	gen     atomic.Uint64 // generation the hub admitted (TResync ack)
+	saidBye atomic.Bool   // orderly hub shutdown seen
 
 	hub *peer
 	upq *frameQueue
@@ -74,14 +81,18 @@ func StartClient(cfg ClientConfig) (*Client, error) {
 		pending: make(map[pendKey]struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.gen.Store(cfg.Gen)
 
-	hello := wire.Frame{Type: wire.THello, Ch: -1, Payload: wire.Hello{
-		Role: wire.RoleMH, ID: int32(cfg.ID),
-		M: int32(cfg.Cluster.M), N: int32(cfg.Cluster.N),
-	}.Encode()}
 	c.hub = newPeer(fmt.Sprintf("mh%d->hub", cfg.ID), &c.wg, c.onHubFrame)
-	c.hub.hello = &hello
+	c.hub.hello = func() wire.Frame {
+		return wire.Frame{Type: wire.THello, Ch: -1, Payload: wire.Hello{
+			Role: wire.RoleMH, ID: int32(cfg.ID),
+			M: int32(cfg.Cluster.M), N: int32(cfg.Cluster.N),
+			Gen: c.gen.Load(),
+		}.Encode()}
+	}
 	c.hub.tap = cfg.FrameTap
+	c.hub.backoffMin, c.hub.backoffMax = cfg.Cluster.backoffBounds()
 	c.hub.dial = func() (net.Conn, error) { return net.Dial("tcp", cfg.Cluster.Hub) }
 	c.hub.start()
 
@@ -95,6 +106,12 @@ func StartClient(cfg ClientConfig) (*Client, error) {
 // Wait blocks until the client has shut down (Stop or a TBye from the hub).
 func (c *Client) Wait() { <-c.done }
 
+// SaidBye reports whether the hub sent an orderly TBye (see Node.SaidBye).
+func (c *Client) SaidBye() bool { return c.saidBye.Load() }
+
+// Gen reports the incarnation generation the hub admitted for this client.
+func (c *Client) Gen() uint64 { return c.gen.Load() }
+
 // onHubFrame handles frames from the hub connection (reader goroutine).
 func (c *Client) onHubFrame(f wire.Frame) {
 	switch f.Type {
@@ -105,7 +122,14 @@ func (c *Client) onHubFrame(f wire.Frame) {
 		if err == nil {
 			c.retarget(h)
 		}
+	case wire.THeartbeat:
+		if f.Hop == 0 { // hub ping: answer in kind
+			c.hub.send(wire.Frame{Type: wire.THeartbeat, Ch: -1, Seq: f.Seq, Hop: 1})
+		}
+	case wire.TResync:
+		c.gen.Store(f.Seq)
 	case wire.TBye:
+		c.saidBye.Store(true)
 		go c.Stop() // not inline: Stop waits for this very reader
 	}
 }
@@ -135,11 +159,11 @@ func (c *Client) retarget(h wire.Handoff) {
 func (c *Client) uplinkLoop() {
 	defer c.wg.Done()
 	for {
-		f, ok := c.upq.head()
+		f, epoch, ok := c.upq.head()
 		if !ok {
 			return
 		}
-		c.upq.pop()
+		c.upq.pop(epoch)
 		t := time.NewTimer(time.Duration(f.Latency) * c.tick)
 		select {
 		case <-t.C:
@@ -192,7 +216,8 @@ func (c *Client) transmitUp(f wire.Frame) {
 // connection stands, attach, notify the hub, and read the link.
 func (c *Client) wirelessLoop() {
 	defer c.wg.Done()
-	backoff := dialBackoffMin
+	bmin, bmax := c.cfg.Cluster.backoffBounds()
+	backoff := bmin
 	for {
 		c.mu.Lock()
 		for !c.closed && (c.target.Addr == "" || c.wconn != nil) {
@@ -210,15 +235,15 @@ func (c *Client) wirelessLoop() {
 			select {
 			case <-c.stop:
 				return
-			case <-time.After(backoff):
+			case <-time.After(jitterBackoff(backoff)):
 			}
 			backoff *= 2
-			if backoff > dialBackoffMax {
-				backoff = dialBackoffMax
+			if backoff > bmax {
+				backoff = bmax
 			}
 			continue
 		}
-		backoff = dialBackoffMin
+		backoff = bmin
 		w := wire.NewWriter(conn)
 		w.Tap = c.cfg.FrameTap
 		if err := w.WriteFrame(wire.Frame{Type: wire.TAttach, Ch: int32(c.cfg.ID)}); err != nil {
@@ -275,6 +300,14 @@ func (c *Client) wirelessReader(conn net.Conn, gen uint64) {
 			c.mu.Lock()
 			delete(c.pending, pendKey{f.Ch, f.Seq})
 			c.mu.Unlock()
+		case wire.THeartbeat:
+			if f.Hop == 0 { // serving node's ping: answer on the same link
+				if ww := w(); ww != nil {
+					c.wmu.Lock()
+					_ = ww.WriteFrame(wire.Frame{Type: wire.THeartbeat, Ch: -1, Seq: f.Seq, Hop: 1})
+					c.wmu.Unlock()
+				}
+			}
 		}
 	}
 	c.dropWireless(gen)

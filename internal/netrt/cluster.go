@@ -24,6 +24,58 @@ type ClusterConfig struct {
 	// TickUS is the virtual-time tick in microseconds (0: the 50µs
 	// default). Relays use it to sleep link latencies.
 	TickUS int64 `json:"tick_us,omitempty"`
+	// HeartbeatMS is the liveness ping interval in milliseconds (0: the
+	// 25ms default; negative: heartbeats disabled). Relay nodes use the
+	// same cadence toward their attached clients.
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// DialBackoffMinMS / DialBackoffMaxMS bound every dialler's jittered
+	// exponential reconnect backoff, in milliseconds (0: the package
+	// defaults, 5ms and 250ms).
+	DialBackoffMinMS int64 `json:"dial_backoff_min_ms,omitempty"`
+	DialBackoffMaxMS int64 `json:"dial_backoff_max_ms,omitempty"`
+}
+
+// heartbeat returns the liveness ping interval (0 disables heartbeats).
+func (c ClusterConfig) heartbeat() time.Duration {
+	if c.HeartbeatMS < 0 {
+		return 0
+	}
+	if c.HeartbeatMS == 0 {
+		return defaultHeartbeatEvery
+	}
+	return time.Duration(c.HeartbeatMS) * time.Millisecond
+}
+
+// backoffBounds returns the dialler reconnect backoff bounds.
+func (c ClusterConfig) backoffBounds() (min, max time.Duration) {
+	min = time.Duration(c.DialBackoffMinMS) * time.Millisecond
+	max = time.Duration(c.DialBackoffMaxMS) * time.Millisecond
+	if min <= 0 {
+		min = defaultDialBackoffMin
+	}
+	if max <= 0 {
+		max = defaultDialBackoffMax
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// heartbeatMS converts a Config heartbeat interval to the ClusterConfig
+// field encoding (0 keeps the default, negative disables).
+func heartbeatMS(d time.Duration) int64 {
+	if d < 0 {
+		return -1
+	}
+	if d == 0 {
+		return 0
+	}
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // tick returns the wall duration of one virtual tick.
@@ -85,12 +137,18 @@ func LoadCluster(path string) (ClusterConfig, error) {
 type Loopback struct {
 	// Sys is the hub; Register algorithms on it, then Sys.Start().
 	Sys *System
-	// Nodes are the MSS relays, indexed by station id.
+	// Nodes are the MSS relays, indexed by station id. A killed node's slot
+	// holds the stopped *Node until RestartNode replaces it.
 	Nodes []*Node
 	// Clients are the MH clients, indexed by mobile host id.
 	Clients []*Client
-	// Cluster is the topology the pieces were wired with.
+	// Cluster is the topology the pieces were wired with. Its addresses are
+	// the *dialled* ones — when Config.WrapAddr interposed a nemesis proxy,
+	// these are proxy addresses, while rawMSS keeps the bind addresses.
 	Cluster ClusterConfig
+
+	cfg    Config
+	rawMSS []string // bind addresses, pre-WrapAddr (RestartNode rebinds them)
 }
 
 // StartLoopback launches a full cluster on loopback sockets from cfg
@@ -120,19 +178,33 @@ func StartLoopback(cfg Config) (*Loopback, error) {
 		addrs[i] = ln.Addr().String()
 	}
 
+	// The nemesis seam: every address a process will *dial* may be routed
+	// through a proxy, while listeners stay bound to the raw sockets.
+	wrap := cfg.WrapAddr
+	if wrap == nil {
+		wrap = func(name, addr string) string { return addr }
+	}
+	dialAddrs := make([]string, cfg.M)
+	for i, a := range addrs {
+		dialAddrs[i] = wrap(fmt.Sprintf("mss%d", i), a)
+	}
+
 	cfg.ListenAddr = "127.0.0.1:0"
-	cfg.MSSAddrs = addrs
+	cfg.MSSAddrs = dialAddrs
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		return fail(err)
 	}
-	lb := &Loopback{Sys: sys}
+	lb := &Loopback{Sys: sys, cfg: cfg, rawMSS: addrs}
 	lb.Cluster = ClusterConfig{
-		Hub:    sys.Addr(),
-		MSS:    addrs,
-		M:      cfg.M,
-		N:      cfg.N,
-		TickUS: int64(cfg.Tick / time.Microsecond),
+		Hub:              wrap("hub", sys.Addr()),
+		MSS:              dialAddrs,
+		M:                cfg.M,
+		N:                cfg.N,
+		TickUS:           int64(cfg.Tick / time.Microsecond),
+		HeartbeatMS:      heartbeatMS(cfg.HeartbeatEvery),
+		DialBackoffMinMS: int64(cfg.DialBackoffMin / time.Millisecond),
+		DialBackoffMaxMS: int64(cfg.DialBackoffMax / time.Millisecond),
 	}
 
 	lb.Nodes = make([]*Node, cfg.M)
@@ -163,6 +235,66 @@ func StartLoopback(cfg Config) (*Loopback, error) {
 		lb.Clients[h] = c
 	}
 	return lb, nil
+}
+
+// KillNode crash-stops relay node i: every socket it holds closes and its
+// goroutines exit, exactly as if the process died. The hub's heartbeat
+// tracker notices, declares the station dead, and parks its traffic until
+// RestartNode brings a new incarnation up.
+func (lb *Loopback) KillNode(i int) {
+	if n := lb.Nodes[i]; n != nil {
+		n.Stop()
+	}
+}
+
+// RestartNode starts a fresh incarnation of relay node i on the same bind
+// address. The new node's hello claims generation 0 ("assign me one"), so
+// the hub fences it in as gen+1 and replays the station's unconfirmed
+// suffix. Rebinding retries briefly: the dead incarnation's socket may
+// still be releasing.
+func (lb *Loopback) RestartNode(i int) error {
+	lb.KillNode(i)
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", lb.rawMSS[i])
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("netrt: rebind mss%d at %s: %w", i, lb.rawMSS[i], err)
+	}
+	n, err := StartNode(NodeConfig{
+		ID:       i,
+		Cluster:  lb.Cluster,
+		Listener: ln,
+		FrameTap: lb.cfg.FrameTap,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	lb.Nodes[i] = n
+	return nil
+}
+
+// RestartClient crash-stops MH client h and starts a fresh incarnation.
+func (lb *Loopback) RestartClient(h int) error {
+	if c := lb.Clients[h]; c != nil {
+		c.Stop()
+	}
+	c, err := StartClient(ClientConfig{
+		ID:       h,
+		Cluster:  lb.Cluster,
+		FrameTap: lb.cfg.FrameTap,
+	})
+	if err != nil {
+		return err
+	}
+	lb.Clients[h] = c
+	return nil
 }
 
 // Stop tears the whole cluster down: hub first (so the engine stops

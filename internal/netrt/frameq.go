@@ -2,6 +2,7 @@ package netrt
 
 import (
 	"sync"
+	"time"
 
 	"mobiledist/internal/wire"
 )
@@ -12,10 +13,18 @@ import (
 // for the same reason as in internal/execq: producers include the hub
 // executor and socket readers, neither of which may ever block on a slow
 // consumer, or the runtime can deadlock against its own deliveries.
+//
+// The queue carries an epoch so owners can clear it out from under a
+// consumer safely: head returns the epoch it observed and pop only removes
+// the head if the epoch still matches. A writer that read a frame, wrote it
+// to a connection, and then lost a clear race simply pops nothing — the
+// frame it wrote was re-sent by whoever cleared (resync replay), and the
+// receiving side suppresses the duplicate.
 type frameQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []wire.Frame
+	epoch  uint64
 	closed bool
 }
 
@@ -41,25 +50,51 @@ func (q *frameQueue) put(f wire.Frame) bool {
 // or the queue closes. Leaving the frame at the head until the consumer
 // calls pop gives writers ack semantics: a frame is only consumed once it
 // has actually been written to a connection, so a dropped conn retries it.
-func (q *frameQueue) head() (wire.Frame, bool) {
+// The returned epoch must be passed to pop.
+func (q *frameQueue) head() (wire.Frame, uint64, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
-		return wire.Frame{}, false
+		return wire.Frame{}, 0, false
 	}
-	return q.items[0], true
+	return q.items[0], q.epoch, true
 }
 
-// pop removes the head frame (after a successful write).
-func (q *frameQueue) pop() {
+// pop removes the head frame (after a successful write) — unless the queue
+// was cleared since the matching head call, in which case the write is a
+// harmless duplicate and nothing is removed.
+func (q *frameQueue) pop(epoch uint64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) > 0 {
-		q.items = q.items[1:]
+	if q.epoch != epoch || len(q.items) == 0 {
+		return
 	}
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.cond.Broadcast() // wake drain waiters
+	}
+}
+
+// clear drops every queued frame and bumps the epoch, invalidating any
+// in-flight head/pop pair. Used when a peer is declared dead: its suffix is
+// re-sent by the resync replay, so retaining stale frames would only
+// interleave duplicates ahead of the replayed order.
+func (q *frameQueue) clear() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = nil
+	q.epoch++
+	q.cond.Broadcast()
+}
+
+// depth reports the number of queued frames (for /status).
+func (q *frameQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
 }
 
 // drained reports whether the queue is currently empty.
@@ -67,6 +102,35 @@ func (q *frameQueue) drained() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.items) == 0
+}
+
+// waitDrained blocks until the queue empties, abort() reports true, the
+// queue closes, or the deadline passes, reporting whether it drained. The
+// abort predicate is re-evaluated on every wake-up; callers whose predicate
+// depends on external state (a peer's connection) must arrange for wake to
+// be called when that state changes.
+func (q *frameQueue) waitDrained(deadline time.Time, abort func() bool) bool {
+	timer := time.AfterFunc(time.Until(deadline), q.wake)
+	defer timer.Stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) > 0 && !q.closed {
+		if abort != nil && abort() {
+			return false
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		q.cond.Wait()
+	}
+	return len(q.items) == 0
+}
+
+// wake broadcasts to all waiters (drain waiters re-check their predicate).
+func (q *frameQueue) wake() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // close wakes all consumers; queued frames are still served until empty.

@@ -44,7 +44,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiledist/internal/core"
@@ -103,6 +105,31 @@ type Config struct {
 	// valid during the call). Test instrumentation for codec round-trip
 	// checks.
 	FrameTap func(raw []byte, f wire.Frame)
+	// WrapAddr, when non-nil, is given every address a cluster process will
+	// dial — the hub address handed to nodes and clients ("hub") and each
+	// station address ("mss<i>") handed to mesh peers and retargeted
+	// clients — and returns the address to dial instead. This is the seam
+	// where the socket nemesis (internal/nemesis) interposes its proxies;
+	// listeners stay bound to the raw addresses. Only StartLoopback applies
+	// it.
+	WrapAddr func(name, addr string) string
+
+	// HeartbeatEvery is the hub's liveness ping interval (0: 25ms default;
+	// negative: heartbeats disabled — peers are never suspected or declared
+	// dead).
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the number of consecutive unanswered heartbeats
+	// before a peer is marked suspect (0: default 3).
+	SuspectAfter int
+	// DeadAfter is how long a peer may go without answering a heartbeat
+	// before it is declared dead — its outbox clears and deliveries to it
+	// park until a resync (0: default 500ms).
+	DeadAfter time.Duration
+	// DialBackoffMin and DialBackoffMax bound every dialling peer's
+	// reconnect backoff (zero: 5ms/250ms defaults). They propagate into the
+	// ClusterConfig StartLoopback builds, and cmd/mobilenode exposes them
+	// via MOBILEDIST_DIAL_BACKOFF_MIN/MAX.
+	DialBackoffMin, DialBackoffMax time.Duration
 }
 
 // DefaultConfig returns a hub configuration for m stations and n hosts,
@@ -166,6 +193,14 @@ type pendKey struct {
 	seq uint64
 }
 
+// pendEntry is one parked in-flight transmission: the delivery record plus
+// the drawn latency, kept so a resync replay can rebuild the exact TData
+// frame for the unconfirmed suffix.
+type pendEntry struct {
+	rec     *engine.DeliveryRec
+	latency uint32
+}
+
 // chanState is the hub's per-channel release buffer: next is the sequence
 // number whose confirmation may release, ready holds confirmations that
 // arrived early.
@@ -201,14 +236,26 @@ type System struct {
 	// not thread-safe, so stopped paths drop records rather than free them.
 	seqs      []uint64
 	chans     []chanState
-	pending   map[pendKey]*engine.DeliveryRec
+	pending   map[pendKey]pendEntry
 	envelopes [][]byte
 	rtGen     uint64
 	sink      engine.RecSink
 
-	// Cluster-readiness tracking (own lock; written by reader goroutines).
-	readyMu  sync.Mutex
-	attached []uint64 // latest handoff generation each MH confirmed
+	// deadMSS / deadMH mirror the liveness tracker's dead verdicts onto the
+	// executor (set and cleared via executor tasks, read by TransmitRec):
+	// transmissions toward a dead peer park in pending without queuing a
+	// frame, and the resync replay re-sends them.
+	deadMSS []bool
+	deadMH  []bool
+
+	// lv is the liveness tracker and cluster-readiness monitor (heartbeat
+	// state machine, incarnation generations, attach confirmations).
+	lv *liveness
+
+	// parked and inflight are /status counters, written on the executor and
+	// read by the health endpoint.
+	parked   atomic.Int64 // transmissions parked on a dead peer (lifetime)
+	inflight atomic.Int64 // pending delivery records right now
 }
 
 var _ core.Registrar = (*System)(nil)
@@ -239,12 +286,16 @@ func (l *netSubstrate) BindRecSink(sink engine.RecSink) { l.s.sink = sink }
 
 // TransmitRec parks the delivery record under the channel's next sequence
 // number and ships the TData frame toward the relay that owns the sending
-// end of the physical journey.
+// end of the physical journey. A frame bound for a peer the liveness
+// tracker declared dead parks without shipping (graceful degradation: the
+// record stays pending, bounded by the algorithms' own in-flight windows,
+// and the resync replay ships it when the peer returns).
 func (l *netSubstrate) TransmitRec(ch int, latency sim.Time, rec *engine.DeliveryRec) {
 	s := l.s
 	seq := s.seqs[ch]
 	s.seqs[ch]++
-	s.pending[pendKey{int32(ch), seq}] = rec
+	s.pending[pendKey{int32(ch), seq}] = pendEntry{rec: rec, latency: uint32(latency)}
+	s.inflight.Add(1)
 	s.tasks.OpStart()
 	f := wire.Frame{
 		Type:    wire.TData,
@@ -257,14 +308,28 @@ func (l *netSubstrate) TransmitRec(ch int, latency sim.Time, rec *engine.Deliver
 	var ok bool
 	switch kind {
 	case engine.ChannelWired, engine.ChannelDown:
+		if s.deadMSS[a] {
+			s.parkOnDead()
+			return
+		}
 		ok = s.mssPeers[a].send(f)
 	case engine.ChannelUp:
+		if s.deadMH[b] {
+			s.parkOnDead()
+			return
+		}
 		ok = s.mhPeers[b].send(f)
 	}
 	if !ok {
 		// Shutdown: outboxes are closed; resolve so drains don't hang.
 		s.resolve(int32(ch), seq)
 	}
+}
+
+// parkOnDead accounts one transmission parked on a dead peer (executor).
+func (s *System) parkOnDead() {
+	s.eng.NoteParkedOnDeadMSS()
+	s.parked.Add(1)
 }
 
 // AfterRec schedules a record the way After schedules a closure: a wall
@@ -311,9 +376,11 @@ func NewSystem(cfg Config) (*System, error) {
 		execDone: make(chan struct{}),
 		seqs:     make([]uint64, channels),
 		chans:    make([]chanState, channels),
-		pending:  make(map[pendKey]*engine.DeliveryRec),
-		attached: make([]uint64, cfg.N),
+		pending:  make(map[pendKey]pendEntry),
+		deadMSS:  make([]bool, cfg.M),
+		deadMH:   make([]bool, cfg.N),
 	}
+	s.lv = newLiveness(cfg.M, cfg.N, cfg.SuspectAfter, cfg.DeadAfter, cfg.Obs, s.now)
 	s.envelopes = make([][]byte, channels)
 	for ch := range s.envelopes {
 		kind, a, b := s.layout.Decode(ch)
@@ -345,15 +412,19 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s.mssPeers = make([]*peer, cfg.M)
 	for i := range s.mssPeers {
-		s.mssPeers[i] = newPeer(fmt.Sprintf("hub->mss%d", i), &s.wg, s.onPeerFrame)
-		s.mssPeers[i].tap = cfg.FrameTap
-		s.mssPeers[i].start()
+		p := newPeer(fmt.Sprintf("hub->mss%d", i), &s.wg, func(f wire.Frame) { s.onPeerFrame(wire.RoleMSS, i, f) })
+		p.tap = cfg.FrameTap
+		p.onChange = func() { s.lv.noteConn(wire.RoleMSS, i, p.connected()) }
+		s.mssPeers[i] = p
+		p.start()
 	}
 	s.mhPeers = make([]*peer, cfg.N)
 	for h := range s.mhPeers {
-		s.mhPeers[h] = newPeer(fmt.Sprintf("hub->mh%d", h), &s.wg, s.onPeerFrame)
-		s.mhPeers[h].tap = cfg.FrameTap
-		s.mhPeers[h].start()
+		p := newPeer(fmt.Sprintf("hub->mh%d", h), &s.wg, func(f wire.Frame) { s.onPeerFrame(wire.RoleMH, h, f) })
+		p.tap = cfg.FrameTap
+		p.onChange = func() { s.lv.noteConn(wire.RoleMH, h, p.connected()) }
+		s.mhPeers[h] = p
+		p.start()
 	}
 	// Seed every client with its initial cell (the engine placed it there
 	// silently during construction; no OnJoin fires for the initial
@@ -371,7 +442,62 @@ func NewSystem(cfg Config) (*System, error) {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if every := cfg.heartbeatEvery(); every > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop(every)
+	}
 	return s, nil
+}
+
+// heartbeatEvery resolves the configured liveness interval (<= 0 means
+// default; negative disables).
+func (c Config) heartbeatEvery() time.Duration {
+	if c.HeartbeatEvery < 0 {
+		return 0
+	}
+	if c.HeartbeatEvery == 0 {
+		return defaultHeartbeatEvery
+	}
+	return c.HeartbeatEvery
+}
+
+// peerFor maps a liveness identity to its peer slot.
+func (s *System) peerFor(role wire.Role, id int) *peer {
+	if role == wire.RoleMH {
+		return s.mhPeers[id]
+	}
+	return s.mssPeers[id]
+}
+
+// heartbeatLoop drives the liveness state machine: ping every connected
+// peer each interval, and when the tracker declares a peer dead, clear its
+// outbox (the resync replay re-sends the unconfirmed suffix in order) and
+// flip the executor's dead flag so new traffic parks instead of queuing.
+func (s *System) heartbeatLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-t.C:
+		}
+		died := s.lv.tick(func(role wire.Role, id int, seq uint64) {
+			s.peerFor(role, id).send(wire.Frame{Type: wire.THeartbeat, Ch: -1, Seq: seq})
+		})
+		for _, i := range died {
+			role, id := s.lv.role(i)
+			s.peerFor(role, id).clearOutbox()
+			s.tasks.Push(func() {
+				if role == wire.RoleMSS {
+					s.deadMSS[id] = true
+				} else {
+					s.deadMH[id] = true
+				}
+			})
+		}
+	}
 }
 
 // Addr returns the hub's bound listen address, for cluster files.
@@ -405,27 +531,49 @@ func (s *System) handshake(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	switch {
-	case h.Role == wire.RoleMSS && 0 <= h.ID && int(h.ID) < s.cfg.M:
-		s.mssPeers[h.ID].attach(conn, r)
-	case h.Role == wire.RoleMH && 0 <= h.ID && int(h.ID) < s.cfg.N:
-		s.mhPeers[h.ID].attach(conn, r)
-	default:
+	inRange := (h.Role == wire.RoleMSS && 0 <= h.ID && int(h.ID) < s.cfg.M) ||
+		(h.Role == wire.RoleMH && 0 <= h.ID && int(h.ID) < s.cfg.N)
+	if !inRange {
 		conn.Close()
+		return
+	}
+	gen, resync, ok := s.lv.admit(h.Role, int(h.ID), h.Gen)
+	if !ok {
+		// Generation fence: a superseded incarnation is still dialling.
+		// Refusing the connection keeps its stale frames out of the stream;
+		// anything it wrote on an older connection was already cut off when
+		// the newer incarnation's attach closed it.
+		conn.Close()
+		return
+	}
+	s.peerFor(h.Role, int(h.ID)).attach(conn, r)
+	if resync {
+		// New incarnation (or a dead peer returning): replay on the
+		// executor. The TResync ack is sent there too, after the outbox
+		// clears, so it isn't dropped with the stale frames.
+		s.tasks.Push(func() { s.resyncPeer(h.Role, int(h.ID), gen) })
+	} else {
+		s.peerFor(h.Role, int(h.ID)).send(wire.Frame{Type: wire.TResync, Ch: -1, Seq: gen})
 	}
 }
 
 // onPeerFrame handles frames from nodes and clients (reader goroutines).
-func (s *System) onPeerFrame(f wire.Frame) {
+func (s *System) onPeerFrame(role wire.Role, id int, f wire.Frame) {
 	switch f.Type {
 	case wire.TDelivered:
 		s.tasks.Push(func() { s.resolve(f.Ch, f.Seq) })
 	case wire.TAttached:
-		s.readyMu.Lock()
-		if h := int(f.Ch); 0 <= h && h < s.cfg.N && f.Seq > s.attached[h] {
-			s.attached[h] = f.Seq
+		if h := int(f.Ch); 0 <= h && h < s.cfg.N {
+			s.lv.noteAttached(h, f.Seq)
 		}
-		s.readyMu.Unlock()
+	case wire.THeartbeat:
+		if f.Hop == 1 && s.lv.pong(role, id, f.Seq) {
+			// The peer answered after being declared dead: it kept running
+			// through a false suspicion (or a one-way partition healed). Its
+			// outbox was cleared, so replay the unconfirmed suffix.
+			gen := s.lv.genOf(role, id)
+			s.tasks.Push(func() { s.resyncPeer(role, id, gen) })
+		}
 	}
 }
 
@@ -458,13 +606,105 @@ func (s *System) resolve(ch int32, seq uint64) {
 
 func (s *System) deliver(ch int32, seq uint64) {
 	k := pendKey{ch, seq}
-	rec, ok := s.pending[k]
+	pe, ok := s.pending[k]
 	if !ok {
 		return
 	}
 	delete(s.pending, k)
-	s.sink.StepRec(rec)
+	s.inflight.Add(-1)
+	s.sink.StepRec(pe.rec)
 	s.tasks.OpDone()
+}
+
+// resyncPeer recovers a returning peer on the executor: drop whatever the
+// cleared-and-refilled outbox holds (stale interleavings), acknowledge the
+// incarnation, re-send current retarget state, then replay the unconfirmed
+// per-channel suffix from the pending ledger in (channel, sequence) order.
+// Duplicates that survive anywhere downstream are suppressed by the hub's
+// release buffer, so replay is always safe — even after a false suspicion.
+func (s *System) resyncPeer(role wire.Role, id int, gen uint64) {
+	p := s.peerFor(role, id)
+	p.clearOutbox()
+	p.send(wire.Frame{Type: wire.TResync, Ch: -1, Seq: gen})
+	if role == wire.RoleMSS {
+		s.deadMSS[id] = false
+		// Re-point every MH the dead station was serving: their clients
+		// re-dial, covering half-open wireless connections that survived
+		// the crash on the client side.
+		for h := 0; h < s.cfg.N; h++ {
+			if at, st := s.eng.Where(core.MHID(h)); st == core.StatusConnected && int(at) == id {
+				s.rtGen++
+				s.sendRetarget(core.MHID(h), at, at, s.rtGen)
+			}
+		}
+	} else {
+		s.deadMH[id] = false
+		// A fresh client process has no target; re-send its current cell.
+		at, st := s.eng.Where(core.MHID(id))
+		s.rtGen++
+		if st == core.StatusConnected {
+			s.sendRetarget(core.MHID(id), at, at, s.rtGen)
+		} else {
+			s.sendRetarget(core.MHID(id), -1, at, s.rtGen)
+		}
+	}
+
+	// The unconfirmed suffix: every pending transmission that crosses the
+	// peer — for a station, wired channels it sends or receives (a frame
+	// may have died inside it after crossing the mesh, before confirming)
+	// and its downlinks; for a client, its uplinks. Early-confirmed
+	// sequences (in the ready set) are excluded: their journey completed.
+	keys := make([]pendKey, 0, 16)
+	for k := range s.pending {
+		kind, a, b := s.layout.Decode(int(k.ch))
+		owned := false
+		switch kind {
+		case engine.ChannelWired:
+			owned = role == wire.RoleMSS && (a == id || b == id)
+		case engine.ChannelDown:
+			owned = role == wire.RoleMSS && a == id
+		case engine.ChannelUp:
+			owned = role == wire.RoleMH && b == id
+		}
+		if !owned {
+			continue
+		}
+		if st := &s.chans[k.ch]; st.ready != nil {
+			if _, confirmed := st.ready[k.seq]; confirmed {
+				continue
+			}
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ch != keys[j].ch {
+			return keys[i].ch < keys[j].ch
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		pe := s.pending[k]
+		f := wire.Frame{
+			Type:    wire.TData,
+			Ch:      k.ch,
+			Seq:     k.seq,
+			Latency: pe.latency,
+			Payload: s.envelopes[k.ch],
+		}
+		// Route like TransmitRec: the sending station owns the journey, so
+		// a frame lost inside a dead *receiving* station replays through
+		// its (live) sender.
+		kind, a, b := s.layout.Decode(int(k.ch))
+		switch kind {
+		case engine.ChannelWired, engine.ChannelDown:
+			s.mssPeers[a].send(f)
+		case engine.ChannelUp:
+			s.mhPeers[b].send(f)
+		}
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(s.now(), "resync", fmt.Sprintf("%v%d gen=%d replayed=%d", role, id, gen, len(keys)))
+	}
 }
 
 // mobilityRelay is the hub's internal mobility observer: it translates the
@@ -578,40 +818,15 @@ func (s *System) Start() {
 // holds a hub connection, every MH client does too and has confirmed its
 // initial wireless attach — or the timeout elapses, reporting success.
 // Readiness is a liveness convenience (outboxes queue regardless); demos
-// and tests use it to avoid measuring connection establishment.
+// and tests use it to avoid measuring connection establishment. The wait is
+// condition-signaled: peers wake it on every connection-state flip and
+// attach confirmation, so there is no polling interval to tune.
 func (s *System) WaitReady(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		if s.ready() {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	return s.lv.waitReady(timeout)
 }
 
-func (s *System) ready() bool {
-	for _, p := range s.mssPeers {
-		if !p.connected() {
-			return false
-		}
-	}
-	for _, p := range s.mhPeers {
-		if !p.connected() {
-			return false
-		}
-	}
-	s.readyMu.Lock()
-	defer s.readyMu.Unlock()
-	for _, gen := range s.attached {
-		if gen == 0 {
-			return false
-		}
-	}
-	return true
-}
+// ready reports instantaneous cluster readiness.
+func (s *System) ready() bool { return s.lv.ready() }
 
 // Do runs fn on the executor and waits for it — the only safe way to call
 // algorithm APIs from outside handlers after Start.
@@ -683,13 +898,16 @@ func (s *System) Stop() {
 }
 
 // flushPeers waits (bounded) for connected peers' outboxes to drain, so
-// goodbye frames actually reach their targets.
+// goodbye frames actually reach their targets. Each wait is
+// condition-signaled: pops, clears, closes, and connection flips all wake
+// it, and a disconnected peer is skipped immediately (nothing will drain
+// its outbox).
 func (s *System) flushPeers(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	peers := append(append([]*peer(nil), s.mssPeers...), s.mhPeers...)
 	for _, p := range peers {
-		for p.connected() && !p.drained() && time.Now().Before(deadline) {
-			time.Sleep(time.Millisecond)
+		if p.connected() {
+			p.flush(deadline)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiledist/internal/engine"
@@ -22,7 +23,16 @@ type NodeConfig struct {
 	Listener net.Listener
 	// FrameTap observes every frame the node writes (see Config.FrameTap).
 	FrameTap func(raw []byte, f wire.Frame)
+	// Gen is the incarnation generation claimed in the hub handshake
+	// (0: "assign me one" — the hub fences the node in at its last admitted
+	// generation plus one, which is what a crash-restarted process wants).
+	Gen uint64
 }
+
+// clientMissK is how many consecutive unanswered node→client heartbeats
+// sever a wireless link: the node closes it, flushing the at-least-once set,
+// and the client re-dials when it comes back.
+const clientMissK = 4
 
 // Node is an MSS relay: it owns the physical sending end of its station's
 // wired channels and downlinks. TData frames arrive from the hub (hop 0),
@@ -38,11 +48,15 @@ type NodeConfig struct {
 type Node struct {
 	cfg    NodeConfig
 	tick   time.Duration
+	beat   time.Duration // node→client heartbeat interval (0: disabled)
 	layout engine.ChannelLayout
 
 	ln   net.Listener
 	hub  *peer
 	mesh []*peer // dialling peers to every other station (self nil)
+
+	gen     atomic.Uint64 // generation the hub admitted (TResync ack)
+	saidBye atomic.Bool   // orderly hub shutdown seen (supervisors stop restarting)
 
 	wg       sync.WaitGroup
 	stop     chan struct{}
@@ -68,6 +82,12 @@ type clientLink struct {
 	pmu     sync.Mutex
 	pending map[pendKey]struct{}
 	flushed bool
+
+	// Node→client heartbeat state (guarded by pmu): the link is severed
+	// after clientMissK consecutive unanswered pings.
+	beatSeq uint64 // last ping sent
+	beatAck uint64 // last ping echoed
+	missed  int
 }
 
 // take removes k from the pending set, reporting whether it was present
@@ -93,12 +113,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		cfg:    cfg,
 		tick:   cfg.Cluster.tick(),
+		beat:   cfg.Cluster.heartbeat(),
 		layout: engine.ChannelLayout{M: cfg.Cluster.M, N: cfg.Cluster.N},
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		pipes:  make(map[int32]*frameQueue),
 		links:  make(map[int32]*clientLink),
 	}
+	n.gen.Store(cfg.Gen)
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -109,14 +131,21 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.ln = ln
 
-	hello := wire.Frame{Type: wire.THello, Ch: -1, Payload: wire.Hello{
-		Role: wire.RoleMSS, ID: int32(cfg.ID),
-		M: int32(cfg.Cluster.M), N: int32(cfg.Cluster.N),
-	}.Encode()}
+	// The hello claims the node's current generation: cfg.Gen on the first
+	// connection, whatever TResync assigned on re-dials (see peer.hello).
+	hello := func() wire.Frame {
+		return wire.Frame{Type: wire.THello, Ch: -1, Payload: wire.Hello{
+			Role: wire.RoleMSS, ID: int32(cfg.ID),
+			M: int32(cfg.Cluster.M), N: int32(cfg.Cluster.N),
+			Gen: n.gen.Load(),
+		}.Encode()}
+	}
+	bmin, bmax := cfg.Cluster.backoffBounds()
 
 	n.hub = newPeer(fmt.Sprintf("mss%d->hub", cfg.ID), &n.wg, n.onHubFrame)
-	n.hub.hello = &hello
+	n.hub.hello = hello
 	n.hub.tap = cfg.FrameTap
+	n.hub.backoffMin, n.hub.backoffMax = bmin, bmax
 	n.hub.dial = func() (net.Conn, error) { return net.Dial("tcp", cfg.Cluster.Hub) }
 	n.hub.start()
 
@@ -127,8 +156,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		}
 		addr := cfg.Cluster.MSS[j]
 		p := newPeer(fmt.Sprintf("mss%d->mss%d", cfg.ID, j), &n.wg, nil)
-		p.hello = &hello
+		p.hello = hello
 		p.tap = cfg.FrameTap
+		p.backoffMin, p.backoffMax = bmin, bmax
 		p.dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
 		n.mesh[j] = p
 		p.start()
@@ -136,8 +166,19 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.beat > 0 {
+		n.wg.Add(1)
+		go n.heartbeatClients()
+	}
 	return n, nil
 }
+
+// SaidBye reports whether the hub sent an orderly TBye — the signal a
+// supervisor (cmd/mobilenode -supervise) uses to stop restarting the node.
+func (n *Node) SaidBye() bool { return n.saidBye.Load() }
+
+// Gen reports the incarnation generation the hub admitted for this node.
+func (n *Node) Gen() uint64 { return n.gen.Load() }
 
 // Addr returns the node's bound listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
@@ -150,8 +191,59 @@ func (n *Node) onHubFrame(f wire.Frame) {
 	switch f.Type {
 	case wire.TData:
 		n.pipe(f.Ch).put(f)
+	case wire.THeartbeat:
+		if f.Hop == 0 { // hub ping: answer in kind
+			n.hub.send(wire.Frame{Type: wire.THeartbeat, Ch: -1, Seq: f.Seq, Hop: 1})
+		}
+	case wire.TResync:
+		// The hub admitted (or reassigned) our incarnation generation. Any
+		// replayed frames follow as ordinary TData through the pipes.
+		n.gen.Store(f.Seq)
 	case wire.TBye:
+		n.saidBye.Store(true)
 		go n.Stop() // not inline: Stop waits for this very reader
+	}
+}
+
+// heartbeatClients pings every attached wireless client each interval and
+// severs links that stop answering: the serving cell's radio contact is
+// gone, so the pending downlinks flush (delivered-into-the-cell) and the
+// client re-attaches when it can hear the station again.
+func (n *Node) heartbeatClients() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.beat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		n.linkMu.Lock()
+		links := make([]*clientLink, 0, len(n.links))
+		for _, l := range n.links {
+			links = append(links, l)
+		}
+		n.linkMu.Unlock()
+		for _, l := range links {
+			l.pmu.Lock()
+			if l.beatSeq > l.beatAck {
+				l.missed++
+			} else {
+				l.missed = 0
+			}
+			dead := l.missed >= clientMissK
+			l.beatSeq++
+			seq := l.beatSeq
+			l.pmu.Unlock()
+			if dead {
+				l.conn.Close() // its reader flushes the pending set
+				continue
+			}
+			l.wmu.Lock()
+			_ = l.w.WriteFrame(wire.Frame{Type: wire.THeartbeat, Ch: -1, Seq: seq})
+			l.wmu.Unlock()
+		}
 	}
 }
 
@@ -176,11 +268,11 @@ func (n *Node) pipe(ch int32) *frameQueue {
 func (n *Node) forward(q *frameQueue) {
 	defer n.wg.Done()
 	for {
-		f, ok := q.head()
+		f, epoch, ok := q.head()
 		if !ok {
 			return
 		}
-		q.pop()
+		q.pop(epoch)
 		t := time.NewTimer(time.Duration(f.Latency) * n.tick)
 		select {
 		case <-t.C:
@@ -341,6 +433,15 @@ func (n *Node) clientReader(link *clientLink, r *wire.Reader, mh int32) {
 			// Downlink echo: the client saw the frame.
 			if link.take(pendKey{f.Ch, f.Seq}) {
 				n.confirm(f.Ch, f.Seq)
+			}
+		case wire.THeartbeat:
+			if f.Hop == 1 { // heartbeat answer: the client is still listening
+				link.pmu.Lock()
+				if f.Seq > link.beatAck {
+					link.beatAck = f.Seq
+					link.missed = 0
+				}
+				link.pmu.Unlock()
 			}
 		}
 	}

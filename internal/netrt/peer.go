@@ -1,6 +1,7 @@
 package netrt
 
 import (
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -8,11 +9,23 @@ import (
 	"mobiledist/internal/wire"
 )
 
-// Reconnect backoff bounds for dialling peers.
+// Default reconnect backoff bounds for dialling peers; Config/ClusterConfig
+// fields override them (see backoffMin/backoffMax on ClusterConfig).
 const (
-	dialBackoffMin = 5 * time.Millisecond
-	dialBackoffMax = 250 * time.Millisecond
+	defaultDialBackoffMin = 5 * time.Millisecond
+	defaultDialBackoffMax = 250 * time.Millisecond
 )
+
+// jitterBackoff spreads a backoff delay uniformly over [d/2, d), so a fleet
+// of restarting processes doesn't thundering-herd the hub on synchronized
+// retry schedules. Uses math/rand: reconnect pacing is operational noise,
+// not part of any determinism contract.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
 
 // peer is one logical neighbour of a cluster process: a persistent outbox
 // of frames plus whatever TCP connection currently reaches the neighbour.
@@ -20,19 +33,33 @@ const (
 // because a single writer goroutine drains the queue onto one connection at
 // a time, and a frame is only consumed (popped) after a successful write,
 // so a dropped connection retries it on the next one. Peers are either
-// dialling (they own reconnection with capped exponential backoff) or
-// accept-managed (the owner hands them each new inbound connection).
+// dialling (they own reconnection with capped, jittered exponential
+// backoff) or accept-managed (the owner hands them each new inbound
+// connection).
 type peer struct {
 	name string
 	// onFrame, when non-nil, handles frames read from the current
 	// connection. It is called on the connection's reader goroutine.
 	onFrame func(f wire.Frame)
-	// hello, when non-nil, is written first on every new dialled connection.
-	hello *wire.Frame
+	// onChange, when non-nil, is invoked after the connection state flips
+	// (installed or dropped). It is always called outside p.mu, so it may
+	// take other locks (the hub's liveness table) and call back into
+	// connected().
+	onChange func()
+	// hello, when non-nil, supplies the frame written first on every new
+	// dialled connection. It is a closure, not a fixed frame, because the
+	// handshake carries the process's current incarnation generation — a
+	// reconnect after the hub assigned one must claim it, or every
+	// connection flap would look like a fresh incarnation and trigger a
+	// needless resync replay.
+	hello func() wire.Frame
 	// dial, when non-nil, makes this a dialling peer.
 	dial func() (net.Conn, error)
 	// tap, when non-nil, observes every written frame with its wire bytes.
 	tap func(raw []byte, f wire.Frame)
+	// backoffMin/backoffMax bound the dialler's reconnect backoff; zero
+	// values fall back to the package defaults.
+	backoffMin, backoffMax time.Duration
 
 	out  *frameQueue
 	stop chan struct{}
@@ -61,6 +88,21 @@ func newPeer(name string, wg *sync.WaitGroup, onFrame func(wire.Frame)) *peer {
 	return p
 }
 
+// backoff returns the effective reconnect bounds.
+func (p *peer) backoff() (min, max time.Duration) {
+	min, max = p.backoffMin, p.backoffMax
+	if min <= 0 {
+		min = defaultDialBackoffMin
+	}
+	if max <= 0 {
+		max = defaultDialBackoffMax
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
 // send queues f for delivery, reporting false after close.
 func (p *peer) send(f wire.Frame) bool { return p.out.put(f) }
 
@@ -73,6 +115,28 @@ func (p *peer) connected() bool {
 
 // drained reports whether the outbox is empty.
 func (p *peer) drained() bool { return p.out.drained() }
+
+// outboxDepth reports the number of queued frames (for /status).
+func (p *peer) outboxDepth() int { return p.out.depth() }
+
+// clearOutbox drops every queued frame (dead-peer handling; the resync
+// replay re-sends the unconfirmed suffix in order).
+func (p *peer) clearOutbox() { p.out.clear() }
+
+// flush waits (condition-signaled) for the outbox to drain, giving up at
+// the deadline or while no connection stands to drain it.
+func (p *peer) flush(deadline time.Time) bool {
+	return p.out.waitDrained(deadline, func() bool { return !p.connected() })
+}
+
+// dropCurrent force-closes whatever connection is installed (tests and
+// chaos tooling; the peer reconnects or re-attaches as usual).
+func (p *peer) dropCurrent() {
+	p.mu.Lock()
+	gen := p.gen
+	p.mu.Unlock()
+	p.dropConn(gen)
+}
 
 // start launches the writer loop and, for dialling peers, the dialler.
 func (p *peer) start() {
@@ -88,7 +152,7 @@ func (p *peer) start() {
 func (p *peer) writeLoop() {
 	defer p.wg.Done()
 	for {
-		f, ok := p.out.head()
+		f, epoch, ok := p.out.head()
 		if !ok {
 			return
 		}
@@ -100,7 +164,7 @@ func (p *peer) writeLoop() {
 			p.dropConn(gen)
 			continue // retry the same frame on the next connection
 		}
-		p.out.pop()
+		p.out.pop(epoch)
 	}
 }
 
@@ -120,7 +184,8 @@ func (p *peer) writer() (*wire.Writer, uint64, bool) {
 // dialLoop (re)establishes the connection whenever none is current.
 func (p *peer) dialLoop() {
 	defer p.wg.Done()
-	backoff := dialBackoffMin
+	min, max := p.backoff()
+	backoff := min
 	for {
 		p.mu.Lock()
 		for p.conn != nil && !p.closed {
@@ -136,19 +201,19 @@ func (p *peer) dialLoop() {
 			select {
 			case <-p.stop:
 				return
-			case <-time.After(backoff):
+			case <-time.After(jitterBackoff(backoff)):
 			}
 			backoff *= 2
-			if backoff > dialBackoffMax {
-				backoff = dialBackoffMax
+			if backoff > max {
+				backoff = max
 			}
 			continue
 		}
-		backoff = dialBackoffMin
+		backoff = min
 		w := wire.NewWriter(conn)
 		w.Tap = p.tap
 		if p.hello != nil {
-			if err := w.WriteFrame(*p.hello); err != nil {
+			if err := w.WriteFrame(p.hello()); err != nil {
 				conn.Close()
 				continue
 			}
@@ -175,6 +240,7 @@ func (p *peer) install(conn net.Conn, w *wire.Writer, r *wire.Reader) {
 	p.conn, p.w = conn, w
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.connChanged()
 
 	p.wg.Add(1)
 	go func() {
@@ -204,13 +270,25 @@ func (p *peer) attach(conn net.Conn, r *wire.Reader) {
 // are ignored, so a replaced connection's reader cannot kill its successor).
 func (p *peer) dropConn(gen uint64) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.gen != gen || p.conn == nil {
+		p.mu.Unlock()
 		return
 	}
 	p.conn.Close()
 	p.conn, p.w = nil, nil
 	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.connChanged()
+}
+
+// connChanged notifies the owner and any outbox drain waiters of a
+// connection-state flip. Never called with p.mu held: the owner's callback
+// and the queue wake-up both take other locks.
+func (p *peer) connChanged() {
+	p.out.wake()
+	if p.onChange != nil {
+		p.onChange()
+	}
 }
 
 // close shuts the peer down: the writer stops (even with frames queued),
@@ -228,5 +306,6 @@ func (p *peer) close() {
 		p.mu.Unlock()
 		close(p.stop)
 		p.out.close()
+		p.connChanged()
 	})
 }

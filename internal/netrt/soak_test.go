@@ -9,6 +9,7 @@ import (
 	"mobiledist/internal/core"
 	"mobiledist/internal/cost"
 	"mobiledist/internal/mutex/ring"
+	"mobiledist/internal/wire"
 )
 
 // -soak stretches TestLoopbackSoak past its quick default; `make soak` runs
@@ -18,12 +19,14 @@ var soakFor = flag.Duration("soak", 0, "run the loopback soak test for this long
 // TestLoopbackSoak drives a loopback cluster with everything at once, for a
 // bounded wall-clock window: an ordered MH→MH stream whose receiver keeps
 // switching cells, disconnect/reconnect churn on bystanders, R2 token-ring
-// CS traffic, and the deterministic fault injector dropping, duplicating
-// and reordering wireless transmissions the whole time. The assertions are
-// the ones that matter for a network runtime: the system never deadlocks
-// (every settle drains), the stream arrives complete and in order (no FIFO
-// violation leaked through real TCP + loss + ARQ), the token was actually
-// granted, and shutdown is clean to the goroutine.
+// CS traffic, the deterministic fault injector dropping, duplicating and
+// reordering wireless transmissions the whole time — and, once mid-run, a
+// relay node crash-stopped and replaced by a fresh incarnation. The
+// assertions are the ones that matter for a network runtime: the system
+// never deadlocks (every settle drains), the stream arrives complete and in
+// order (no FIFO violation leaked through real TCP + loss + ARQ + crash
+// resync), the token was actually granted, and shutdown is clean to the
+// goroutine.
 func TestLoopbackSoak(t *testing.T) {
 	dur := *soakFor
 	if dur <= 0 {
@@ -34,7 +37,7 @@ func TestLoopbackSoak(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 
-	cfg := DefaultConfig(3, 6)
+	cfg := fastLiveness(DefaultConfig(3, 6))
 	cfg.Seed = 42
 	cfg.Faults = &core.FaultPlan{
 		Seed: 0x50AC,
@@ -65,7 +68,7 @@ func TestLoopbackSoak(t *testing.T) {
 
 	deadline := time.Now().Add(dur)
 	seq, round := 0, 0
-	started := false
+	started, crashed := false, false
 	for time.Now().Before(deadline) {
 		// The ordered stream: mh0 (pinned to its cell) → mh1 (roaming).
 		lb.Sys.Do(func() {
@@ -103,6 +106,19 @@ func TestLoopbackSoak(t *testing.T) {
 			started = true
 		}
 		round++
+		// Once mid-run: a station dies for real — sockets torn down, hub
+		// declares it dead, traffic toward it parks — and a fresh incarnation
+		// takes over via the generation-fenced resync. The cycle is
+		// synchronous, so no settle lands while the station is down.
+		if !crashed && round == 5 {
+			lb.KillNode(2)
+			waitPeerState(t, lb.Sys, wire.RoleMSS, 2, PeerDead)
+			if err := lb.RestartNode(2); err != nil {
+				t.Fatalf("RestartNode: %v", err)
+			}
+			waitPeerState(t, lb.Sys, wire.RoleMSS, 2, PeerAlive)
+			crashed = true
+		}
 		// Periodic full drains bound the retransmission backlog (20% loss
 		// outpaces ARQ if traffic is injected non-stop) and re-assert the
 		// no-deadlock property throughout the run, not just at the end.
@@ -130,6 +146,11 @@ func TestLoopbackSoak(t *testing.T) {
 	}
 	if snapGrants == 0 {
 		t.Error("the token ring granted no critical sections during the soak")
+	}
+	if crashed {
+		if gen := lb.Nodes[2].Gen(); gen < 2 {
+			t.Errorf("restarted soak node generation = %d, want >= 2", gen)
+		}
 	}
 	st := lb.Sys.Stats()
 	if st.WirelessDrops == 0 || st.Retransmits == 0 {

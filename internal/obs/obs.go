@@ -108,6 +108,18 @@ const (
 	// usable and fell back to coordinator routing. A = sender mh, B = the
 	// mss whose view was stale.
 	EvGroupStaleLookup
+	// EvPeerSuspect: the hub's liveness tracker marked a cluster peer
+	// suspect after K consecutive missed heartbeats. A = peer id, B = role
+	// (wire.RoleMSS/RoleMH as int32), C = consecutive missed beats.
+	EvPeerSuspect
+	// EvPeerDead: a suspect peer crossed the dead deadline; its outbox is
+	// cleared and deliveries to it park until resync. A = peer id, B = role,
+	// C = consecutive missed beats at declaration.
+	EvPeerDead
+	// EvPeerRecovered: a suspect or dead peer answered a heartbeat (or a new
+	// incarnation attached) and was resynced. A = peer id, B = role, C = the
+	// peer's incarnation generation.
+	EvPeerRecovered
 
 	evKindCount // internal: number of kinds, for metrics arrays
 )
@@ -138,6 +150,9 @@ var kindNames = [evKindCount]string{
 	EvGroupInform:      "group-inform",
 	EvGroupViewUpdate:  "group-view-update",
 	EvGroupStaleLookup: "group-stale-lookup",
+	EvPeerSuspect:      "peer-suspect",
+	EvPeerDead:         "peer-dead",
+	EvPeerRecovered:    "peer-recovered",
 }
 
 // String returns the kind's wire name (the "k" field of the JSONL format).

@@ -255,11 +255,12 @@ func appendVarint(dst []byte, v int64) []byte {
 
 // Encode renders the Hello payload blob.
 func (h Hello) Encode() []byte {
-	b := make([]byte, 0, 8)
+	b := make([]byte, 0, 12)
 	b = append(b, byte(h.Role))
 	b = appendVarint(b, int64(h.ID))
 	b = appendVarint(b, int64(h.M))
-	return appendVarint(b, int64(h.N))
+	b = appendVarint(b, int64(h.N))
+	return appendUvarint(b, h.Gen)
 }
 
 // DecodeHello parses a Hello payload blob.
@@ -284,6 +285,9 @@ func DecodeHello(b []byte) (Hello, error) {
 	}
 	n, err := r.varint()
 	if err != nil {
+		return h, err
+	}
+	if h.Gen, err = r.uvarint(); err != nil {
 		return h, err
 	}
 	h.ID, h.M, h.N = int32(id), int32(m), int32(n)

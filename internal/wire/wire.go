@@ -36,7 +36,13 @@ import "fmt"
 // Version is the protocol version carried in every frame header. Peers
 // reject frames from any other version: the cluster is deployed as a unit,
 // so version skew is an operator error to surface, not to paper over.
-const Version = 1
+//
+// Version history:
+//
+//	1  initial protocol (THello..TBye)
+//	2  crash recovery: THeartbeat and TResync frames, Hello carries an
+//	   incarnation generation
+const Version = 2
 
 // MaxFrame bounds the wire size of one frame (header + body). Algorithm
 // payloads never cross the wire (the engine runs at the hub), so frames are
@@ -76,6 +82,16 @@ const (
 	TAttached
 	// TBye asks the receiver to shut down gracefully. No payload.
 	TBye
+	// THeartbeat probes and answers liveness on a connection. Seq is the
+	// sender's beat counter; Hop distinguishes ping (0) from pong (1) —
+	// receivers echo a ping back with Hop = 1 and the same Seq. Ch is -1.
+	// No payload.
+	THeartbeat
+	// TResync acknowledges an incarnation to a reattaching peer: the hub
+	// sends it after a handshake, carrying the peer's accepted generation in
+	// Seq, right before replaying any unconfirmed per-channel outbox suffix.
+	// Ch is -1. No payload.
+	TResync
 
 	typeCount
 )
@@ -97,6 +113,10 @@ func (t Type) String() string {
 		return "attached"
 	case TBye:
 		return "bye"
+	case THeartbeat:
+		return "heartbeat"
+	case TResync:
+		return "resync"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -149,10 +169,17 @@ func (r Role) String() string {
 // Hello is the THello payload: who is dialling and what topology it was
 // configured with. The accepting side rejects mismatched topologies so a
 // stale cluster file fails loudly at connect time.
+//
+// Gen is the dialler's incarnation generation: 0 means "unknown, assign me
+// one" (the hub synthesizes the next generation), a positive value claims a
+// specific incarnation. The hub fences connections whose claimed generation
+// is older than the newest it has admitted for that id, so a superseded
+// process cannot corrupt its successor's state.
 type Hello struct {
 	Role Role
 	ID   int32
 	M, N int32
+	Gen  uint64
 }
 
 // Envelope classifies a TData frame at the model level: the channel kind

@@ -15,6 +15,7 @@ func sampleFrames() []Frame {
 	return []Frame{
 		{Type: THello, Ch: -1, Payload: Hello{Role: RoleMSS, ID: 2, M: 3, N: 5}.Encode()},
 		{Type: THello, Ch: -1, Payload: Hello{Role: RoleMH, ID: 0, M: 1, N: 1}.Encode()},
+		{Type: THello, Ch: -1, Payload: Hello{Role: RoleMSS, ID: 1, M: 3, N: 5, Gen: 7}.Encode()},
 		{Type: TAttach, Ch: 4},
 		{Type: TData, Ch: 17, Seq: 0, Hop: 0, Latency: 3, Payload: Envelope{Kind: 1, A: 2, B: 0}.Encode()},
 		{Type: TData, Ch: 0, Seq: 1 << 40, Hop: 1, Latency: 4_000_000, Payload: Envelope{Kind: 3, A: 0, B: 7}.Encode()},
@@ -23,6 +24,40 @@ func sampleFrames() []Frame {
 		{Type: TRetarget, Ch: -1, Payload: Handoff{MH: 3, MSS: -1, Prev: 2, Gen: 13}.Encode()},
 		{Type: TAttached, Ch: 3, Seq: 13},
 		{Type: TBye, Ch: -1},
+		{Type: THeartbeat, Ch: -1, Seq: 42, Hop: 0},
+		{Type: THeartbeat, Ch: -1, Seq: 42, Hop: 1},
+		{Type: TResync, Ch: -1, Seq: 3},
+	}
+}
+
+// TestVersionCompatibility pins the version-gate behaviour across the v1→v2
+// bump: a v2 peer rejects v1 frames loudly (ErrVersion, on both the slice
+// and the stream decoder), instead of misparsing the extended protocol.
+func TestVersionCompatibility(t *testing.T) {
+	if Version != 2 {
+		t.Fatalf("Version = %d; update this test alongside the protocol", Version)
+	}
+	v2, err := AppendFrame(nil, Frame{Type: THeartbeat, Ch: -1, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), v2...)
+	v1[2] = 1 // a v1-era peer's header
+	if _, _, err := DecodeFrame(v1); !errors.Is(err, ErrVersion) {
+		t.Errorf("DecodeFrame(v1 header): err = %v, want ErrVersion", err)
+	}
+	r := NewReader(bytes.NewReader(v1))
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrVersion) {
+		t.Errorf("ReadFrame(v1 header): err = %v, want ErrVersion", err)
+	}
+	// The v1 Hello blob (no generation field) no longer parses: a skewed
+	// cluster fails at handshake rather than silently defaulting Gen.
+	v1Hello := []byte{byte(RoleMSS)}
+	for _, f := range []int64{2, 3, 5} { // id, m, n — zigzag varints
+		v1Hello = appendVarint(v1Hello, f)
+	}
+	if _, err := DecodeHello(v1Hello); err == nil {
+		t.Error("v1 hello blob accepted; want truncated-field error")
 	}
 }
 
