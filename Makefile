@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos chaos-net soak tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos chaos-net chaos-udp soak tables
 
-ci: vet staticcheck build test race chaos chaos-net bench-smoke scale-smoke fuzz-short bench-check
+ci: vet staticcheck build test race chaos chaos-net chaos-udp bench-smoke scale-smoke fuzz-short bench-check
 
 vet:
 	$(GO) vet ./...
@@ -81,13 +81,18 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzKernelHeapOracle -fuzztime 30s ./internal/sim
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzPayloadDecoders -fuzztime 30s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzPacketHeader -fuzztime 30s ./internal/dgram
+	$(GO) test -run xxx -fuzz FuzzConnectToken -fuzztime 30s ./internal/dgram
 
 # The same fuzz targets with a budget small enough for the ci gate: the
-# wire decoders read bytes straight off sockets, so even a few seconds of
-# coverage-guided input on every change is worth the wall clock.
+# wire decoders and the datagram packet/token parsers read bytes straight
+# off sockets, so even a few seconds of coverage-guided input on every
+# change is worth the wall clock.
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzPayloadDecoders -fuzztime 5s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzPacketHeader -fuzztime 5s ./internal/dgram
+	$(GO) test -run xxx -fuzz FuzzConnectToken -fuzztime 5s ./internal/dgram
 
 # Chaos conformance: the substrate-parity invariants re-run under seeded
 # fault plans (wireless loss, link flaps, MSS crash/restart) on the
@@ -106,12 +111,22 @@ chaos-net:
 	$(GO) test -race -run 'TestCrash' -count 1 -timeout 300s ./internal/conformance/
 	$(GO) test -race -count 1 ./internal/nemesis/
 
+# Datagram-substrate conformance: the UDP transport (authenticated dgram
+# sessions) driven through the seeded datagram nemesis — drops, duplicates,
+# reorders, jitter on every link — plus the dgram package's own protocol
+# suite, race detector on. See DESIGN.md §12.
+chaos-udp:
+	$(GO) test -race -run 'TestUDP' -count 1 -timeout 300s ./internal/conformance/ ./internal/nemesis/
+	$(GO) test -race -count 1 ./internal/dgram/
+
 # Extended loopback soak: churn + CS traffic + fault injection + one relay
-# crash/restart cycle over real TCP sockets for 15s under the race detector
+# crash/restart cycle over real sockets for 15s under the race detector
 # (the same test runs for ~2s in the regular suite; see DESIGN.md §10). Not
-# part of `make ci` so CI stays bounded.
+# part of `make ci` so CI stays bounded. TRANSPORT=udp soaks the datagram
+# sessions instead of TCP streams.
+TRANSPORT ?= tcp
 soak:
-	$(GO) test -race -run 'TestLoopbackSoak' -count 1 ./internal/netrt/ -soak 15s
+	$(GO) test -race -run 'TestLoopbackSoak' -count 1 ./internal/netrt/ -soak 15s -transport $(TRANSPORT)
 
 # Regenerate the experiment tables (parallel driver, deterministic output).
 tables:

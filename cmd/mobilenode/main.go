@@ -1,8 +1,9 @@
-// Command mobilenode runs pieces of a TCP-backed two-tier cluster — the
+// Command mobilenode runs pieces of a socket-backed two-tier cluster — the
 // deployment the paper describes: mobile support stations as real machines
 // on a wired network, mobile hosts reaching their serving station over a
-// wireless link. Here every link is a TCP connection (internal/netrt), and
-// the model engine runs at a hub process.
+// wireless link. Every link is a real socket (internal/netrt): a TCP stream
+// by default, or an authenticated UDP datagram session (internal/dgram)
+// with -transport udp. The model engine runs at a hub process.
 //
 // Roles:
 //
@@ -38,9 +39,20 @@
 //   - MOBILEDIST_HEARTBEAT_MS, MOBILEDIST_DIAL_BACKOFF_MIN_MS and
 //     MOBILEDIST_DIAL_BACKOFF_MAX_MS override the cluster file's liveness
 //     cadence and reconnect pacing per process.
+//   - -transport tcp|udp selects the socket substrate; with -init it is
+//     stamped into the cluster file, otherwise it overrides the file (every
+//     process must agree). -secret overrides the UDP token-minting secret
+//     the same way.
+//   - -mint-token prints a base64 connect-token blob (token plus session
+//     key) bound to every address in the cluster file, valid for -ttl.
+//     Hand it to an MH process via -token to dial over UDP with a
+//     credential minted out of band instead of one self-minted from the
+//     shared secret. /status on every role reports the active transport
+//     and per-session datagram counters (retransmits, replay drops).
 package main
 
 import (
+	"encoding/base64"
 	"flag"
 	"fmt"
 	"io"
@@ -48,12 +60,15 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"mobiledist/internal/core"
+	"mobiledist/internal/dgram"
 	"mobiledist/internal/mutex/ring"
 	"mobiledist/internal/netrt"
+	"mobiledist/internal/wire"
 )
 
 func main() {
@@ -78,6 +93,11 @@ func run(args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 30*time.Second, "cluster ready/drain timeout (hub)")
 		health    = fs.String("health", "", "serve the role's /health and /status endpoints on this address")
 		supervise = fs.Bool("supervise", false, "auto-restart mss/mh incarnations with capped backoff until the hub says goodbye")
+		transport = fs.String("transport", "", "socket substrate: tcp or udp (with -init: stamped into the cluster file; otherwise overrides it)")
+		secret    = fs.String("secret", "", "UDP token-minting secret (with -init: stamped into the cluster file; otherwise overrides it)")
+		mintToken = fs.Bool("mint-token", false, "print a base64 UDP connect-token blob for -id bound to every cluster address, then exit")
+		ttl       = fs.Duration("ttl", time.Hour, "minted token lifetime (-mint-token)")
+		token64   = fs.String("token", "", "base64 connect-token blob for -role mh (see -mint-token)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +111,10 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		cc.Transport, cc.Secret = *transport, *secret
+		if err := cc.Validate(); err != nil {
+			return err
+		}
 		if err := cc.Save(*cluster); err != nil {
 			return err
 		}
@@ -98,9 +122,26 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *mintToken {
+		if *cluster == "" {
+			return fmt.Errorf("-mint-token needs -cluster FILE")
+		}
+		cc, err := netrt.LoadCluster(*cluster)
+		if err != nil {
+			return err
+		}
+		cc = overrideTransport(cc, *transport, *secret)
+		blob, err := mintTokenBlob(cc, *id, *ttl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, blob)
+		return nil
+	}
+
 	switch *role {
 	case "demo":
-		return runDemo(out, *seed, *timeout, *health)
+		return runDemo(out, *seed, *timeout, *health, *transport, *secret)
 	case "hub", "mss", "mh":
 		if *cluster == "" {
 			return fmt.Errorf("-role %s needs -cluster FILE", *role)
@@ -109,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cc = applyEnv(cc)
+		cc = overrideTransport(applyEnv(cc), *transport, *secret)
 		switch *role {
 		case "hub":
 			return runHub(out, cc, *seed, *timeout, *health)
@@ -136,13 +177,20 @@ func run(args []string, out io.Writer) error {
 			return nil
 		default:
 			name := fmt.Sprintf("mh%d", *id)
+			var token []byte
+			if *token64 != "" {
+				token, err = base64.StdEncoding.DecodeString(*token64)
+				if err != nil {
+					return fmt.Errorf("-token is not valid base64: %w", err)
+				}
+			}
 			start := func() (process, error) {
-				return netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc})
+				return netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc, Token: token})
 			}
 			if *supervise {
 				return superviseProcess(out, name, *health, start)
 			}
-			client, err := netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc})
+			client, err := netrt.StartClient(netrt.ClientConfig{ID: *id, Cluster: cc, Token: token})
 			if err != nil {
 				return err
 			}
@@ -159,6 +207,40 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown role %q (want demo, hub, mss, or mh)", *role)
 	}
+}
+
+// overrideTransport applies the -transport/-secret flag overrides to a
+// loaded cluster file. Empty flags keep the file's values.
+func overrideTransport(cc netrt.ClusterConfig, transport, secret string) netrt.ClusterConfig {
+	if transport != "" {
+		cc.Transport = transport
+	}
+	if secret != "" {
+		cc.Secret = secret
+	}
+	return cc
+}
+
+// mintTokenBlob mints a UDP connect token for MH id under the cluster's
+// secret, bound to every dialable address in the file (the hub and all
+// stations, so the credential survives handoffs), and returns the
+// out-of-band blob — base64 of token || session key.
+func mintTokenBlob(cc netrt.ClusterConfig, id int, ttl time.Duration) (string, error) {
+	sec := cc.Secret
+	if sec == "" {
+		sec = netrt.DefaultSecret
+	}
+	addrs := append([]string{cc.Hub}, cc.MSS...)
+	token, key, err := dgram.Mint([]byte(sec), dgram.TokenInfo{
+		Role:   byte(wire.RoleMH),
+		ID:     int64(id),
+		Expiry: time.Now().Add(ttl),
+		Addrs:  addrs,
+	})
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(append(token, key...)), nil
 }
 
 // applyEnv overlays the MOBILEDIST_* environment overrides on a loaded
@@ -318,6 +400,8 @@ func runHub(out io.Writer, cc netrt.ClusterConfig, seed uint64, timeout time.Dur
 	}
 	cfg.DialBackoffMin = time.Duration(cc.DialBackoffMinMS) * time.Millisecond
 	cfg.DialBackoffMax = time.Duration(cc.DialBackoffMaxMS) * time.Millisecond
+	cfg.Transport = cc.Transport
+	cfg.Secret = cc.Secret
 	sys, err := netrt.NewSystem(cfg)
 	if err != nil {
 		return err
@@ -334,10 +418,12 @@ func runHub(out io.Writer, cc netrt.ClusterConfig, seed uint64, timeout time.Dur
 
 // runDemo launches a full loopback cluster — 3 MSS relay nodes and 4 MH
 // clients on 127.0.0.1 sockets — and drives the same workload.
-func runDemo(out io.Writer, seed uint64, timeout time.Duration, health string) error {
+func runDemo(out io.Writer, seed uint64, timeout time.Duration, health, transport, secret string) error {
 	const m, n = 3, 4
 	cfg := netrt.DefaultConfig(m, n)
 	cfg.Seed = seed
+	cfg.Transport = transport
+	cfg.Secret = secret
 	lb, err := netrt.StartLoopback(cfg)
 	if err != nil {
 		return err
@@ -403,7 +489,8 @@ func demoWorkload(out io.Writer, sys *netrt.System, m, n int, timeout time.Durat
 	grants = snapGrants
 	st := sys.Stats()
 	cfgp := sys.Config().Params
-	fmt.Fprintf(out, "\n%d grants over TCP transport; %d searches performed\n", grants, st.Searches)
+	fmt.Fprintf(out, "\n%d grants over %s transport; %d searches performed\n",
+		grants, strings.ToUpper(sys.Transport()), st.Searches)
 	fmt.Fprintf(out, "moves=%d handoffs(leave/join)=%d disconnects=%d reconnects=%d\n",
 		st.Moves, st.Moves, st.Disconnects, st.Reconnects)
 	fmt.Fprint(out, sys.Meter().Report(cfgp))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/base64"
 	"net"
 	"net/http"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"mobiledist/internal/dgram"
 	"mobiledist/internal/netrt"
 )
 
@@ -35,6 +37,62 @@ func TestDemoCompletesTokenRingRun(t *testing.T) {
 	}
 	if !strings.Contains(text, "algorithm") || !strings.Contains(text, "total cost") {
 		t.Errorf("demo output missing the cost table:\n%s", text)
+	}
+}
+
+// TestDemoOverUDPTransport runs the same acceptance scenario with every
+// link an authenticated datagram session instead of a TCP stream.
+func TestDemoOverUDPTransport(t *testing.T) {
+	var out syncBuilder
+	if err := run([]string{"-role", "demo", "-seed", "3", "-transport", "udp"}, &out); err != nil {
+		t.Fatalf("run demo -transport udp: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "4 grants over UDP transport") {
+		t.Errorf("demo output missing UDP grant summary:\n%s", text)
+	}
+	if !strings.Contains(text, "moves=2") {
+		t.Errorf("demo output missing the two leave/join handoffs:\n%s", text)
+	}
+}
+
+// TestMintTokenPrintsValidBlob: -mint-token emits a base64 blob whose token
+// part validates under the cluster secret for every cluster address, and
+// whose trailing KeySize bytes are the matching session key.
+func TestMintTokenPrintsValidBlob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	var out syncBuilder
+	err := run([]string{"-init", "-m", "2", "-n", "3", "-base", "127.0.0.1:9500",
+		"-cluster", path, "-transport", "udp", "-secret", "hunter2"}, &out)
+	if err != nil {
+		t.Fatalf("run -init: %v", err)
+	}
+	out = syncBuilder{}
+	if err := run([]string{"-mint-token", "-cluster", path, "-id", "1", "-ttl", "1h"}, &out); err != nil {
+		t.Fatalf("run -mint-token: %v", err)
+	}
+	blob, err := base64.StdEncoding.DecodeString(strings.TrimSpace(out.String()))
+	if err != nil {
+		t.Fatalf("-mint-token output is not base64: %v\n%s", err, out.String())
+	}
+	if len(blob) <= dgram.KeySize {
+		t.Fatalf("blob too short: %d bytes", len(blob))
+	}
+	token, key := blob[:len(blob)-dgram.KeySize], blob[len(blob)-dgram.KeySize:]
+	for _, addr := range []string{"127.0.0.1:9500", "127.0.0.1:9501", "127.0.0.1:9502"} {
+		info, wantKey, err := dgram.Validate([]byte("hunter2"), token, addr, time.Now())
+		if err != nil {
+			t.Fatalf("minted token refused at %s: %v", addr, err)
+		}
+		if info.ID != 1 {
+			t.Errorf("token ID = %d, want 1", info.ID)
+		}
+		if string(wantKey) != string(key) {
+			t.Error("blob's trailing key does not match the token's derived session key")
+		}
+	}
+	if _, _, err := dgram.Validate([]byte("hunter2"), token, "10.0.0.1:9", time.Now()); err == nil {
+		t.Error("minted token accepted at an unbound address")
 	}
 }
 

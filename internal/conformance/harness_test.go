@@ -1,12 +1,13 @@
 // Package conformance is the cross-substrate test suite of the two-tier
-// model: every property here is asserted against ALL three network drivers —
+// model: every property here is asserted against ALL four network drivers —
 // the deterministic simulator (internal/core on the sim kernel), the live
-// goroutine runtime (internal/rt), and the TCP-backed network runtime
-// (internal/netrt on loopback sockets) — through one driver abstraction.
-// Since all of them bind the same internal/engine, these tests pin the
-// substrate adapters: scheduling, FIFO transport, and execution-context
-// discipline must not change what the protocol does, only when
-// wall-clock-wise it happens.
+// goroutine runtime (internal/rt), and the network runtime (internal/netrt
+// on loopback sockets) over both its substrates: TCP streams and
+// authenticated UDP datagram sessions (internal/dgram) — through one driver
+// abstraction. Since all of them bind the same internal/engine, these tests
+// pin the substrate adapters: scheduling, FIFO transport, and
+// execution-context discipline must not change what the protocol does, only
+// when wall-clock-wise it happens.
 package conformance
 
 import (
@@ -144,12 +145,14 @@ func (d *liveDriver) settle(t *testing.T) {
 	}
 }
 
-// netDriver binds scenarios to the TCP-backed network runtime: a full
+// netDriver binds scenarios to the socket-backed network runtime: a full
 // loopback cluster (hub + M relay nodes + N MH clients) whose traffic
-// crosses real sockets. Same engine, real links.
+// crosses real sockets — TCP streams or authenticated UDP datagram
+// sessions, per the transport field. Same engine, real links.
 type netDriver struct {
-	t  *testing.T
-	lb *netrt.Loopback
+	t         *testing.T
+	lb        *netrt.Loopback
+	transport string
 }
 
 func newNetDriver(t *testing.T, m, n int) *netDriver {
@@ -158,19 +161,32 @@ func newNetDriver(t *testing.T, m, n int) *netDriver {
 }
 
 // newNetFaultDriver builds a loopback-cluster driver running under plan
-// (nil for fault-free).
+// (nil for fault-free) on the TCP substrate.
 func newNetFaultDriver(t *testing.T, m, n int, plan *core.FaultPlan) *netDriver {
+	t.Helper()
+	return newNetTransportDriver(t, m, n, plan, netrt.TransportTCP)
+}
+
+// newNetTransportDriver builds a loopback-cluster driver on the named
+// socket substrate ("tcp" or "udp").
+func newNetTransportDriver(t *testing.T, m, n int, plan *core.FaultPlan, transport string) *netDriver {
 	t.Helper()
 	cfg := netrt.DefaultConfig(m, n)
 	cfg.Faults = plan
+	cfg.Transport = transport
 	lb, err := netrt.StartLoopback(cfg)
 	if err != nil {
-		t.Fatalf("netrt.StartLoopback: %v", err)
+		t.Fatalf("netrt.StartLoopback(%s): %v", transport, err)
 	}
-	return &netDriver{t: t, lb: lb}
+	return &netDriver{t: t, lb: lb, transport: transport}
 }
 
-func (d *netDriver) name() string              { return "net" }
+func (d *netDriver) name() string {
+	if d.transport == netrt.TransportUDP {
+		return "netudp"
+	}
+	return "net"
+}
 func (d *netDriver) registrar() core.Registrar { return d.lb.Sys }
 
 func (d *netDriver) start() {
@@ -223,6 +239,11 @@ func forEachSubstrateFaults(t *testing.T, m, n int, plan *core.FaultPlan, scenar
 	})
 	t.Run("net", func(t *testing.T) {
 		d := newNetFaultDriver(t, m, n, plan)
+		defer d.stop()
+		scenario(t, d)
+	})
+	t.Run("netudp", func(t *testing.T) {
+		d := newNetTransportDriver(t, m, n, plan, netrt.TransportUDP)
 		defer d.stop()
 		scenario(t, d)
 	})

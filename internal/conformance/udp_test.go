@@ -1,0 +1,346 @@
+package conformance
+
+// UDP chaos conformance: the datagram substrate (internal/dgram) driven
+// through a seeded UDP nemesis (internal/nemesis.UDPProxy) that drops,
+// duplicates, reorders and delays whole datagrams on every link the cluster
+// dials. The model invariants — per-pair FIFO, prefix delivery across
+// moves, single CS holder — must hold anyway: loss is absorbed by dgram's
+// selective retransmit, duplicates by its replay window, reordering by its
+// stream reassembly, and the /status counters must show that machinery
+// actually fired (a chaos test whose faults never bit proves nothing).
+//
+// `make chaos-udp` runs exactly these tests (the TestUDP prefix) plus the
+// dgram and nemesis package suites, under the race detector.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/mutex/ring"
+	"mobiledist/internal/nemesis"
+	"mobiledist/internal/netrt"
+)
+
+// udpNet is a loopback cluster on the UDP transport with a nemesis datagram
+// proxy fleet interposed on every dialled address via the WrapAddr seam.
+type udpNet struct {
+	t  *testing.T
+	lb *netrt.Loopback
+
+	mu      sync.Mutex
+	proxies []*nemesis.UDPProxy
+}
+
+// startUDPNet launches an m×n loopback cluster over authenticated datagram
+// sessions, fronting every dialled endpoint with a UDP nemesis running
+// plan. Liveness clocks are loosened a little: datagram weather plus
+// retransmit delays must not trip spurious dead verdicts.
+func startUDPNet(t *testing.T, m, n int, plan nemesis.UDPPlan) *udpNet {
+	t.Helper()
+	un := &udpNet{t: t}
+	cfg := netrt.DefaultConfig(m, n)
+	cfg.Transport = netrt.TransportUDP
+	cfg.HeartbeatEvery = 10 * time.Millisecond
+	cfg.SuspectAfter = 3
+	cfg.DeadAfter = 500 * time.Millisecond
+	cfg.WrapAddr = func(name, addr string) string {
+		px, err := nemesis.NewUDP(addr, plan)
+		if err != nil {
+			t.Fatalf("nemesis.NewUDP(%s): %v", name, err)
+		}
+		un.mu.Lock()
+		un.proxies = append(un.proxies, px)
+		un.mu.Unlock()
+		return px.Addr()
+	}
+	lb, err := netrt.StartLoopback(cfg)
+	if err != nil {
+		un.stopProxies()
+		t.Fatalf("netrt.StartLoopback(udp): %v", err)
+	}
+	un.lb = lb
+	return un
+}
+
+func (un *udpNet) stopProxies() {
+	un.mu.Lock()
+	defer un.mu.Unlock()
+	for _, px := range un.proxies {
+		px.Stop()
+	}
+}
+
+func (un *udpNet) stop() {
+	un.lb.Stop()
+	un.stopProxies()
+}
+
+// disturbances totals datagram-level disturbances by kind across the fleet.
+func (un *udpNet) disturbances() map[string]int {
+	un.mu.Lock()
+	defer un.mu.Unlock()
+	total := make(map[string]int)
+	for _, px := range un.proxies {
+		for _, d := range px.Disturbances() {
+			total[d.Kind]++
+		}
+	}
+	return total
+}
+
+func (un *udpNet) ready() {
+	un.t.Helper()
+	if !un.lb.Sys.WaitReady(idleTimeout) {
+		un.t.Fatal("udp net: cluster did not become ready")
+	}
+}
+
+func (un *udpNet) settle() {
+	un.t.Helper()
+	if !un.lb.Sys.WaitIdle(idleTimeout) {
+		un.t.Fatal("udp net: network did not drain")
+	}
+}
+
+// statusDoc is the slice of the /status JSON these tests read back.
+type statusDoc struct {
+	Transport string `json:"transport"`
+	Dgram     []struct {
+		Retransmits uint64 `json:"retransmits"`
+		ReplayDrops uint64 `json:"replay_drops"`
+	} `json:"dgram_sessions"`
+}
+
+// fetchStatus GETs and decodes /status from a health handler.
+func fetchStatus(t *testing.T, h http.Handler) statusDoc {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	var doc statusDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decode /status: %v\n%s", err, rec.Body.String())
+	}
+	return doc
+}
+
+// sessionCounters scrapes /status from the hub and every node, summing the
+// per-session datagram counters the acceptance criteria name.
+func (un *udpNet) sessionCounters(t *testing.T) (retransmits, replayDrops uint64, transport string) {
+	t.Helper()
+	handlers := []http.Handler{un.lb.Sys.HealthHandler()}
+	for _, node := range un.lb.Nodes {
+		handlers = append(handlers, node.HealthHandler())
+	}
+	for i, h := range handlers {
+		doc := fetchStatus(t, h)
+		if i == 0 {
+			transport = doc.Transport
+		}
+		for _, s := range doc.Dgram {
+			retransmits += s.Retransmits
+			replayDrops += s.ReplayDrops
+		}
+	}
+	return retransmits, replayDrops, transport
+}
+
+// udpWeather is the standard datagram disturbance mix: enough loss to force
+// retransmits, enough duplication to exercise the replay window, reordering
+// and jitter on top. Kept mild enough that heartbeats survive.
+func udpWeather(seed uint64) nemesis.UDPPlan {
+	return nemesis.UDPPlan{
+		Seed:           seed,
+		Drop:           0.05,
+		Duplicate:      0.08,
+		Reorder:        0.05,
+		ReorderDelayUS: 2000,
+		DelayMinUS:     50,
+		DelayMaxUS:     500,
+	}
+}
+
+// TestUDPChaosFIFOAcrossMoves: an ordered MH→MH stream across two handoffs
+// with datagram weather on every link. Exactly-once, in-order — dgram's
+// retransmit and replay machinery must be invisible at the model layer, and
+// the /status counters must prove it actually worked for a living.
+func TestUDPChaosFIFOAcrossMoves(t *testing.T) {
+	const batch = 10
+	un := startUDPNet(t, 3, 6, udpWeather(0xD06F00D))
+	defer un.stop()
+
+	var received []int
+	p := &probe{onMH: func(_ core.Context, at core.MHID, msg core.Message) {
+		if at == 1 {
+			received = append(received, msg.(int))
+		}
+	}}
+	ctx := un.lb.Sys.Register(p)
+	un.lb.Sys.Start()
+	un.ready()
+
+	send := func(from, to int) {
+		un.lb.Sys.Do(func() {
+			for i := from; i < to; i++ {
+				if err := ctx.SendMHToMH(0, 1, i, cost.CatAlgorithm); err != nil {
+					t.Errorf("SendMHToMH: %v", err)
+				}
+			}
+		})
+	}
+	send(0, batch)
+	un.lb.Sys.Move(1, 2)
+	send(batch, 2*batch)
+	un.lb.Sys.Move(1, 0)
+	send(2*batch, 3*batch)
+	un.settle()
+
+	var snap []int
+	un.lb.Sys.Do(func() { snap = append(snap, received...) })
+	if len(snap) != 3*batch {
+		t.Fatalf("received %d of %d messages under datagram weather", len(snap), 3*batch)
+	}
+	for i, v := range snap {
+		if v != i {
+			t.Fatalf("received[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+
+	kinds := un.disturbances()
+	if kinds["drop"] == 0 || kinds["duplicate"] == 0 {
+		t.Errorf("nemesis fired %v — want both drops and duplicates to have bitten", kinds)
+	}
+	retransmits, replayDrops, transport := un.sessionCounters(t)
+	if transport != netrt.TransportUDP {
+		t.Errorf("/status transport = %q, want %q", transport, netrt.TransportUDP)
+	}
+	if retransmits == 0 {
+		t.Error("no session counted a retransmit despite dropped datagrams")
+	}
+	if replayDrops == 0 {
+		t.Error("no session counted a replay drop despite duplicated datagrams")
+	}
+}
+
+// TestUDPChaosTokenRing: the R2 token mutex with churn (moves, disconnect,
+// reconnect) under datagram weather — every request granted exactly once,
+// mutual exclusion intact, the network drains.
+func TestUDPChaosTokenRing(t *testing.T) {
+	const k = 4
+	un := startUDPNet(t, 3, 6, udpWeather(0xBEEFCAFE))
+	defer un.stop()
+
+	entries := make(map[core.MHID]int)
+	holders, maxHolders := 0, 0
+	r2, err := ring.NewR2(un.lb.Sys, ring.VariantCounter, ring.Options{
+		Hold: 2,
+		OnEnter: func(mh core.MHID) {
+			holders++
+			if holders > maxHolders {
+				maxHolders = holders
+			}
+			entries[mh]++
+		},
+		OnExit: func(mh core.MHID) { holders-- },
+	}, 2, nil)
+	if err != nil {
+		t.Fatalf("NewR2: %v", err)
+	}
+	un.lb.Sys.Start()
+	un.ready()
+
+	un.lb.Sys.Do(func() {
+		for i := 0; i < k; i++ {
+			if err := r2.Request(core.MHID(i)); err != nil {
+				t.Errorf("Request: %v", err)
+			}
+		}
+	})
+	un.settle()
+	un.lb.Sys.Move(1, 2)
+	un.lb.Sys.Do(func() {
+		if err := r2.Start(); err != nil {
+			t.Errorf("Start: %v", err)
+		}
+	})
+	un.lb.Sys.Move(4, 0)
+	un.lb.Sys.Disconnect(5)
+	un.settle()
+	un.lb.Sys.Reconnect(5, 1)
+	un.settle()
+
+	var snap map[core.MHID]int
+	var snapMax int
+	un.lb.Sys.Do(func() {
+		snap = make(map[core.MHID]int, len(entries))
+		for mh, c := range entries {
+			snap[mh] = c
+		}
+		snapMax = maxHolders
+	})
+	for i := 0; i < k; i++ {
+		if snap[core.MHID(i)] != 1 {
+			t.Errorf("mh%d entered the CS %d times, want 1", i, snap[core.MHID(i)])
+		}
+	}
+	if snapMax > 1 {
+		t.Errorf("max simultaneous CS holders = %d, want <= 1", snapMax)
+	}
+	if len(un.disturbances()) == 0 {
+		t.Error("nemesis injected no datagram disturbances during the run")
+	}
+}
+
+// TestUDPChaosNodeRestart: a relay crash-restart under datagram weather —
+// the dgram sessions of the dead incarnation die with it, fresh sessions
+// establish through the same proxies, and the generation-fenced resync
+// replays the hole exactly once.
+func TestUDPChaosNodeRestart(t *testing.T) {
+	const batch = 8
+	un := startUDPNet(t, 3, 6, udpWeather(0x0DDBA11))
+	defer un.stop()
+
+	var received []int
+	p := &probe{onMH: func(_ core.Context, at core.MHID, msg core.Message) {
+		if at == 1 {
+			received = append(received, msg.(int))
+		}
+	}}
+	ctx := un.lb.Sys.Register(p)
+	un.lb.Sys.Start()
+	un.ready()
+
+	send := func(from, to int) {
+		un.lb.Sys.Do(func() {
+			for i := from; i < to; i++ {
+				if err := ctx.SendMHToMH(0, 1, i, cost.CatAlgorithm); err != nil {
+					t.Errorf("SendMHToMH: %v", err)
+				}
+			}
+		})
+	}
+	send(0, batch)
+	un.settle()
+	if err := un.lb.RestartNode(1); err != nil {
+		t.Fatalf("RestartNode over udp+nemesis: %v", err)
+	}
+	un.ready()
+	send(batch, 2*batch)
+	un.settle()
+
+	var snap []int
+	un.lb.Sys.Do(func() { snap = append(snap, received...) })
+	if len(snap) != 2*batch {
+		t.Fatalf("received %d of %d messages across the restart", len(snap), 2*batch)
+	}
+	for i, v := range snap {
+		if v != i {
+			t.Fatalf("received[%d] = %d, want %d", i, v, i)
+		}
+	}
+}

@@ -1,0 +1,596 @@
+package dgram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"mobiledist/internal/obs"
+)
+
+// maxWindowBytes bounds unacked stream bytes in flight per direction;
+// Write blocks (backpressure) when the window is full, exactly like a TCP
+// send buffer.
+const maxWindowBytes = 256 << 10
+
+const (
+	sideDial   = 0
+	sideAccept = 1
+)
+
+// packetSink is where a session's sealed datagrams go: the connected
+// socket on the dialing side, WriteToUDP through the shared listener
+// socket on the accepting side.
+type packetSink func(pkt []byte) error
+
+// segment is one in-flight run of stream bytes awaiting acknowledgement.
+type segment struct {
+	off     uint64
+	data    []byte
+	sentAt  time.Time
+	retries int
+	sacked  bool // selectively acked: held for window accounting, never re-sent
+}
+
+// oooSeg is received stream data parked ahead of the contiguous prefix.
+type oooSeg struct {
+	off  uint64
+	data []byte
+}
+
+// Conn is one datagram session: a reliable, ordered, authenticated byte
+// stream implementing net.Conn, so wire.Reader/Writer run over it
+// unchanged. Write deadlines are not supported (writes only block on the
+// in-flight window); read deadlines are.
+type Conn struct {
+	cfg    Config
+	key    []byte
+	send   packetSink
+	local  net.Addr
+	remote net.Addr
+
+	// onClose detaches the session from its listener; nil on the dialing
+	// side. Called without mu held.
+	onClose func()
+	// sock is the owned socket on the dialing side; nil on the accepting
+	// side (the listener owns the shared socket).
+	sock *net.UDPConn
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sid         uint64
+	side        int32
+	established bool
+	dialNonce   uint64 // distinguishes connect retransmits from fresh re-dials
+	acceptBody  []byte // accept side: resent verbatim on connect retransmits
+	accepted    chan struct{}
+
+	err       error // terminal; Read/Write fail once set
+	remoteEOF bool  // peer closed: drain readBuf, then io.EOF
+	closed    bool
+
+	nextSeq  uint64 // next packet sequence to stamp on a send
+	replay   replayWindow
+	lastRecv time.Time
+
+	// send side: segments ordered by offset, all with off+len > cumAcked.
+	nextOff  uint64
+	cumAcked uint64
+	segs     []*segment
+
+	// receive side.
+	recvBase uint64
+	ooo      []oooSeg
+	readBuf  []byte
+
+	readDeadline time.Time
+
+	stats Stats
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newConn(cfg Config, key []byte, side int32, send packetSink, local, remote net.Addr) *Conn {
+	c := &Conn{
+		cfg:      cfg,
+		key:      key,
+		side:     side,
+		send:     send,
+		local:    local,
+		remote:   remote,
+		accepted: make(chan struct{}),
+		lastRecv: time.Now(),
+		done:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *Conn) start() { go c.retransmitLoop() }
+
+func (c *Conn) trace(kind obs.EventKind, b, cc int32) {
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(c.cfg.TraceNow(), kind, int32(c.sid&0x7fffffff), b, cc)
+	}
+}
+
+// sendPacketLocked seals and ships one datagram under the next packet
+// sequence. Send errors are deliberately dropped: UDP gives no delivery
+// signal anyway, and loss recovery is the retransmit loop's job.
+func (c *Conn) sendPacketLocked(ptype byte, body []byte) {
+	pkt := sealPacket(c.key, header{Type: ptype, Session: c.sid, Seq: c.nextSeq}, body)
+	c.nextSeq++
+	c.stats.PacketsSent++
+	c.trace(obs.EvPacketSent, int32(ptype), int32(len(pkt)))
+	_ = c.send(pkt)
+}
+
+func (c *Conn) maxSegment() int { return c.cfg.MTU - headerSize - tagSize - dataOverhead }
+
+func (c *Conn) sendSegmentLocked(s *segment) {
+	body := make([]byte, dataOverhead+len(s.data))
+	binary.BigEndian.PutUint64(body, s.off)
+	copy(body[dataOverhead:], s.data)
+	c.sendPacketLocked(ptData, body)
+}
+
+// Write packetizes p into MTU-sized segments (fragmenting frames larger
+// than one datagram) and transmits them, blocking while the in-flight
+// window is full.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		for c.err == nil && c.nextOff-c.cumAcked >= maxWindowBytes {
+			c.cond.Wait()
+		}
+		if c.err != nil {
+			return total, c.err
+		}
+		room := int(maxWindowBytes - (c.nextOff - c.cumAcked))
+		chunk := p
+		if len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		for len(chunk) > 0 {
+			m := len(chunk)
+			if ms := c.maxSegment(); m > ms {
+				m = ms
+			}
+			s := &segment{
+				off:    c.nextOff,
+				data:   append([]byte(nil), chunk[:m]...),
+				sentAt: time.Now(),
+			}
+			c.segs = append(c.segs, s)
+			c.nextOff += uint64(m)
+			c.sendSegmentLocked(s)
+			chunk = chunk[m:]
+			p = p[m:]
+			total += m
+		}
+	}
+	return total, nil
+}
+
+// Read returns in-order stream bytes, blocking until some arrive, the
+// peer closes, the session dies, or the read deadline passes.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.readBuf) > 0 {
+			n := copy(p, c.readBuf)
+			c.readBuf = c.readBuf[n:]
+			return n, nil
+		}
+		if c.remoteEOF {
+			return 0, io.EOF
+		}
+		if c.err != nil {
+			return 0, c.err
+		}
+		if !c.readDeadline.IsZero() && !time.Now().Before(c.readDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		c.cond.Wait()
+	}
+}
+
+// handlePacket authenticates, replay-checks and dispatches one inbound
+// datagram. pkt is only valid for the duration of the call.
+func (c *Conn) handlePacket(pkt []byte) {
+	h, body, err := openPacket(c.key, pkt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.stats.BadPackets++
+		return
+	}
+	if c.established && h.Session != c.sid {
+		c.stats.BadPackets++
+		return
+	}
+	if !c.established && h.Type != ptAccept && c.side == sideDial {
+		// Nothing but the accept is meaningful before the handshake
+		// lands; data racing ahead of a lost accept is recovered by the
+		// sender's retransmits once we are established.
+		c.stats.BadPackets++
+		return
+	}
+	if !c.replay.admit(h.Seq) {
+		c.stats.ReplayDrops++
+		c.trace(obs.EvPacketReplayDropped, int32(h.Seq&0x7fffffff), 0)
+		return
+	}
+	c.lastRecv = time.Now()
+	c.stats.PacketsReceived++
+	c.trace(obs.EvPacketRecv, int32(h.Type), int32(len(pkt)))
+	switch h.Type {
+	case ptAccept:
+		c.handleAcceptLocked(body)
+	case ptData:
+		c.handleDataLocked(body)
+	case ptAck:
+		c.handleAckLocked(body)
+	case ptClose:
+		c.remoteEOF = true
+		c.cond.Broadcast()
+	}
+}
+
+func (c *Conn) handleAcceptLocked(body []byte) {
+	if c.side != sideDial || c.established || len(body) < 16 {
+		return // duplicate or stray accept
+	}
+	if binary.BigEndian.Uint64(body[8:16]) != c.dialNonce {
+		c.stats.BadPackets++
+		return // accept for some other dial attempt
+	}
+	c.sid = binary.BigEndian.Uint64(body[:8])
+	c.established = true
+	close(c.accepted)
+}
+
+func (c *Conn) handleDataLocked(body []byte) {
+	if len(body) < dataOverhead {
+		c.stats.BadPackets++
+		return
+	}
+	off := binary.BigEndian.Uint64(body[:dataOverhead])
+	data := body[dataOverhead:]
+	if len(data) > 0 {
+		c.insertDataLocked(off, data)
+	}
+	c.sendAckLocked()
+}
+
+// insertDataLocked folds one segment into the receive state: extend the
+// contiguous prefix, or park it out of order. data must be copied (it
+// aliases the socket buffer).
+func (c *Conn) insertDataLocked(off uint64, data []byte) {
+	end := off + uint64(len(data))
+	if end <= c.recvBase {
+		return // stale retransmit: ack (caller does) and move on
+	}
+	if off < c.recvBase {
+		data = data[c.recvBase-off:]
+		off = c.recvBase
+	}
+	if off > c.recvBase {
+		for _, s := range c.ooo {
+			if s.off == off && uint64(len(s.data)) >= uint64(len(data)) {
+				return // duplicate of a parked segment
+			}
+		}
+		c.ooo = append(c.ooo, oooSeg{off: off, data: append([]byte(nil), data...)})
+		return
+	}
+	c.readBuf = append(c.readBuf, data...)
+	c.recvBase = end
+	c.drainOOOLocked()
+	c.cond.Broadcast()
+}
+
+func (c *Conn) drainOOOLocked() {
+	for progressed := true; progressed; {
+		progressed = false
+		kept := c.ooo[:0]
+		for _, s := range c.ooo {
+			send := s.off + uint64(len(s.data))
+			switch {
+			case send <= c.recvBase:
+				// wholly behind: drop
+			case s.off <= c.recvBase:
+				c.readBuf = append(c.readBuf, s.data[c.recvBase-s.off:]...)
+				c.recvBase = send
+				progressed = true
+			default:
+				kept = append(kept, s)
+			}
+		}
+		c.ooo = kept
+	}
+}
+
+// sendAckLocked ships a cumulative ack plus up to maxAckRanges selective
+// ranges covering the parked out-of-order data.
+func (c *Conn) sendAckLocked() {
+	ranges := make([][2]uint64, 0, maxAckRanges)
+	for _, s := range c.ooo {
+		start, end := s.off, s.off+uint64(len(s.data))
+		merged := false
+		for i := range ranges {
+			if start <= ranges[i][1] && end >= ranges[i][0] {
+				if start < ranges[i][0] {
+					ranges[i][0] = start
+				}
+				if end > ranges[i][1] {
+					ranges[i][1] = end
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged && len(ranges) < maxAckRanges {
+			ranges = append(ranges, [2]uint64{start, end})
+		}
+	}
+	body := make([]byte, 9+16*len(ranges))
+	binary.BigEndian.PutUint64(body, c.recvBase)
+	body[8] = byte(len(ranges))
+	for i, r := range ranges {
+		binary.BigEndian.PutUint64(body[9+16*i:], r[0])
+		binary.BigEndian.PutUint64(body[9+16*i+8:], r[1])
+	}
+	c.sendPacketLocked(ptAck, body)
+}
+
+func (c *Conn) handleAckLocked(body []byte) {
+	if len(body) < 9 {
+		c.stats.BadPackets++
+		return
+	}
+	cum := binary.BigEndian.Uint64(body[:8])
+	n := int(body[8])
+	if len(body) < 9+16*n {
+		c.stats.BadPackets++
+		return
+	}
+	ranges := make([][2]uint64, n)
+	for i := 0; i < n; i++ {
+		ranges[i][0] = binary.BigEndian.Uint64(body[9+16*i:])
+		ranges[i][1] = binary.BigEndian.Uint64(body[9+16*i+8:])
+	}
+	if cum > c.nextOff {
+		c.stats.BadPackets++
+		return
+	}
+	if cum > c.cumAcked {
+		c.cumAcked = cum
+	}
+	now := time.Now()
+	kept := c.segs[:0]
+	for _, s := range c.segs {
+		end := s.off + uint64(len(s.data))
+		resolved := end <= cum
+		wasSacked := s.sacked
+		if !resolved && !s.sacked {
+			for _, r := range ranges {
+				if s.off >= r[0] && end <= r[1] {
+					s.sacked = true
+					break
+				}
+			}
+		}
+		if resolved || s.sacked {
+			if s.retries == 0 && !wasSacked {
+				// Karn's rule: only never-retransmitted segments yield a
+				// clean RTT sample — and each at most once (a sacked
+				// segment stays listed until the cumulative ack passes).
+				c.trace(obs.EvPacketRTT, int32(now.Sub(s.sentAt)/time.Microsecond), 0)
+			}
+			if !resolved {
+				kept = append(kept, s) // sacked: hold for window accounting
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	c.segs = kept
+	c.cond.Broadcast()
+}
+
+// handleConnectRetry answers a retransmitted connect for this session by
+// re-sending the accept; it reports false when the packet is not a
+// retransmission of this session's handshake (e.g. a fresh re-dial from
+// the same source address under a new token).
+func (c *Conn) handleConnectRetry(pkt []byte) bool {
+	h, body, err := openPacket(c.key, pkt)
+	if err != nil || h.Type != ptConnect || len(body) < 8 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if binary.BigEndian.Uint64(body[:8]) != c.dialNonce {
+		return false
+	}
+	if c.replay.admit(h.Seq) {
+		c.stats.PacketsReceived++
+		c.lastRecv = time.Now()
+	}
+	c.sendPacketLocked(ptAccept, c.acceptBody)
+	return true
+}
+
+func (c *Conn) rto(retries int) time.Duration {
+	d := c.cfg.RTO << uint(retries)
+	if max := c.cfg.RTO * backoffCap; d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// retransmitLoop re-sends timed-out segments with doubling backoff capped
+// at 8x, gives up after MaxRetries, and reaps idle sessions.
+func (c *Conn) retransmitLoop() {
+	tick := c.cfg.RTO / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.err != nil {
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		var failed error
+		if c.cfg.IdleTimeout > 0 && now.Sub(c.lastRecv) > c.cfg.IdleTimeout {
+			failed = fmt.Errorf("%w: idle for %v", ErrSessionDead, c.cfg.IdleTimeout)
+		}
+		for _, s := range c.segs {
+			if failed != nil {
+				break
+			}
+			if s.sacked || now.Sub(s.sentAt) < c.rto(s.retries) {
+				continue
+			}
+			if s.retries >= c.cfg.MaxRetries {
+				failed = fmt.Errorf("%w: segment at %d unacked after %d retransmits",
+					ErrSessionDead, s.off, s.retries)
+				break
+			}
+			s.retries++
+			s.sentAt = now
+			c.stats.Retransmits++
+			c.trace(obs.EvPacketRetransmit, int32(s.retries), int32(len(s.data)))
+			c.sendSegmentLocked(s)
+		}
+		if failed != nil {
+			c.failLocked(failed)
+			c.mu.Unlock()
+			c.teardown()
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// failLocked marks the session terminally broken and wakes every waiter.
+func (c *Conn) failLocked(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+}
+
+// teardown releases resources exactly once. Never called with mu held
+// (onClose takes the listener lock).
+func (c *Conn) teardown() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		if c.onClose != nil {
+			c.onClose()
+		}
+		if c.sock != nil {
+			c.sock.Close()
+		}
+	})
+}
+
+// Close sends a best-effort close notification and tears the session
+// down; pending Read/Write calls fail.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		// Twice: best effort against loss; the peer's replay window
+		// absorbs the duplicate.
+		c.sendPacketLocked(ptClose, nil)
+		c.sendPacketLocked(ptClose, nil)
+		c.failLocked(ErrClosed)
+	}
+	c.mu.Unlock()
+	c.teardown()
+	return nil
+}
+
+// Stats returns a copy of the session's datagram counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.SessionID = c.sid
+	return s
+}
+
+// SessionID returns the session identifier assigned at accept time.
+func (c *Conn) SessionID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sid
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes block solely on
+// the in-flight window).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		time.AfterFunc(d, c.cond.Broadcast)
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn; write deadlines are not
+// supported and are silently ignored.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// readLoop pumps the dialing side's owned socket into handlePacket.
+func (c *Conn) readLoop() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, err := c.sock.Read(buf)
+		if err != nil {
+			select {
+			case <-c.done:
+			default:
+				c.mu.Lock()
+				c.failLocked(fmt.Errorf("dgram: socket read: %w", err))
+				c.mu.Unlock()
+				c.teardown()
+			}
+			return
+		}
+		c.handlePacket(buf[:n])
+	}
+}

@@ -1,0 +1,251 @@
+package dgram
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiledist/internal/obs"
+)
+
+// Listener accepts datagram sessions on one shared UDP socket,
+// demultiplexing inbound packets to sessions by source address. It
+// implements net.Listener.
+type Listener struct {
+	cfg    Config
+	secret []byte
+	pc     *net.UDPConn
+
+	// advertise is the address connect tokens must be bound to (the
+	// address dialers were told to dial, e.g. a nemesis proxy in front of
+	// this socket). Empty means the socket's own address.
+	advertise atomic.Value // string
+
+	mu       sync.Mutex
+	sessions map[string]*Conn
+	closed   bool
+
+	tokensRejected uint64 // under mu
+	badPackets     uint64 // under mu
+
+	acceptCh  chan *Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Listen binds a datagram listener on addr that admits sessions whose
+// connect tokens validate under secret.
+func Listen(addr string, secret []byte, cfg Config) (*Listener, error) {
+	cfg = cfg.withDefaults()
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{
+		cfg:      cfg,
+		secret:   append([]byte(nil), secret...),
+		pc:       pc,
+		sessions: make(map[string]*Conn),
+		acceptCh: make(chan *Conn, cfg.AcceptBacklog),
+		done:     make(chan struct{}),
+	}
+	l.advertise.Store("")
+	go l.readLoop()
+	return l, nil
+}
+
+// SetAdvertise records the public address dialers use to reach this
+// listener; connect tokens bound to it are accepted in addition to the
+// socket's own address. Needed when a proxy (or NAT) fronts the socket.
+func (l *Listener) SetAdvertise(addr string) { l.advertise.Store(addr) }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.pc.LocalAddr() }
+
+// Accept implements net.Listener, yielding established sessions.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener: sessions are closed (best-effort close
+// notifications go out first), then the socket.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.mu.Lock()
+		l.closed = true
+		conns := make([]*Conn, 0, len(l.sessions))
+		for _, c := range l.sessions {
+			conns = append(conns, c)
+		}
+		l.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		l.pc.Close()
+	})
+	return nil
+}
+
+// Stats reports listener-level rejection counters: datagrams dropped
+// before any session saw them, and refused connect tokens.
+func (l *Listener) Stats() (badPackets, tokensRejected uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.badPackets, l.tokensRejected
+}
+
+// Sessions snapshots the live sessions' datagram counters.
+func (l *Listener) Sessions() []Stats {
+	l.mu.Lock()
+	conns := make([]*Conn, 0, len(l.sessions))
+	for _, c := range l.sessions {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	out := make([]Stats, 0, len(conns))
+	for _, c := range conns {
+		out = append(out, c.Stats())
+	}
+	return out
+}
+
+func (l *Listener) noteBadPacket() {
+	l.mu.Lock()
+	l.badPackets++
+	l.mu.Unlock()
+}
+
+func (l *Listener) readLoop() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, raddr, err := l.pc.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-l.done:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		pkt := buf[:n]
+		key := raddr.String()
+		l.mu.Lock()
+		c := l.sessions[key]
+		l.mu.Unlock()
+		if c != nil {
+			if h, _, herr := decodeHeader(pkt, true); herr == nil && h.Type == ptConnect {
+				if c.handleConnectRetry(pkt) {
+					continue
+				}
+				// Not this session's handshake: treat as a fresh re-dial
+				// from the same source address.
+				l.handleConnect(pkt, raddr, c)
+				continue
+			}
+			c.handlePacket(pkt)
+			continue
+		}
+		l.handleConnect(pkt, raddr, nil)
+	}
+}
+
+// handleConnect validates a connect packet from an unknown (or
+// re-dialing) source and, when it passes, establishes a session, sends
+// the accept and queues the session for Accept.
+func (l *Listener) handleConnect(pkt []byte, raddr *net.UDPAddr, replace *Conn) {
+	h, body, err := decodeHeader(pkt, true)
+	if err != nil || h.Type != ptConnect || len(body) < 8 {
+		l.noteBadPacket()
+		return
+	}
+	dialNonce := binary.BigEndian.Uint64(body[:8])
+	token := body[8:]
+	adv, _ := l.advertise.Load().(string)
+	own := l.pc.LocalAddr().String()
+	_, key, err := Validate(l.secret, token, own, time.Now())
+	if err != nil && adv != "" && adv != own {
+		_, key, err = Validate(l.secret, token, adv, time.Now())
+	}
+	if err != nil {
+		l.mu.Lock()
+		l.tokensRejected++
+		l.mu.Unlock()
+		return
+	}
+	// The packet MAC under the derived key proves the dialer holds the
+	// key, not just a captured token.
+	if _, _, err := openPacket(key, pkt); err != nil {
+		l.noteBadPacket()
+		return
+	}
+
+	var sidBytes [8]byte
+	if _, err := rand.Read(sidBytes[:]); err != nil {
+		return
+	}
+	sid := binary.BigEndian.Uint64(sidBytes[:])
+	peer := *raddr
+	c := newConn(l.cfg, key, sideAccept, func(p []byte) error {
+		_, err := l.pc.WriteToUDP(p, &peer)
+		return err
+	}, l.pc.LocalAddr(), &peer)
+	c.sid = sid
+	c.established = true
+	c.dialNonce = dialNonce
+	c.acceptBody = make([]byte, 16)
+	binary.BigEndian.PutUint64(c.acceptBody, sid)
+	binary.BigEndian.PutUint64(c.acceptBody[8:], dialNonce)
+	addrKey := peer.String()
+	c.onClose = func() {
+		l.mu.Lock()
+		if l.sessions[addrKey] == c {
+			delete(l.sessions, addrKey)
+		}
+		l.mu.Unlock()
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	select {
+	case l.acceptCh <- c:
+	default:
+		l.mu.Unlock()
+		return // backlog full: drop; the dialer retries
+	}
+	l.sessions[addrKey] = c
+	l.mu.Unlock()
+
+	if replace != nil && replace != c {
+		replace.mu.Lock()
+		replace.failLocked(ErrSessionDead)
+		replace.mu.Unlock()
+		replace.teardown()
+	}
+
+	c.mu.Lock()
+	c.replay.admit(h.Seq)
+	c.stats.PacketsReceived++
+	c.sendPacketLocked(ptAccept, c.acceptBody)
+	c.mu.Unlock()
+	c.start()
+	c.trace(obs.EvSessionEstablished, sideAccept, 0)
+}

@@ -1,0 +1,204 @@
+package dgram
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Connect tokens authenticate session establishment without a per-client
+// key exchange: any holder of the cluster secret can mint one, and every
+// server holding the same secret can validate it.
+//
+//	token   = payload || HMAC-SHA256(secret, payload)  (full 32-byte tag)
+//	payload = version (1) | role (1) | id varint | gen uvarint |
+//	          expiry unix-µs uvarint | nonce (16) |
+//	          addr count uvarint | count × (len uvarint | addr bytes)
+//
+// The session key is NOT stored in the token — it is derived as
+// HMAC-SHA256(secret, "key" || payload), so a token observed on the wire
+// (it travels in every ptConnect) does not leak the key. Mint returns the
+// derived key to the minter; the dialer proves possession by sealing its
+// connect packet with it.
+//
+// Addrs binds the token to the server addresses it may be used against
+// (udpx connect-token shape): a listener refuses tokens not minted for its
+// own advertised address, so a token leaked from one cell cannot open
+// sessions elsewhere.
+const (
+	tokenVersion   = 1
+	tokenNonceSize = 16
+	tokenMACSize   = sha256.Size
+	maxTokenSize   = 1024
+	maxTokenAddrs  = 64
+
+	// KeySize is the length of a derived session key. Out-of-band
+	// credential blobs are token || key, with the key as the final
+	// KeySize bytes.
+	KeySize = sha256.Size
+)
+
+var keyDerivationPrefix = []byte("mobiledist-dgram-key\x00")
+
+// TokenInfo is the authenticated content of a connect token.
+type TokenInfo struct {
+	Role   byte      // wire role the dialer claims (informational; the hello frame re-states it)
+	ID     int64     // dialer identity under that role
+	Gen    uint64    // token generation; re-dials with the same token share it
+	Expiry time.Time // refuse validation at or after this instant
+	Addrs  []string  // server addresses the token may be presented to
+}
+
+var (
+	// ErrTokenFormat covers truncated or malformed token bytes.
+	ErrTokenFormat = errors.New("dgram: malformed connect token")
+	// ErrTokenMAC means the token was not minted under this secret.
+	ErrTokenMAC = errors.New("dgram: connect token authentication failed")
+	// ErrTokenExpired means the token's expiry has passed.
+	ErrTokenExpired = errors.New("dgram: connect token expired")
+	// ErrTokenAddr means the token is not bound to this server's address.
+	ErrTokenAddr = errors.New("dgram: connect token bound to another address")
+)
+
+func appendTokenPayload(dst []byte, info TokenInfo, nonce [tokenNonceSize]byte) []byte {
+	dst = append(dst, tokenVersion, info.Role)
+	dst = binary.AppendVarint(dst, info.ID)
+	dst = binary.AppendUvarint(dst, info.Gen)
+	dst = binary.AppendUvarint(dst, uint64(info.Expiry.UnixMicro()))
+	dst = append(dst, nonce[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(info.Addrs)))
+	for _, a := range info.Addrs {
+		dst = binary.AppendUvarint(dst, uint64(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// decodeTokenPayload parses a token payload (the bytes before the MAC).
+func decodeTokenPayload(b []byte) (TokenInfo, [tokenNonceSize]byte, error) {
+	var info TokenInfo
+	var nonce [tokenNonceSize]byte
+	if len(b) < 2 || b[0] != tokenVersion {
+		return info, nonce, ErrTokenFormat
+	}
+	info.Role = b[1]
+	rest := b[2:]
+	id, n := binary.Varint(rest)
+	if n <= 0 {
+		return info, nonce, ErrTokenFormat
+	}
+	info.ID = id
+	rest = rest[n:]
+	gen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return info, nonce, ErrTokenFormat
+	}
+	info.Gen = gen
+	rest = rest[n:]
+	exp, n := binary.Uvarint(rest)
+	if n <= 0 || exp > uint64(1)<<62 {
+		return info, nonce, ErrTokenFormat
+	}
+	info.Expiry = time.UnixMicro(int64(exp))
+	rest = rest[n:]
+	if len(rest) < tokenNonceSize {
+		return info, nonce, ErrTokenFormat
+	}
+	copy(nonce[:], rest[:tokenNonceSize])
+	rest = rest[tokenNonceSize:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > maxTokenAddrs {
+		return info, nonce, ErrTokenFormat
+	}
+	rest = rest[n:]
+	info.Addrs = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		alen, n := binary.Uvarint(rest)
+		if n <= 0 || alen > uint64(len(rest)-n) {
+			return info, nonce, ErrTokenFormat
+		}
+		rest = rest[n:]
+		info.Addrs = append(info.Addrs, string(rest[:alen]))
+		rest = rest[alen:]
+	}
+	if len(rest) != 0 {
+		return info, nonce, fmt.Errorf("%w: trailing bytes", ErrTokenFormat)
+	}
+	return info, nonce, nil
+}
+
+func deriveKey(secret, payload []byte) []byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(keyDerivationPrefix)
+	mac.Write(payload)
+	return mac.Sum(nil)
+}
+
+func tokenMAC(secret, payload []byte) []byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(payload)
+	return mac.Sum(nil)
+}
+
+// Mint creates a connect token for info under the cluster secret and
+// returns it with the derived session key. The nonce makes every minted
+// token (and so every derived key) unique even for identical infos.
+func Mint(secret []byte, info TokenInfo) (token, key []byte, err error) {
+	var nonce [tokenNonceSize]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, nil, err
+	}
+	return mintWithNonce(secret, info, nonce)
+}
+
+func mintWithNonce(secret []byte, info TokenInfo, nonce [tokenNonceSize]byte) (token, key []byte, err error) {
+	payload := appendTokenPayload(nil, info, nonce)
+	if len(payload)+tokenMACSize > maxTokenSize {
+		return nil, nil, fmt.Errorf("dgram: token too large (%d addrs)", len(info.Addrs))
+	}
+	token = append(payload, tokenMAC(secret, payload)...)
+	return token, deriveKey(secret, payload), nil
+}
+
+// Validate checks token under secret against the server address addr at
+// time now, returning the authenticated info and the derived session key.
+func Validate(secret, token []byte, addr string, now time.Time) (TokenInfo, []byte, error) {
+	if len(token) < tokenMACSize+2 || len(token) > maxTokenSize {
+		return TokenInfo{}, nil, ErrTokenFormat
+	}
+	payload, tag := token[:len(token)-tokenMACSize], token[len(token)-tokenMACSize:]
+	if !hmac.Equal(tokenMAC(secret, payload), tag) {
+		return TokenInfo{}, nil, ErrTokenMAC
+	}
+	info, _, err := decodeTokenPayload(payload)
+	if err != nil {
+		return TokenInfo{}, nil, err
+	}
+	if !now.Before(info.Expiry) {
+		return TokenInfo{}, nil, ErrTokenExpired
+	}
+	bound := false
+	for _, a := range info.Addrs {
+		if a == addr {
+			bound = true
+			break
+		}
+	}
+	if !bound {
+		return TokenInfo{}, nil, fmt.Errorf("%w: %s", ErrTokenAddr, addr)
+	}
+	return info, deriveKey(secret, payload), nil
+}
+
+// SessionKey re-derives the session key for a previously minted token.
+// It trusts the token's MAC has already been (or will be) validated.
+func SessionKey(secret, token []byte) ([]byte, error) {
+	if len(token) < tokenMACSize+2 {
+		return nil, ErrTokenFormat
+	}
+	return deriveKey(secret, token[:len(token)-tokenMACSize]), nil
+}

@@ -1,0 +1,63 @@
+package dgram
+
+// replayWindowSize is how far behind the highest seen sequence a packet
+// may arrive and still be judged; anything older is dropped unseen.
+const replayWindowSize = 256
+
+// replayWindow is a sliding bitmask over the peer's packet sequences: bit
+// age i (0 = newest) records whether sequence maxSeq-i was accepted.
+// admit is the only mutator; a rejected sequence leaves the window
+// untouched (asserted by tests — replay handling must be side-effect
+// free on the session state).
+type replayWindow struct {
+	maxSeq uint64
+	seen   [replayWindowSize / 64]uint64
+	primed bool
+}
+
+// admit reports whether seq is fresh, recording it when so.
+func (w *replayWindow) admit(seq uint64) bool {
+	if !w.primed {
+		w.primed = true
+		w.maxSeq = seq
+		w.seen = [replayWindowSize / 64]uint64{1}
+		return true
+	}
+	if seq > w.maxSeq {
+		w.shift(seq - w.maxSeq)
+		w.maxSeq = seq
+		w.seen[0] |= 1
+		return true
+	}
+	age := w.maxSeq - seq
+	if age >= replayWindowSize {
+		return false // too old to judge: reject
+	}
+	word, bit := age/64, age%64
+	if w.seen[word]&(1<<bit) != 0 {
+		return false // duplicate
+	}
+	w.seen[word] |= 1 << bit
+	return true
+}
+
+// shift ages every recorded bit by d (the window advanced to a new max).
+func (w *replayWindow) shift(d uint64) {
+	if d >= replayWindowSize {
+		w.seen = [replayWindowSize / 64]uint64{}
+		return
+	}
+	words, bits := d/64, d%64
+	n := uint64(len(w.seen))
+	for i := n; i > 0; i-- {
+		idx := i - 1
+		var v uint64
+		if idx >= words {
+			v = w.seen[idx-words] << bits
+			if bits > 0 && idx > words {
+				v |= w.seen[idx-words-1] >> (64 - bits)
+			}
+		}
+		w.seen[idx] = v
+	}
+}

@@ -9,10 +9,13 @@ import (
 	"testing"
 )
 
-// The substrate adapters (internal/core, internal/rt, internal/netrt) must
-// stay thin: the protocol lives here, once. This guard fails if an adapter
-// grows a local re-declaration of engine-owned logic — the exact duplication
-// this package was extracted to eliminate. If this test fires, move the logic into the
+// The substrate adapters (internal/core, internal/rt, internal/netrt) and
+// the datagram session layer (internal/dgram) must stay thin: the protocol
+// lives here, once. This guard fails if an adapter grows a local
+// re-declaration of engine-owned logic — the exact duplication this package
+// was extracted to eliminate. dgram is scanned too because its retransmit
+// and reassembly machinery sits one temptation away from re-growing the
+// engine's routing/ARQ surface. If this test fires, move the logic into the
 // engine (or rename honestly, if it truly is substrate plumbing).
 var forbiddenAdapterDecls = map[string]string{
 	// routing
@@ -64,7 +67,7 @@ var forbiddenAdapterDecls = map[string]string{
 }
 
 func TestSubstrateAdaptersDoNotRedeclareEngineLogic(t *testing.T) {
-	for _, dir := range []string{"../core", "../rt", "../netrt"} {
+	for _, dir := range []string{"../core", "../rt", "../netrt", "../dgram"} {
 		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,248 @@
+package nemesis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// udpSink binds a UDP socket that counts received datagrams and records
+// their payloads' sequence numbers.
+func udpSink(t *testing.T) (addr string, recv func() []uint64, stop func()) {
+	t.Helper()
+	laddr, _ := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var got []uint64
+	gotCh := make(chan uint64, 4096)
+	go func() {
+		defer close(done)
+		buf := make([]byte, 2048)
+		for {
+			n, _, err := pc.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if n >= 8 {
+				gotCh <- binary.BigEndian.Uint64(buf[:8])
+			}
+		}
+	}()
+	recv = func() []uint64 {
+		for {
+			select {
+			case v := <-gotCh:
+				got = append(got, v)
+			default:
+				return append([]uint64(nil), got...)
+			}
+		}
+	}
+	return pc.LocalAddr().String(), recv, func() {
+		pc.Close()
+		<-done
+	}
+}
+
+// driveUDP pushes n numbered datagrams through the proxy from one client
+// socket, paced so the proxy's read loop sees them in send order.
+func driveUDP(t *testing.T, proxyAddr string, n int) {
+	t.Helper()
+	conn, err := net.Dial("udp", proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pkt := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(pkt, uint64(i))
+		if _, err := conn.Write(pkt); err != nil {
+			t.Fatalf("write datagram %d: %v", i, err)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func formatLog(ds []UDPDisturbance) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintln(&b, d.String())
+	}
+	return b.String()
+}
+
+// waitDisturbed polls until the proxy has seen all n upstream datagrams
+// (logged or forwarded — we detect via fate accounting below) by waiting a
+// settle interval after the last log growth.
+func waitSettled(p *UDPProxy) {
+	prev := -1
+	for i := 0; i < 50; i++ {
+		cur := len(p.Disturbances())
+		if cur == prev {
+			time.Sleep(5 * time.Millisecond)
+			if len(p.Disturbances()) == cur {
+				return
+			}
+		}
+		prev = cur
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestUDPFatePure pins the determinism contract at its root: a datagram's
+// fate is a pure function of (seed, flow, dir, index) — identical on every
+// evaluation, independent of evaluation order.
+func TestUDPFatePure(t *testing.T) {
+	plan := UDPPlan{Seed: 99, Drop: 0.2, Duplicate: 0.2, Reorder: 0.2, DelayMinUS: 10, DelayMaxUS: 500}
+	// Evaluate forward then backward: order must not matter.
+	forward := make([]udpFate, 64)
+	for i := range forward {
+		forward[i] = plan.fate(3, DirDown, uint64(i))
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if again := plan.fate(3, DirDown, uint64(i)); again != forward[i] {
+			t.Fatalf("fate(3, down, %d) changed across evaluations: %+v vs %+v", i, again, forward[i])
+		}
+	}
+	// Distinct coordinates draw distinct streams (statistically: at least
+	// one fate differs across 64 indices).
+	diff := false
+	for i := range forward {
+		if plan.fate(4, DirDown, uint64(i)) != forward[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("flows 3 and 4 drew identical fate sequences — streams are correlated")
+	}
+}
+
+// TestUDPProxyDeterministicLog is the acceptance witness: the same packet
+// sequence through two proxies running the same plan yields byte-identical
+// disturbance logs.
+func TestUDPProxyDeterministicLog(t *testing.T) {
+	const packets = 200
+	plan := UDPPlan{Seed: 7, Drop: 0.15, Duplicate: 0.1, Reorder: 0.1, DelayMinUS: 5, DelayMaxUS: 50}
+	logs := make([]string, 2)
+	for run := 0; run < 2; run++ {
+		addr, _, stopSink := udpSink(t)
+		p, err := NewUDP(addr, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveUDP(t, p.Addr(), packets)
+		waitSettled(p)
+		logs[run] = formatLog(p.Disturbances())
+		p.Stop()
+		stopSink()
+	}
+	if logs[0] != logs[1] {
+		t.Fatalf("disturbance logs differ across identical runs:\nrun0:\n%srun1:\n%s", logs[0], logs[1])
+	}
+	if logs[0] == "" {
+		t.Fatal("plan produced no disturbances — the witness is vacuous")
+	}
+}
+
+// TestUDPProxyDropsAndDuplicates checks the fates are actually executed on
+// the wire: the sink receives exactly the non-dropped datagrams, plus one
+// extra copy per duplicate, and every loss the sink observed is a logged
+// drop, not an accident.
+func TestUDPProxyDropsAndDuplicates(t *testing.T) {
+	const packets = 300
+	plan := UDPPlan{Seed: 21, Drop: 0.2, Duplicate: 0.15}
+	addr, recv, stopSink := udpSink(t)
+	defer stopSink()
+	p, err := NewUDP(addr, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	driveUDP(t, p.Addr(), packets)
+	waitSettled(p)
+
+	drops, dups := 0, 0
+	for _, d := range p.Disturbances() {
+		switch d.Kind {
+		case "drop":
+			drops++
+		case "duplicate":
+			dups++
+		}
+	}
+	if drops == 0 || dups == 0 {
+		t.Fatalf("plan fired %d drops / %d duplicates, want both > 0", drops, dups)
+	}
+	// Loopback UDP does not lose datagrams on its own at this rate, so the
+	// arithmetic is exact.
+	deadline := time.Now().Add(5 * time.Second)
+	want := packets - drops + dups
+	for len(recv()) < want && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := len(recv()); got != want {
+		t.Fatalf("sink received %d datagrams, want %d (%d sent - %d dropped + %d duplicated)",
+			got, want, packets, drops, dups)
+	}
+}
+
+// TestUDPProxyReordersDelivery checks a reorder fate visibly changes
+// arrival order: with held datagrams and live follow-on traffic, the sink
+// must observe at least one out-of-order pair.
+func TestUDPProxyReordersDelivery(t *testing.T) {
+	const packets = 200
+	plan := UDPPlan{Seed: 5, Reorder: 0.2, ReorderDelayUS: 3000}
+	addr, recv, stopSink := udpSink(t)
+	defer stopSink()
+	p, err := NewUDP(addr, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	driveUDP(t, p.Addr(), packets)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(recv()) < packets && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	seqs := recv()
+	if len(seqs) != packets {
+		t.Fatalf("sink received %d datagrams, want %d (plan drops nothing)", len(seqs), packets)
+	}
+	inverted := 0
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("no out-of-order arrivals despite reorder fates — holds are not reordering")
+	}
+}
+
+// TestUDPPlanValidate rejects out-of-range parameters.
+func TestUDPPlanValidate(t *testing.T) {
+	bad := []UDPPlan{
+		{Drop: -0.1},
+		{Duplicate: 1.5},
+		{Reorder: 2},
+		{ReorderDelayUS: -1},
+		{DelayMinUS: 10, DelayMaxUS: 5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated, want error", i)
+		}
+	}
+	if err := (UDPPlan{Seed: 1, Drop: 0.5, Duplicate: 0.5, Reorder: 0.5, DelayMinUS: 1, DelayMaxUS: 2}).Validate(); err != nil {
+		t.Errorf("valid plan refused: %v", err)
+	}
+}

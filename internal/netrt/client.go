@@ -21,6 +21,12 @@ type ClientConfig struct {
 	// Gen is the incarnation generation claimed in the hub handshake
 	// (0: "assign me one"; see NodeConfig.Gen).
 	Gen uint64
+	// Token, when non-nil and the cluster transport is UDP, is an
+	// out-of-band credential blob (token || key, as printed by mobilenode
+	// -mint-token) presented on every dial instead of minting fresh
+	// tokens from Cluster.Secret. It must have been minted for every
+	// address the client may roam to (hub and all stations).
+	Token []byte
 }
 
 // Client is a mobile host on the wireless tier. It holds one connection to
@@ -41,6 +47,7 @@ type ClientConfig struct {
 type Client struct {
 	cfg  ClientConfig
 	tick time.Duration
+	tr   transport
 
 	gen     atomic.Uint64 // generation the hub admitted (TResync ack)
 	saidBye atomic.Bool   // orderly hub shutdown seen
@@ -82,6 +89,18 @@ func StartClient(cfg ClientConfig) (*Client, error) {
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.gen.Store(cfg.Gen)
+	tr, err := cfg.Cluster.transport(wire.RoleMH, cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Token) > 0 {
+		if ut, ok := tr.(*udpTransport); ok {
+			if err := ut.useStaticBlob(cfg.Token); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.tr = tr
 
 	c.hub = newPeer(fmt.Sprintf("mh%d->hub", cfg.ID), &c.wg, c.onHubFrame)
 	c.hub.hello = func() wire.Frame {
@@ -93,7 +112,7 @@ func StartClient(cfg ClientConfig) (*Client, error) {
 	}
 	c.hub.tap = cfg.FrameTap
 	c.hub.backoffMin, c.hub.backoffMax = cfg.Cluster.backoffBounds()
-	c.hub.dial = func() (net.Conn, error) { return net.Dial("tcp", cfg.Cluster.Hub) }
+	c.hub.dial = func() (net.Conn, error) { return c.tr.dial(cfg.Cluster.Hub) }
 	c.hub.start()
 
 	c.wg.Add(1)
@@ -230,7 +249,7 @@ func (c *Client) wirelessLoop() {
 		target := c.target
 		c.mu.Unlock()
 
-		conn, err := net.Dial("tcp", target.Addr)
+		conn, err := c.tr.dial(target.Addr)
 		if err != nil {
 			select {
 			case <-c.stop:

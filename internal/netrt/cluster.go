@@ -6,6 +6,8 @@ import (
 	"net"
 	"os"
 	"time"
+
+	"mobiledist/internal/wire"
 )
 
 // ClusterConfig is the shared topology every cluster process reads: who
@@ -33,6 +35,19 @@ type ClusterConfig struct {
 	// defaults, 5ms and 250ms).
 	DialBackoffMinMS int64 `json:"dial_backoff_min_ms,omitempty"`
 	DialBackoffMaxMS int64 `json:"dial_backoff_max_ms,omitempty"`
+	// Transport selects the substrate every cluster connection runs over:
+	// "tcp" (default, also empty) or "udp" (authenticated datagram
+	// sessions via internal/dgram).
+	Transport string `json:"transport,omitempty"`
+	// Secret is the shared cluster secret UDP connect tokens are minted
+	// and validated under (empty: the insecure development default).
+	Secret string `json:"secret,omitempty"`
+}
+
+// transport builds the dial/listen substrate for a cluster process. role
+// and id identify the dialler in per-dial minted UDP connect tokens.
+func (c ClusterConfig) transport(role wire.Role, id int) (transport, error) {
+	return newTransport(c.Transport, c.Secret, role, id)
 }
 
 // heartbeat returns the liveness ping interval (0 disables heartbeats).
@@ -102,6 +117,11 @@ func (c ClusterConfig) Validate() error {
 			return fmt.Errorf("netrt: cluster MSS %d has no address", i)
 		}
 	}
+	switch c.Transport {
+	case "", TransportTCP, TransportUDP:
+	default:
+		return fmt.Errorf("netrt: unknown transport %q", c.Transport)
+	}
 	return nil
 }
 
@@ -169,8 +189,12 @@ func StartLoopback(cfg Config) (*Loopback, error) {
 		}
 		return nil, err
 	}
+	bindTr, err := newTransport(cfg.Transport, cfg.Secret, 0, -1)
+	if err != nil {
+		return fail(err)
+	}
 	for i := range listeners {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := bindTr.listen("127.0.0.1:0", "")
 		if err != nil {
 			return fail(err)
 		}
@@ -205,7 +229,12 @@ func StartLoopback(cfg Config) (*Loopback, error) {
 		HeartbeatMS:      heartbeatMS(cfg.HeartbeatEvery),
 		DialBackoffMinMS: int64(cfg.DialBackoffMin / time.Millisecond),
 		DialBackoffMaxMS: int64(cfg.DialBackoffMax / time.Millisecond),
+		Transport:        cfg.Transport,
+		Secret:           cfg.Secret,
 	}
+	// The hub bound before the wrapped (possibly proxied) address existed;
+	// tell its listener what dialers will present tokens bound to.
+	sys.SetAdvertise(lb.Cluster.Hub)
 
 	lb.Nodes = make([]*Node, cfg.M)
 	for i := range lb.Nodes {
@@ -254,10 +283,13 @@ func (lb *Loopback) KillNode(i int) {
 // still be releasing.
 func (lb *Loopback) RestartNode(i int) error {
 	lb.KillNode(i)
+	tr, err := lb.Cluster.transport(wire.RoleMSS, i)
+	if err != nil {
+		return err
+	}
 	var ln net.Listener
-	var err error
 	for attempt := 0; attempt < 50; attempt++ {
-		ln, err = net.Listen("tcp", lb.rawMSS[i])
+		ln, err = tr.listen(lb.rawMSS[i], lb.Cluster.MSS[i])
 		if err == nil {
 			break
 		}

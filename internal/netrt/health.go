@@ -2,9 +2,11 @@ package netrt
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 	"time"
 
+	"mobiledist/internal/dgram"
 	"mobiledist/internal/wire"
 )
 
@@ -32,14 +34,76 @@ type peerStatusJSON struct {
 
 // hubStatusJSON is the hub's /status document.
 type hubStatusJSON struct {
-	Role           string           `json:"role"`
-	M              int              `json:"m"`
-	N              int              `json:"n"`
-	DeadPeers      int              `json:"dead_peers"`
-	ParkedOnDead   int64            `json:"parked_on_dead"`
-	PendingRecords int64            `json:"pending_records"`
-	HeartbeatRTT   rttJSON          `json:"heartbeat_rtt"`
-	Peers          []peerStatusJSON `json:"peers"`
+	Role           string             `json:"role"`
+	Transport      string             `json:"transport"`
+	M              int                `json:"m"`
+	N              int                `json:"n"`
+	DeadPeers      int                `json:"dead_peers"`
+	ParkedOnDead   int64              `json:"parked_on_dead"`
+	PendingRecords int64              `json:"pending_records"`
+	HeartbeatRTT   rttJSON            `json:"heartbeat_rtt"`
+	Peers          []peerStatusJSON   `json:"peers"`
+	Dgram          []dgramSessionJSON `json:"dgram_sessions,omitempty"`
+}
+
+// dgramSessionJSON is one UDP session's datagram counters (/status, UDP
+// transport only): the replay and retransmit numbers the issue's acceptance
+// criteria ask operators to watch.
+type dgramSessionJSON struct {
+	SessionID   uint64 `json:"session_id"`
+	Sent        uint64 `json:"packets_sent"`
+	Received    uint64 `json:"packets_received"`
+	Retransmits uint64 `json:"retransmits"`
+	ReplayDrops uint64 `json:"replay_drops"`
+	BadPackets  uint64 `json:"bad_packets"`
+}
+
+// dgramSessionRows converts dgram session stats to /status rows.
+func dgramSessionRows(stats []dgram.Stats) []dgramSessionJSON {
+	if len(stats) == 0 {
+		return nil
+	}
+	rows := make([]dgramSessionJSON, 0, len(stats))
+	for _, st := range stats {
+		rows = append(rows, dgramSessionJSON{
+			SessionID:   st.SessionID,
+			Sent:        st.PacketsSent,
+			Received:    st.PacketsReceived,
+			Retransmits: st.Retransmits,
+			ReplayDrops: st.ReplayDrops,
+			BadPackets:  st.BadPackets,
+		})
+	}
+	return rows
+}
+
+// listenerSessions reports the dgram sessions behind a listener, or nil on
+// the TCP transport.
+func listenerSessions(ln net.Listener) []dgramSessionJSON {
+	if dl, ok := ln.(*dgram.Listener); ok {
+		return dgramSessionRows(dl.Sessions())
+	}
+	return nil
+}
+
+// connSessions reports the dgram counters of individual connections (the
+// client side holds conns, not listeners), skipping TCP conns and nils.
+func connSessions(conns ...net.Conn) []dgramSessionJSON {
+	var stats []dgram.Stats
+	for _, c := range conns {
+		if dc, ok := c.(*dgram.Conn); ok && dc != nil {
+			stats = append(stats, dc.Stats())
+		}
+	}
+	return dgramSessionRows(stats)
+}
+
+// transportName resolves the configured substrate name for /status.
+func transportName(kind string) string {
+	if kind == "" {
+		return TransportTCP
+	}
+	return kind
 }
 
 type rttJSON struct {
@@ -99,11 +163,13 @@ func (s *System) HealthHandler() http.Handler {
 		table := s.PeerHealth()
 		doc := hubStatusJSON{
 			Role:           "hub",
+			Transport:      s.Transport(),
 			M:              s.cfg.M,
 			N:              s.cfg.N,
 			ParkedOnDead:   s.parked.Load(),
 			PendingRecords: s.inflight.Load(),
 			Peers:          make([]peerStatusJSON, 0, len(table)),
+			Dgram:          listenerSessions(s.ln),
 		}
 		doc.HeartbeatRTT.Count, doc.HeartbeatRTT.MeanUS, doc.HeartbeatRTT.P99US = s.lv.rttSummary()
 		for _, p := range table {
@@ -133,13 +199,15 @@ func (s *System) HealthHandler() http.Handler {
 
 // nodeStatusJSON is a relay node's /status document.
 type nodeStatusJSON struct {
-	Role         string `json:"role"`
-	ID           int    `json:"id"`
-	Gen          uint64 `json:"gen"`
-	HubConnected bool   `json:"hub_connected"`
-	Clients      int    `json:"clients"`
-	HubOutbox    int    `json:"hub_outbox"`
-	PipeDepth    int    `json:"pipe_depth"`
+	Role         string             `json:"role"`
+	Transport    string             `json:"transport"`
+	ID           int                `json:"id"`
+	Gen          uint64             `json:"gen"`
+	HubConnected bool               `json:"hub_connected"`
+	Clients      int                `json:"clients"`
+	HubOutbox    int                `json:"hub_outbox"`
+	PipeDepth    int                `json:"pipe_depth"`
+	Dgram        []dgramSessionJSON `json:"dgram_sessions,omitempty"`
 }
 
 // HealthHandler returns the relay node's operational endpoints (/health,
@@ -156,10 +224,12 @@ func (n *Node) HealthHandler() http.Handler {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		doc := nodeStatusJSON{
 			Role:         "mss",
+			Transport:    transportName(n.cfg.Cluster.Transport),
 			ID:           n.cfg.ID,
 			Gen:          n.gen.Load(),
 			HubConnected: n.hub.connected(),
 			HubOutbox:    n.hub.outboxDepth(),
+			Dgram:        listenerSessions(n.ln),
 		}
 		n.linkMu.Lock()
 		doc.Clients = len(n.links)
@@ -176,13 +246,15 @@ func (n *Node) HealthHandler() http.Handler {
 
 // clientStatusJSON is an MH client's /status document.
 type clientStatusJSON struct {
-	Role           string `json:"role"`
-	ID             int    `json:"id"`
-	Gen            uint64 `json:"gen"`
-	HubConnected   bool   `json:"hub_connected"`
-	Attached       bool   `json:"attached"`
-	TargetMSS      int32  `json:"target_mss"`
-	PendingUplinks int    `json:"pending_uplinks"`
+	Role           string             `json:"role"`
+	Transport      string             `json:"transport"`
+	ID             int                `json:"id"`
+	Gen            uint64             `json:"gen"`
+	HubConnected   bool               `json:"hub_connected"`
+	Attached       bool               `json:"attached"`
+	TargetMSS      int32              `json:"target_mss"`
+	PendingUplinks int                `json:"pending_uplinks"`
+	Dgram          []dgramSessionJSON `json:"dgram_sessions,omitempty"`
 }
 
 // HealthHandler returns the MH client's operational endpoints.
@@ -198,6 +270,7 @@ func (c *Client) HealthHandler() http.Handler {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		doc := clientStatusJSON{
 			Role:         "mh",
+			Transport:    transportName(c.cfg.Cluster.Transport),
 			ID:           c.cfg.ID,
 			Gen:          c.gen.Load(),
 			HubConnected: c.hub.connected(),
@@ -206,7 +279,9 @@ func (c *Client) HealthHandler() http.Handler {
 		doc.Attached = c.wconn != nil
 		doc.TargetMSS = c.target.MSS
 		doc.PendingUplinks = len(c.pending)
+		wconn := c.wconn
 		c.mu.Unlock()
+		doc.Dgram = connSessions(c.hub.currentConn(), wconn)
 		writeJSON(w, doc)
 	})
 	return mux

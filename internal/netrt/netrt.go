@@ -94,7 +94,15 @@ type Config struct {
 	// Obs, when non-nil, records typed observability events and metrics.
 	Obs *obs.Tracer
 
-	// ListenAddr is the hub's TCP listen address ("127.0.0.1:0" default).
+	// Transport selects the substrate every cluster connection runs over:
+	// TransportTCP (default, also "") or TransportUDP — authenticated
+	// datagram sessions via internal/dgram.
+	Transport string
+	// Secret is the shared cluster secret UDP connect tokens are minted
+	// and validated under (empty: the insecure development default).
+	// Ignored by the TCP transport.
+	Secret string
+	// ListenAddr is the hub's listen address ("127.0.0.1:0" default).
 	ListenAddr string
 	// MSSAddrs are the relay nodes' listen addresses, indexed by MSS id.
 	// The hub hands them to MH clients in TRetarget frames, so they must be
@@ -435,7 +443,11 @@ func NewSystem(cfg Config) (*System, error) {
 		s.sendRetarget(core.MHID(h), at, -1, s.rtGen)
 	}
 
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	tr, err := newTransport(cfg.Transport, cfg.Secret, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := tr.listen(cfg.ListenAddr, "")
 	if err != nil {
 		return nil, err
 	}
@@ -502,6 +514,20 @@ func (s *System) heartbeatLoop(every time.Duration) {
 
 // Addr returns the hub's bound listen address, for cluster files.
 func (s *System) Addr() string { return s.ln.Addr().String() }
+
+// SetAdvertise records the public address dialers use to reach the hub —
+// needed when a proxy (the socket nemesis) or NAT fronts the listener, so
+// the UDP transport accepts connect tokens bound to the dialled address.
+// A no-op on TCP.
+func (s *System) SetAdvertise(addr string) { setAdvertise(s.ln, addr) }
+
+// Transport reports the substrate the hub runs over ("tcp" or "udp").
+func (s *System) Transport() string {
+	if s.cfg.Transport == "" {
+		return TransportTCP
+	}
+	return s.cfg.Transport
+}
 
 // acceptLoop admits node and client connections: the first frame must be a
 // THello identifying the dialler, after which the connection is attached to

@@ -121,13 +121,21 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		links:  make(map[int32]*clientLink),
 	}
 	n.gen.Store(cfg.Gen)
+	tr, err := cfg.Cluster.transport(wire.RoleMSS, cfg.ID)
+	if err != nil {
+		return nil, err
+	}
 	ln := cfg.Listener
 	if ln == nil {
-		var err error
-		ln, err = net.Listen("tcp", cfg.Cluster.MSS[cfg.ID])
+		ln, err = tr.listen(cfg.Cluster.MSS[cfg.ID], cfg.Cluster.MSS[cfg.ID])
 		if err != nil {
 			return nil, err
 		}
+	} else {
+		// Pre-bound by the loopback launcher, before the dialled (possibly
+		// nemesis-wrapped) address existed: tell the UDP listener what
+		// address inbound connect tokens are bound to.
+		setAdvertise(ln, cfg.Cluster.MSS[cfg.ID])
 	}
 	n.ln = ln
 
@@ -146,7 +154,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	n.hub.hello = hello
 	n.hub.tap = cfg.FrameTap
 	n.hub.backoffMin, n.hub.backoffMax = bmin, bmax
-	n.hub.dial = func() (net.Conn, error) { return net.Dial("tcp", cfg.Cluster.Hub) }
+	n.hub.dial = func() (net.Conn, error) { return tr.dial(cfg.Cluster.Hub) }
 	n.hub.start()
 
 	n.mesh = make([]*peer, cfg.Cluster.M)
@@ -159,7 +167,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		p.hello = hello
 		p.tap = cfg.FrameTap
 		p.backoffMin, p.backoffMax = bmin, bmax
-		p.dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		p.dial = func() (net.Conn, error) { return tr.dial(addr) }
 		n.mesh[j] = p
 		p.start()
 	}

@@ -113,6 +113,14 @@ func (p *peer) connected() bool {
 	return p.conn != nil
 }
 
+// currentConn returns the installed connection, or nil (for /status
+// introspection of transport-level counters).
+func (p *peer) currentConn() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
 // drained reports whether the outbox is empty.
 func (p *peer) drained() bool { return p.out.drained() }
 

@@ -13,8 +13,12 @@ import (
 )
 
 // -soak stretches TestLoopbackSoak past its quick default; `make soak` runs
-// it for 15s under the race detector.
-var soakFor = flag.Duration("soak", 0, "run the loopback soak test for this long (0: quick pass)")
+// it for 15s under the race detector. -transport picks the socket substrate
+// (`make soak TRANSPORT=udp` soaks the datagram sessions).
+var (
+	soakFor       = flag.Duration("soak", 0, "run the loopback soak test for this long (0: quick pass)")
+	soakTransport = flag.String("transport", TransportTCP, "soak transport: tcp or udp")
+)
 
 // TestLoopbackSoak drives a loopback cluster with everything at once, for a
 // bounded wall-clock window: an ordered MH→MH stream whose receiver keeps
@@ -39,6 +43,7 @@ func TestLoopbackSoak(t *testing.T) {
 
 	cfg := fastLiveness(DefaultConfig(3, 6))
 	cfg.Seed = 42
+	cfg.Transport = *soakTransport
 	cfg.Faults = &core.FaultPlan{
 		Seed: 0x50AC,
 		Down: core.LinkFaults{Drop: 0.2, Duplicate: 0.1, Reorder: 0.05},

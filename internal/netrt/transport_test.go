@@ -1,0 +1,130 @@
+package netrt
+
+import (
+	"strings"
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+)
+
+// TestClusterValidateTransport pins the config surface: the two known
+// substrate names (and empty) pass, anything else is refused.
+func TestClusterValidateTransport(t *testing.T) {
+	base := ClusterConfig{Hub: "127.0.0.1:1", MSS: []string{"127.0.0.1:2"}, M: 1, N: 1}
+	for _, tr := range []string{"", TransportTCP, TransportUDP} {
+		c := base
+		c.Transport = tr
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(transport=%q) = %v, want nil", tr, err)
+		}
+	}
+	c := base
+	c.Transport = "carrier-pigeon"
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "carrier-pigeon") {
+		t.Errorf("Validate(unknown transport) = %v, want naming error", err)
+	}
+}
+
+// TestLoopbackUDPFIFOAcrossMoves is the TCP FIFO test on the datagram
+// substrate: an ordered MH→MH stream across two handoffs, every hop an
+// authenticated UDP session. Delivery order and completeness must match the
+// model exactly — the dgram layer's retransmit and reassembly are invisible
+// above the net.Conn seam.
+func TestLoopbackUDPFIFOAcrossMoves(t *testing.T) {
+	const batch = 8
+	cfg := DefaultConfig(3, 6)
+	cfg.Transport = TransportUDP
+	lb := startLoopback(t, cfg)
+	defer lb.Stop()
+
+	if got := lb.Sys.Transport(); got != TransportUDP {
+		t.Fatalf("Sys.Transport() = %q, want %q", got, TransportUDP)
+	}
+
+	var received []int
+	p := &probe{onMH: func(_ core.Context, at core.MHID, msg core.Message) {
+		if at == 1 {
+			received = append(received, msg.(int))
+		}
+	}}
+	ctx := lb.Sys.Register(p)
+	lb.Sys.Start()
+	waitReady(t, lb)
+
+	send := func(from, to int) {
+		lb.Sys.Do(func() {
+			for i := from; i < to; i++ {
+				if err := ctx.SendMHToMH(0, 1, i, cost.CatAlgorithm); err != nil {
+					t.Errorf("SendMHToMH: %v", err)
+				}
+			}
+		})
+	}
+	send(0, batch)
+	lb.Sys.Move(1, 2)
+	send(batch, 2*batch)
+	lb.Sys.Move(1, 0)
+	send(2*batch, 3*batch)
+	settle(t, lb)
+
+	var snap []int
+	lb.Sys.Do(func() { snap = append(snap, received...) })
+	if len(snap) != 3*batch {
+		t.Fatalf("received %d messages, want %d", len(snap), 3*batch)
+	}
+	for i, v := range snap {
+		if v != i {
+			t.Fatalf("received[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+// TestLoopbackUDPRestartNode crash-restarts a relay over the datagram
+// substrate: the UDP socket must rebind, the new incarnation's sessions
+// re-establish, and traffic drain — the generation fence and resync replay
+// working identically to TCP.
+func TestLoopbackUDPRestartNode(t *testing.T) {
+	cfg := DefaultConfig(2, 4)
+	cfg.Transport = TransportUDP
+	lb := startLoopback(t, cfg)
+	defer lb.Stop()
+
+	var got int
+	p := &probe{onMH: func(_ core.Context, at core.MHID, _ core.Message) {
+		if at == 1 {
+			got++
+		}
+	}}
+	ctx := lb.Sys.Register(p)
+	lb.Sys.Start()
+	waitReady(t, lb)
+
+	lb.Sys.Do(func() {
+		for i := 0; i < 4; i++ {
+			if err := ctx.SendMHToMH(0, 1, i, cost.CatAlgorithm); err != nil {
+				t.Errorf("SendMHToMH: %v", err)
+			}
+		}
+	})
+	settle(t, lb)
+
+	if err := lb.RestartNode(0); err != nil {
+		t.Fatalf("RestartNode over udp: %v", err)
+	}
+	waitReady(t, lb)
+	lb.Sys.Do(func() {
+		for i := 4; i < 8; i++ {
+			if err := ctx.SendMHToMH(0, 1, i, cost.CatAlgorithm); err != nil {
+				t.Errorf("SendMHToMH: %v", err)
+			}
+		}
+	})
+	settle(t, lb)
+
+	var snap int
+	lb.Sys.Do(func() { snap = got })
+	if snap != 8 {
+		t.Fatalf("delivered %d messages across the restart, want 8", snap)
+	}
+}

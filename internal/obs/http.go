@@ -31,6 +31,7 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
 	writeHist("handoff_ticks", "Mobility handoff duration (leave/reconnect to join) in ticks.", s.HandoffTicks)
 	writeHist("chase_hops", "Wireless delivery attempts per routed message.", s.ChaseHops)
 	writeHist("arq_retries", "ARQ retransmissions per eventually-acked frame.", s.ARQRetries)
+	writeHist("dgram_rtt_us", "Per-datagram round-trip time in microseconds (Karn-sampled).", s.DgramRTTUS)
 }
 
 // expvarValue is the JSON shape PublishExpvar and the /vars endpoint
@@ -67,6 +68,7 @@ func (t *Tracer) expvarValue() expvarValue {
 			"handoff_ticks":    summarize(s.HandoffTicks),
 			"chase_hops":       summarize(s.ChaseHops),
 			"arq_retries":      summarize(s.ARQRetries),
+			"dgram_rtt_us":     summarize(s.DgramRTTUS),
 		},
 		Total:   t.Total(),
 		Dropped: t.Dropped(),

@@ -152,6 +152,10 @@ type Metrics struct {
 	// ARQRetries is the retransmissions per eventually-acked frame
 	// (0 = first try succeeded).
 	ARQRetries Histogram
+	// DgramRTTUS is the per-datagram round-trip time distribution in
+	// microseconds, sampled by the UDP session layer on acks of segments
+	// that were never retransmitted (Karn's rule).
+	DgramRTTUS Histogram
 
 	csReqAt   map[int32]sim.Time
 	moveStart map[int32]sim.Time
@@ -189,6 +193,8 @@ func (m *Metrics) observe(ev Event) {
 		m.ChaseHops.Observe(int64(ev.C))
 	case EvAck:
 		m.ARQRetries.Observe(int64(ev.B))
+	case EvPacketRTT:
+		m.DgramRTTUS.Observe(int64(ev.B))
 	}
 }
 
@@ -201,6 +207,7 @@ type MetricsSnapshot struct {
 	HandoffTicks Histogram
 	ChaseHops    Histogram
 	ARQRetries   Histogram
+	DgramRTTUS   Histogram
 }
 
 // Snapshot copies the registry. Callers normally reach it through
@@ -212,6 +219,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		HandoffTicks: m.HandoffTicks,
 		ChaseHops:    m.ChaseHops,
 		ARQRetries:   m.ARQRetries,
+		DgramRTTUS:   m.DgramRTTUS,
 	}
 	for k, c := range m.counts {
 		if c != 0 {
@@ -245,6 +253,7 @@ func (s MetricsSnapshot) Diff(prev MetricsSnapshot) MetricsSnapshot {
 		HandoffTicks: s.HandoffTicks.Diff(prev.HandoffTicks),
 		ChaseHops:    s.ChaseHops.Diff(prev.ChaseHops),
 		ARQRetries:   s.ARQRetries.Diff(prev.ARQRetries),
+		DgramRTTUS:   s.DgramRTTUS.Diff(prev.DgramRTTUS),
 	}
 	for k, c := range s.Counts {
 		if d := c - prev.Counts[k]; d != 0 {
@@ -284,6 +293,7 @@ func (s MetricsSnapshot) Format() string {
 		{"handoff-ticks", s.HandoffTicks},
 		{"chase-hops", s.ChaseHops},
 		{"arq-retries", s.ARQRetries},
+		{"dgram-rtt-us", s.DgramRTTUS},
 	} {
 		if h.h.Count() == 0 {
 			continue

@@ -120,6 +120,28 @@ const (
 	// incarnation attached) and was resynced. A = peer id, B = role, C = the
 	// peer's incarnation generation.
 	EvPeerRecovered
+	// EvSessionEstablished: a datagram session completed its connect
+	// handshake. A = session id (low 31 bits), B = 0 on the dialing side,
+	// 1 on the accepting side.
+	EvSessionEstablished
+	// EvPacketSent: one datagram left a session socket. A = session id
+	// (low 31 bits), B = packet type, C = datagram bytes on the wire.
+	EvPacketSent
+	// EvPacketRecv: one datagram passed authentication and the replay
+	// window. A = session id, B = packet type, C = datagram bytes.
+	EvPacketRecv
+	// EvPacketRetransmit: a stream segment was re-sent after its
+	// retransmit timeout. A = session id, B = retry number, C = segment
+	// bytes.
+	EvPacketRetransmit
+	// EvPacketReplayDropped: an authenticated datagram was rejected by the
+	// sliding replay window (duplicate or out-of-window sequence).
+	// A = session id, B = packet sequence (low 31 bits).
+	EvPacketReplayDropped
+	// EvPacketRTT: an ack resolved a never-retransmitted segment (Karn's
+	// rule), yielding one clean RTT sample. A = session id, B = RTT in
+	// microseconds.
+	EvPacketRTT
 
 	evKindCount // internal: number of kinds, for metrics arrays
 )
@@ -153,6 +175,13 @@ var kindNames = [evKindCount]string{
 	EvPeerSuspect:      "peer-suspect",
 	EvPeerDead:         "peer-dead",
 	EvPeerRecovered:    "peer-recovered",
+
+	EvSessionEstablished:  "session-established",
+	EvPacketSent:          "packet-sent",
+	EvPacketRecv:          "packet-recv",
+	EvPacketRetransmit:    "packet-retransmit",
+	EvPacketReplayDropped: "packet-replay-dropped",
+	EvPacketRTT:           "packet-rtt",
 }
 
 // String returns the kind's wire name (the "k" field of the JSONL format).

@@ -67,6 +67,49 @@ func TestMaskedKindRecordsNothingAndAllocatesNothing(t *testing.T) {
 	}
 }
 
+// TestMaskedDgramKindsAllocateNothing pins the masked fast path for the
+// datagram-substrate kinds: a netrt hub tracing only model events must pay
+// zero allocations for the per-packet events a busy UDP transport emits.
+func TestMaskedDgramKindsAllocateNothing(t *testing.T) {
+	dgramKinds := []EventKind{
+		EvSessionEstablished, EvPacketSent, EvPacketRecv,
+		EvPacketRetransmit, EvPacketReplayDropped, EvPacketRTT,
+	}
+	tr := NewTracer(0).WithMetrics(NewMetrics())
+	for _, k := range dgramKinds {
+		tr.SetKindEnabled(k, false)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, k := range dgramKinds {
+			tr.Record(1, k, 3, 250, 0)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("masked-out datagram kinds allocate %.1f per run, want 0", allocs)
+	}
+	if tr.Total() != 0 {
+		t.Errorf("masked-out datagram kinds recorded: total=%d", tr.Total())
+	}
+	if s := tr.MetricsSnapshot(); s.DgramRTTUS.Count() != 0 {
+		t.Errorf("masked packet-rtt reached the RTT histogram: count=%d", s.DgramRTTUS.Count())
+	}
+}
+
+// TestPacketRTTFeedsHistogram: an enabled packet-rtt event lands its
+// microsecond operand in the DgramRTTUS histogram.
+func TestPacketRTTFeedsHistogram(t *testing.T) {
+	tr := NewTracer(0).WithMetrics(NewMetrics())
+	tr.Record(5, EvPacketRTT, 1, 740, 0)
+	tr.Record(6, EvPacketRTT, 1, 260, 0)
+	s := tr.MetricsSnapshot()
+	if s.DgramRTTUS.Count() != 2 || s.DgramRTTUS.Sum() != 1000 {
+		t.Errorf("DgramRTTUS count=%d sum=%d, want 2, 1000", s.DgramRTTUS.Count(), s.DgramRTTUS.Sum())
+	}
+	if s.Counts["packet-rtt"] != 2 {
+		t.Errorf("packet-rtt count = %d, want 2", s.Counts["packet-rtt"])
+	}
+}
+
 func TestEnableOnlyWhitelistsKinds(t *testing.T) {
 	tr := NewTracer(0)
 	tr.EnableOnly(MobilityKinds()...)
