@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,11 +48,15 @@ type oooSeg struct {
 // unchanged. Write deadlines are not supported (writes only block on the
 // in-flight window); read deadlines are.
 type Conn struct {
-	cfg    Config
-	key    []byte
-	send   packetSink
-	local  net.Addr
-	remote net.Addr
+	cfg Config
+	// sealKey authenticates outbound packets, openKey inbound; they are
+	// the two direction keys of dirKeys, swapped between the sides, so a
+	// reflected datagram never authenticates (see packet.go).
+	sealKey []byte
+	openKey []byte
+	send    packetSink
+	local   net.Addr
+	remote  net.Addr
 
 	// onClose detaches the session from its listener; nil on the dialing
 	// side. Called without mu held.
@@ -97,9 +102,11 @@ type Conn struct {
 }
 
 func newConn(cfg Config, key []byte, side int32, send packetSink, local, remote net.Addr) *Conn {
+	dialKey, acceptKey := dirKeys(key)
 	c := &Conn{
 		cfg:      cfg,
-		key:      key,
+		sealKey:  dialKey,
+		openKey:  acceptKey,
 		side:     side,
 		send:     send,
 		local:    local,
@@ -107,6 +114,9 @@ func newConn(cfg Config, key []byte, side int32, send packetSink, local, remote 
 		accepted: make(chan struct{}),
 		lastRecv: time.Now(),
 		done:     make(chan struct{}),
+	}
+	if side == sideAccept {
+		c.sealKey, c.openKey = acceptKey, dialKey
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -120,38 +130,49 @@ func (c *Conn) trace(kind obs.EventKind, b, cc int32) {
 	}
 }
 
-// sendPacketLocked seals and ships one datagram under the next packet
-// sequence. Send errors are deliberately dropped: UDP gives no delivery
-// signal anyway, and loss recovery is the retransmit loop's job.
-func (c *Conn) sendPacketLocked(ptype byte, body []byte) {
-	pkt := sealPacket(c.key, header{Type: ptype, Session: c.sid, Seq: c.nextSeq}, body)
+// sealNextLocked seals one datagram under the next packet sequence and
+// counts it as sent; the caller ships it — bulk senders drop mu first, so
+// socket writes never stall the listener's shared readLoop on this
+// session's lock.
+func (c *Conn) sealNextLocked(ptype byte, body []byte) []byte {
+	pkt := sealPacket(c.sealKey, header{Type: ptype, Session: c.sid, Seq: c.nextSeq}, body)
 	c.nextSeq++
 	c.stats.PacketsSent++
 	c.trace(obs.EvPacketSent, int32(ptype), int32(len(pkt)))
-	_ = c.send(pkt)
+	return pkt
+}
+
+// sendPacketLocked seals and ships one datagram. Send errors are
+// deliberately dropped: UDP gives no delivery signal anyway, and loss
+// recovery is the retransmit loop's job.
+func (c *Conn) sendPacketLocked(ptype byte, body []byte) {
+	_ = c.send(c.sealNextLocked(ptype, body))
 }
 
 func (c *Conn) maxSegment() int { return c.cfg.MTU - headerSize - tagSize - dataOverhead }
 
-func (c *Conn) sendSegmentLocked(s *segment) {
+func (c *Conn) sealSegmentLocked(s *segment) []byte {
 	body := make([]byte, dataOverhead+len(s.data))
 	binary.BigEndian.PutUint64(body, s.off)
 	copy(body[dataOverhead:], s.data)
-	c.sendPacketLocked(ptData, body)
+	return c.sealNextLocked(ptData, body)
 }
 
 // Write packetizes p into MTU-sized segments (fragmenting frames larger
 // than one datagram) and transmits them, blocking while the in-flight
-// window is full.
+// window is full. Segments are sealed under mu but shipped with it
+// released: on the accept side every session shares the listener's socket
+// and readLoop, so holding mu across a window's worth of socket writes
+// would head-of-line-block demultiplexing for all sessions.
 func (c *Conn) Write(p []byte) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	total := 0
+	c.mu.Lock()
 	for len(p) > 0 {
 		for c.err == nil && c.nextOff-c.cumAcked >= maxWindowBytes {
 			c.cond.Wait()
 		}
 		if c.err != nil {
+			c.mu.Unlock()
 			return total, c.err
 		}
 		room := int(maxWindowBytes - (c.nextOff - c.cumAcked))
@@ -159,6 +180,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if len(chunk) > room {
 			chunk = chunk[:room]
 		}
+		var pkts [][]byte
 		for len(chunk) > 0 {
 			m := len(chunk)
 			if ms := c.maxSegment(); m > ms {
@@ -171,12 +193,18 @@ func (c *Conn) Write(p []byte) (int, error) {
 			}
 			c.segs = append(c.segs, s)
 			c.nextOff += uint64(m)
-			c.sendSegmentLocked(s)
+			pkts = append(pkts, c.sealSegmentLocked(s))
 			chunk = chunk[m:]
 			p = p[m:]
 			total += m
 		}
+		c.mu.Unlock()
+		for _, pkt := range pkts {
+			_ = c.send(pkt)
+		}
+		c.mu.Lock()
 	}
+	c.mu.Unlock()
 	return total, nil
 }
 
@@ -207,7 +235,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 // handlePacket authenticates, replay-checks and dispatches one inbound
 // datagram. pkt is only valid for the duration of the call.
 func (c *Conn) handlePacket(pkt []byte) {
-	h, body, err := openPacket(c.key, pkt)
+	h, body, err := openPacket(c.openKey, pkt)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -320,29 +348,34 @@ func (c *Conn) drainOOOLocked() {
 	}
 }
 
+// mergeRanges collapses [start,end) ranges into a minimal sorted,
+// non-overlapping set, truncated to at most max entries.
+func mergeRanges(ranges [][2]uint64, max int) [][2]uint64 {
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+	merged := ranges[:0]
+	for _, r := range ranges {
+		if n := len(merged); n > 0 && r[0] <= merged[n-1][1] {
+			if r[1] > merged[n-1][1] {
+				merged[n-1][1] = r[1]
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	if len(merged) > max {
+		merged = merged[:max]
+	}
+	return merged
+}
+
 // sendAckLocked ships a cumulative ack plus up to maxAckRanges selective
 // ranges covering the parked out-of-order data.
 func (c *Conn) sendAckLocked() {
-	ranges := make([][2]uint64, 0, maxAckRanges)
+	ranges := make([][2]uint64, 0, len(c.ooo))
 	for _, s := range c.ooo {
-		start, end := s.off, s.off+uint64(len(s.data))
-		merged := false
-		for i := range ranges {
-			if start <= ranges[i][1] && end >= ranges[i][0] {
-				if start < ranges[i][0] {
-					ranges[i][0] = start
-				}
-				if end > ranges[i][1] {
-					ranges[i][1] = end
-				}
-				merged = true
-				break
-			}
-		}
-		if !merged && len(ranges) < maxAckRanges {
-			ranges = append(ranges, [2]uint64{start, end})
-		}
+		ranges = append(ranges, [2]uint64{s.off, s.off + uint64(len(s.data))})
 	}
+	ranges = mergeRanges(ranges, maxAckRanges)
 	body := make([]byte, 9+16*len(ranges))
 	binary.BigEndian.PutUint64(body, c.recvBase)
 	body[8] = byte(len(ranges))
@@ -413,7 +446,7 @@ func (c *Conn) handleAckLocked(body []byte) {
 // retransmission of this session's handshake (e.g. a fresh re-dial from
 // the same source address under a new token).
 func (c *Conn) handleConnectRetry(pkt []byte) bool {
-	h, body, err := openPacket(c.key, pkt)
+	h, body, err := openPacket(c.openKey, pkt)
 	if err != nil || h.Type != ptConnect || len(body) < 8 {
 		return false
 	}
@@ -463,6 +496,7 @@ func (c *Conn) retransmitLoop() {
 		if c.cfg.IdleTimeout > 0 && now.Sub(c.lastRecv) > c.cfg.IdleTimeout {
 			failed = fmt.Errorf("%w: idle for %v", ErrSessionDead, c.cfg.IdleTimeout)
 		}
+		var pkts [][]byte
 		for _, s := range c.segs {
 			if failed != nil {
 				break
@@ -479,7 +513,7 @@ func (c *Conn) retransmitLoop() {
 			s.sentAt = now
 			c.stats.Retransmits++
 			c.trace(obs.EvPacketRetransmit, int32(s.retries), int32(len(s.data)))
-			c.sendSegmentLocked(s)
+			pkts = append(pkts, c.sealSegmentLocked(s))
 		}
 		if failed != nil {
 			c.failLocked(failed)
@@ -488,6 +522,10 @@ func (c *Conn) retransmitLoop() {
 			return
 		}
 		c.mu.Unlock()
+		// Ship retransmits with mu released (same reasoning as Write).
+		for _, pkt := range pkts {
+			_ = c.send(pkt)
+		}
 	}
 }
 

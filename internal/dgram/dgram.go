@@ -10,11 +10,16 @@
 // them run unchanged over either TCP or this layer:
 //
 //   - every datagram carries a per-direction monotonic packet sequence
-//     number and a truncated HMAC-SHA256 tag under the session key; the
+//     number and a truncated HMAC-SHA256 tag under a direction-specific
+//     key derived from the session key (each side seals under its own
+//     direction key, so reflected datagrams fail authentication); the
 //     receiver keeps a 256-entry sliding replay window and rejects (and
 //     counts) duplicates and out-of-window sequences. Retransmitted data is
 //     sent under a fresh packet sequence, so the replay window only ever
-//     fires on genuine network duplication or replay.
+//     fires on genuine network duplication or replay. The listener also
+//     remembers which (session key, dial nonce) pairs already established
+//     a session, so a replayed connect datagram cannot displace a live
+//     session or mint zombie ones.
 //   - the byte stream is packetized into MTU-sized segments addressed by
 //     stream offset; frames larger than one datagram are fragmented across
 //     segments and reassembled by contiguity on the receive side.

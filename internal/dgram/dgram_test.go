@@ -2,6 +2,7 @@ package dgram
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -469,6 +470,143 @@ func TestDialRefused(t *testing.T) {
 	}
 	if len(l.Sessions()) != 0 {
 		t.Fatal("refused dials left sessions behind")
+	}
+}
+
+// TestReflectedPacketRejected proves direction-key separation: a host's
+// own sealed datagrams bounced back at it by an on-path attacker fail
+// authentication, and so can never enter the replay window, corrupt the
+// receive stream, or falsely advance the ack state.
+func TestReflectedPacketRejected(t *testing.T) {
+	_, client, server := startPair(t, fastCfg())
+
+	msg := []byte("reflect me")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	for _, victim := range []*Conn{client, server} {
+		victim.mu.Lock()
+		// A data packet and an ack the victim itself might have sent,
+		// with sequences ahead of its own counter (fresh in any window).
+		data := make([]byte, dataOverhead+4)
+		binary.BigEndian.PutUint64(data, victim.nextOff)
+		ack := make([]byte, 9)
+		binary.BigEndian.PutUint64(ack, victim.recvBase)
+		pkts := [][]byte{
+			sealPacket(victim.sealKey, header{Type: ptData, Session: victim.sid, Seq: victim.nextSeq + 50}, data),
+			sealPacket(victim.sealKey, header{Type: ptAck, Session: victim.sid, Seq: victim.nextSeq + 51}, ack),
+		}
+		replayBefore := victim.replay
+		cumBefore, baseBefore := victim.cumAcked, victim.recvBase
+		victim.mu.Unlock()
+
+		before := victim.Stats()
+		for _, pkt := range pkts {
+			victim.handlePacket(pkt)
+		}
+		after := victim.Stats()
+		if after.BadPackets != before.BadPackets+2 {
+			t.Fatalf("reflected packets not rejected: bad %d -> %d", before.BadPackets, after.BadPackets)
+		}
+		if after.PacketsReceived != before.PacketsReceived || after.ReplayDrops != before.ReplayDrops {
+			t.Fatalf("reflected packets counted as received: %+v vs %+v", before, after)
+		}
+		victim.mu.Lock()
+		mutated := victim.replay != replayBefore || victim.cumAcked != cumBefore || victim.recvBase != baseBefore
+		victim.mu.Unlock()
+		if mutated {
+			t.Fatal("reflected packets mutated session state")
+		}
+	}
+}
+
+// TestConnectReplayDropped proves a captured ptConnect datagram replayed
+// within its token TTL neither mints a zombie session from a spoofed
+// source address nor displaces the live session it was captured from.
+func TestConnectReplayDropped(t *testing.T) {
+	cfg := fastCfg()
+	l, err := Listen("127.0.0.1:0", testSecret(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	token, key := mintFor(t, time.Minute, l.Addr().String())
+
+	acceptCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	client, err := Dial(l.Addr().String(), token, key, cfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	server := (<-acceptCh).(*Conn)
+
+	// Reconstruct the connect datagram the client sent — dial nonce plus
+	// token, sealed under the dial-direction key — exactly the bytes an
+	// on-path attacker captures off the wire.
+	client.mu.Lock()
+	dialNonce := client.dialNonce
+	client.mu.Unlock()
+	body := make([]byte, 8+len(token))
+	binary.BigEndian.PutUint64(body, dialNonce)
+	copy(body[8:], token)
+	dialKey, _ := dirKeys(key)
+	captured := sealPacket(dialKey, header{Type: ptConnect, Session: 0, Seq: 0}, body)
+
+	badBefore, _ := l.Stats()
+	// Replay from a spoofed, unrelated source address: no session minted.
+	spoofed := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	l.handleConnect(captured, spoofed, nil)
+	if n := len(l.Sessions()); n != 1 {
+		t.Fatalf("replayed connect minted a session: %d live", n)
+	}
+	// Replay from the client's own (spoofable) source address: the live
+	// session must not be displaced.
+	l.handleConnect(captured, server.RemoteAddr().(*net.UDPAddr), server)
+	if badAfter, _ := l.Stats(); badAfter != badBefore+2 {
+		t.Fatalf("replayed connects not counted: %d -> %d", badBefore, badAfter)
+	}
+	msg := []byte("still alive")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatalf("write after replay: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("read after replay: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("stream corrupted after replay: %q", got)
+	}
+}
+
+// TestMergeAckRanges covers the bridging case the single-pass merge got
+// wrong: a later range joining two earlier ones must collapse all three.
+func TestMergeAckRanges(t *testing.T) {
+	got := mergeRanges([][2]uint64{{30, 40}, {10, 20}, {20, 30}, {50, 60}}, maxAckRanges)
+	want := [][2]uint64{{10, 40}, {50, 60}}
+	if len(got) != len(want) {
+		t.Fatalf("mergeRanges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeRanges = %v, want %v", got, want)
+		}
+	}
+	// Truncation keeps the lowest ranges, and output stays sorted and
+	// non-overlapping.
+	got = mergeRanges([][2]uint64{{50, 60}, {10, 20}, {30, 40}}, 2)
+	if len(got) != 2 || got[0] != [2]uint64{10, 20} || got[1] != [2]uint64{30, 40} {
+		t.Fatalf("truncated mergeRanges = %v", got)
 	}
 }
 

@@ -11,6 +11,12 @@ import (
 	"mobiledist/internal/obs"
 )
 
+// maxUsedDials triggers a sweep of expired usedDials entries before a new
+// one is recorded. Growth is bounded by the rate of successful dials
+// within one token TTL (minting needs the cluster secret), so this is a
+// housekeeping threshold, not a hard cap.
+const maxUsedDials = 4096
+
 // Listener accepts datagram sessions on one shared UDP socket,
 // demultiplexing inbound packets to sessions by source address. It
 // implements net.Listener.
@@ -27,6 +33,15 @@ type Listener struct {
 	mu       sync.Mutex
 	sessions map[string]*Conn
 	closed   bool
+
+	// usedDials records the (session key, dial nonce) pair of every
+	// established session until its token expires. A captured ptConnect
+	// replayed within the token TTL still re-validates; without this
+	// cache it would displace the live session (a pure-replay
+	// session-kill) or, from other spoofed source addresses, mint
+	// unlimited zombie sessions. A genuine re-dial mints a fresh random
+	// dial nonce, so it never collides with a recorded pair.
+	usedDials map[string]time.Time // dialID -> token expiry; under mu
 
 	tokensRejected uint64 // under mu
 	badPackets     uint64 // under mu
@@ -49,12 +64,13 @@ func Listen(addr string, secret []byte, cfg Config) (*Listener, error) {
 		return nil, err
 	}
 	l := &Listener{
-		cfg:      cfg,
-		secret:   append([]byte(nil), secret...),
-		pc:       pc,
-		sessions: make(map[string]*Conn),
-		acceptCh: make(chan *Conn, cfg.AcceptBacklog),
-		done:     make(chan struct{}),
+		cfg:       cfg,
+		secret:    append([]byte(nil), secret...),
+		pc:        pc,
+		sessions:  make(map[string]*Conn),
+		usedDials: make(map[string]time.Time),
+		acceptCh:  make(chan *Conn, cfg.AcceptBacklog),
+		done:      make(chan struct{}),
 	}
 	l.advertise.Store("")
 	go l.readLoop()
@@ -176,11 +192,12 @@ func (l *Listener) handleConnect(pkt []byte, raddr *net.UDPAddr, replace *Conn) 
 	}
 	dialNonce := binary.BigEndian.Uint64(body[:8])
 	token := body[8:]
+	now := time.Now()
 	adv, _ := l.advertise.Load().(string)
 	own := l.pc.LocalAddr().String()
-	_, key, err := Validate(l.secret, token, own, time.Now())
+	info, key, err := Validate(l.secret, token, own, now)
 	if err != nil && adv != "" && adv != own {
-		_, key, err = Validate(l.secret, token, adv, time.Now())
+		info, key, err = Validate(l.secret, token, adv, now)
 	}
 	if err != nil {
 		l.mu.Lock()
@@ -188,12 +205,23 @@ func (l *Listener) handleConnect(pkt []byte, raddr *net.UDPAddr, replace *Conn) 
 		l.mu.Unlock()
 		return
 	}
-	// The packet MAC under the derived key proves the dialer holds the
-	// key, not just a captured token.
-	if _, _, err := openPacket(key, pkt); err != nil {
+	// The packet MAC under the dial-direction key proves the dialer holds
+	// the session key, not just a captured token.
+	dialKey, _ := dirKeys(key)
+	if _, _, err := openPacket(dialKey, pkt); err != nil {
 		l.noteBadPacket()
 		return
 	}
+	// A (key, dial nonce) pair that already opened a session marks this
+	// connect as a replay of a captured datagram, not a fresh dial.
+	dialID := string(key) + string(body[:8])
+	l.mu.Lock()
+	if exp, ok := l.usedDials[dialID]; ok && now.Before(exp) {
+		l.badPackets++
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
 
 	var sidBytes [8]byte
 	if _, err := rand.Read(sidBytes[:]); err != nil {
@@ -229,9 +257,19 @@ func (l *Listener) handleConnect(pkt []byte, raddr *net.UDPAddr, replace *Conn) 
 	case l.acceptCh <- c:
 	default:
 		l.mu.Unlock()
-		return // backlog full: drop; the dialer retries
+		return // backlog full: drop; the dialer retries (same dial nonce, still unused)
 	}
 	l.sessions[addrKey] = c
+	// Record the pair only once the session is installed, so a dialer
+	// whose first attempt hit a full backlog can retry the same connect.
+	if len(l.usedDials) >= maxUsedDials {
+		for k, exp := range l.usedDials {
+			if !now.Before(exp) {
+				delete(l.usedDials, k)
+			}
+		}
+	}
+	l.usedDials[dialID] = info.Expiry
 	l.mu.Unlock()
 
 	if replace != nil && replace != c {

@@ -19,9 +19,15 @@ import (
 //	20  body...
 //	len-16  HMAC-SHA256 tag over bytes [0, len-16), truncated to 16 bytes
 //
-// Every packet type is authenticated: ptConnect under the session key the
-// token derives (proving the dialer holds the key, not just a captured
-// token), everything else under the established session key.
+// Every packet type is authenticated under a direction-specific key
+// derived from the token's session key (dirKeys): each side seals under
+// its own direction key and opens under the peer's, so an on-path
+// attacker reflecting a host's own datagrams back at it fails
+// authentication outright — a reflected packet can never reach the
+// replay window, the stream state, or the ack handling. ptConnect is
+// sealed under the dial-direction key (proving the dialer holds the
+// session key, not just a captured token); ptAccept and everything the
+// server sends travel under the accept-direction key.
 const (
 	packetVersion = 1
 	headerSize    = 20
@@ -93,6 +99,24 @@ func decodeHeader(pkt []byte, withTag bool) (header, []byte, error) {
 		body = body[:len(body)-tagSize]
 	}
 	return h, body, nil
+}
+
+var (
+	dirLabelDial   = []byte("mobiledist-dgram-dir-dial\x00")
+	dirLabelAccept = []byte("mobiledist-dgram-dir-accept\x00")
+)
+
+// dirKeys derives the two per-direction sealing keys from the token's
+// session key. Both directions sharing one sealing key would let an
+// attacker reflect a host's own datagrams back at it (they authenticate,
+// and their sequences are fresh in the victim's inbound replay window);
+// with split keys a reflected packet fails the MAC.
+func dirKeys(key []byte) (dial, accept []byte) {
+	d := hmac.New(sha256.New, key)
+	d.Write(dirLabelDial)
+	a := hmac.New(sha256.New, key)
+	a.Write(dirLabelAccept)
+	return d.Sum(nil), a.Sum(nil)
 }
 
 // sealPacket builds one authenticated datagram: header + body + tag.
