@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos chaos-net chaos-udp soak tables
+.PHONY: ci vet staticcheck build test race bench bench-smoke bench-scale bench-snapshot bench-check bench-delta scale-smoke fuzz fuzz-short chaos chaos-net chaos-udp chaos-dtn soak tables
 
-ci: vet staticcheck build test race chaos chaos-net chaos-udp bench-smoke scale-smoke fuzz-short bench-check
+ci: vet staticcheck build test race chaos chaos-net chaos-udp chaos-dtn bench-smoke scale-smoke fuzz-short bench-check
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +83,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzPayloadDecoders -fuzztime 30s ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzPacketHeader -fuzztime 30s ./internal/dgram
 	$(GO) test -run xxx -fuzz FuzzConnectToken -fuzztime 30s ./internal/dgram
+	$(GO) test -run xxx -fuzz FuzzSummaryVector -fuzztime 30s ./internal/dtn
 
 # The same fuzz targets with a budget small enough for the ci gate: the
 # wire decoders and the datagram packet/token parsers read bytes straight
@@ -93,6 +94,7 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzPayloadDecoders -fuzztime 5s ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzPacketHeader -fuzztime 5s ./internal/dgram
 	$(GO) test -run xxx -fuzz FuzzConnectToken -fuzztime 5s ./internal/dgram
+	$(GO) test -run xxx -fuzz FuzzSummaryVector -fuzztime 5s ./internal/dtn
 
 # Chaos conformance: the substrate-parity invariants re-run under seeded
 # fault plans (wireless loss, link flaps, MSS crash/restart) on the
@@ -118,6 +120,16 @@ chaos-net:
 chaos-udp:
 	$(GO) test -race -run 'TestUDP' -count 1 -timeout 300s ./internal/conformance/ ./internal/nemesis/
 	$(GO) test -race -count 1 ./internal/dgram/
+
+# Store-carry-forward conformance: the custody subsystem's chaos and
+# cross-substrate tests — delivery ratio strictly above the park-at-MSS
+# baseline under custodian-crash plans, exactly-once + FIFO drain under
+# wireless loss on all four substrates, token recovery still regenerating
+# exactly once with DTN attached — plus the dtn package's own suite, race
+# detector on. See DESIGN.md §13.
+chaos-dtn:
+	$(GO) test -race -run 'TestChaosDTN|TestConformanceDTN' -count 1 ./internal/conformance/
+	$(GO) test -race -count 1 ./internal/dtn/
 
 # Extended loopback soak: churn + CS traffic + fault injection + one relay
 # crash/restart cycle over real sockets for 15s under the race detector

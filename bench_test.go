@@ -44,6 +44,9 @@ func BenchmarkA3LazyInform(b *testing.B)     { benchTable(b, experiments.A3LazyI
 func BenchmarkA4MulticastHandoff(b *testing.B) {
 	benchTable(b, experiments.A4MulticastHandoff)
 }
+func BenchmarkD1StoreCarryForward(b *testing.B) {
+	benchTable(b, experiments.D1StoreCarryForward)
+}
 
 // Micro-benchmarks of the substrate under the experiment suite.
 

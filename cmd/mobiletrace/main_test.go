@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mobiledist"
+	"mobiledist/internal/obs"
 )
 
 // captureTrace runs a small seeded simulation with a scripted mobility
@@ -139,5 +140,46 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"show", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errOut); code != 2 {
 		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+// TestSpacetimeGoldenDTN pins the exact diagram rendered for the
+// store-carry-forward bundle events: custody and terminal marks on the
+// custodian station's lane, replica transfers as station-to-station
+// arrows. The trace is hand-built so the golden output is stable.
+func TestSpacetimeGoldenDTN(t *testing.T) {
+	tr := obs.Trace{M: 3, N: 1, Events: []obs.Event{
+		{T: 10, Kind: obs.EvDisconnect, A: 0, B: 2},
+		{T: 20, Kind: obs.EvBundleCustody, A: 1, B: 2, C: 0},
+		{T: 30, Kind: obs.EvBundleTransfer, A: 1, B: 2, C: 0},
+		{T: 40, Kind: obs.EvBundleExpired, A: 2, B: 1, C: 0},
+		{T: 50, Kind: obs.EvBundleDropped, A: 3, B: 0, C: 0},
+		{T: 60, Kind: obs.EvReconnect, A: 0, B: 1},
+		{T: 70, Kind: obs.EvBundleDelivered, A: 1, B: 0, C: 2},
+	}}
+	path := filepath.Join(t.TempDir(), "dtn.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	f.Close()
+	var out, errOut strings.Builder
+	if code := run([]string{"spacetime", path}, &out, &errOut); code != 0 {
+		t.Fatalf("spacetime: exit %d\n%s", code, errOut.String())
+	}
+	golden := "" +
+		"      time s0 s1 s2 h0 \n" +
+		"        10 .  .  .  D   disconnect 0 2 0\n" +
+		"        20 .  .  c  .   bundle-custody 1 2 0\n" +
+		"        30 >  -  o  .   bundle-transfer 1 2 0\n" +
+		"        40 .  x  .  .   bundle-expired 2 1 0\n" +
+		"        50 !  .  .  .   bundle-dropped 3 0 0\n" +
+		"        60 .  .  .  R   reconnect 0 1 0\n" +
+		"        70 b  .  .  .   bundle-delivered 1 0 2\n"
+	if got := out.String(); got != golden {
+		t.Errorf("spacetime DTN diagram diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
 }

@@ -18,6 +18,12 @@ import (
 //
 //	L leave   J join   D disconnect   R reconnect   H handoff
 //	q cs-request   E cs-enter   X cs-exit   v deliver   * other
+//
+// Store-carry-forward (DTN) bundle events mark the custodian station's
+// lane, and replica transfers draw an arrow between the station lanes:
+//
+//	c custody accepted   b bundle delivered   x bundle expired
+//	! bundle dropped     o--->  replica transfer
 func renderSpacetime(tr obs.Trace, limit int, out io.Writer) error {
 	if tr.M <= 0 || tr.N <= 0 {
 		return fmt.Errorf("trace has no single topology (M=%d N=%d): spacetime needs a trace captured from one system shape", tr.M, tr.N)
@@ -77,6 +83,16 @@ func renderSpacetime(tr obs.Trace, limit int, out io.Writer) error {
 			mark, markLane = 'E', tr.M+int(ev.A)
 		case obs.EvCSExit:
 			mark, markLane = 'X', tr.M+int(ev.A)
+		case obs.EvBundleCustody:
+			mark, markLane = 'c', int(ev.B)%lanes
+		case obs.EvBundleTransfer:
+			from, to = int(ev.B), int(ev.C)
+		case obs.EvBundleDelivered:
+			mark, markLane = 'b', int(ev.B)%lanes
+		case obs.EvBundleExpired:
+			mark, markLane = 'x', int(ev.B)%lanes
+		case obs.EvBundleDropped:
+			mark, markLane = '!', int(ev.B)%lanes
 		case obs.EvSearch, obs.EvFailure:
 			mark, markLane = '*', int(ev.B)%lanes
 		}

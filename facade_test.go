@@ -236,7 +236,7 @@ func TestPropertyGroupDeliveryCount(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := mobiledist.ExperimentIDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	tab, ok := mobiledist.ExperimentByID("E10", 1)

@@ -71,6 +71,10 @@ type Config struct {
 	// (0 derives a default from the wireless latency range).
 	ARQTimeout sim.Time
 
+	// WaiterLimit caps the per-MH in-transit waiter queue (see
+	// engine.Config.WaiterLimit); 0 means unlimited.
+	WaiterLimit int
+
 	// StepLimit bounds total simulation events as a runaway-protocol
 	// backstop; 0 applies a generous default.
 	StepLimit uint64
@@ -164,6 +168,7 @@ func (c Config) engineConfig() engine.Config {
 		PessimisticSearch: c.PessimisticSearch,
 		ReliableWireless:  reliable,
 		ARQTimeout:        c.ARQTimeout,
+		WaiterLimit:       c.WaiterLimit,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
 		Obs:               c.Obs,

@@ -33,6 +33,11 @@ func (s *simSubstrate) Enqueue(fn func()) { s.kernel.Schedule(0, fn) }
 
 func (s *simSubstrate) After(d sim.Time, fn func()) { s.kernel.Schedule(d, fn) }
 
+// DaemonAfter implements engine.DaemonScheduler. On the simulator a daemon
+// timer is an ordinary scheduled event: virtual time only advances by
+// running events, so there is no idle accounting to keep open.
+func (s *simSubstrate) DaemonAfter(d sim.Time, fn func()) { s.kernel.Schedule(d, fn) }
+
 func (s *simSubstrate) BindRecSink(sink engine.RecSink) {
 	s.step = func(a any) { sink.StepRec(a.(*engine.DeliveryRec)) }
 }

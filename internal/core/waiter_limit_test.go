@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"mobiledist/internal/cost"
+)
+
+// TestWaiterLimitDropsOverflow pins the bounded waiter queue: with
+// WaiterLimit set and no custody hook attached, routed messages beyond
+// the in-transit queue cap are discarded, counted in Stats.WaiterDrops,
+// and everything under the cap still delivers after the join.
+func TestWaiterLimitDropsOverflow(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.WaiterLimit = 1
+	cfg.Wireless = FixedDelay(2)
+	cfg.Wired = FixedDelay(3)
+	cfg.Travel = FixedDelay(100)
+	sys := MustNewSystem(cfg)
+	p := &probe{}
+	ctx := sys.Register(p)
+
+	sys.Schedule(5, func() {
+		if err := sys.Move(0, 1); err != nil {
+			t.Errorf("Move: %v", err)
+		}
+	})
+	sys.Schedule(20, func() {
+		ctx.SendToMH(0, 0, "kept", cost.CatAlgorithm)
+		ctx.SendToMH(0, 0, "dropped-1", cost.CatAlgorithm)
+		ctx.SendToMH(0, 0, "dropped-2", cost.CatAlgorithm)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.Stats().WaiterDrops; got != 2 {
+		t.Errorf("WaiterDrops = %d, want 2", got)
+	}
+	if len(p.mhGot) != 1 || p.mhGot[0].Msg != "kept" {
+		t.Errorf("deliveries = %v, want only the first queued message", p.mhGot)
+	}
+}
+
+// TestWaiterLimitUnsetKeepsEverything is the control: the default
+// unlimited queue parks any number of messages and delivers them all.
+func TestWaiterLimitUnsetKeepsEverything(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Wireless = FixedDelay(2)
+	cfg.Wired = FixedDelay(3)
+	cfg.Travel = FixedDelay(100)
+	sys := MustNewSystem(cfg)
+	p := &probe{}
+	ctx := sys.Register(p)
+
+	sys.Schedule(5, func() {
+		if err := sys.Move(0, 1); err != nil {
+			t.Errorf("Move: %v", err)
+		}
+	})
+	sys.Schedule(20, func() {
+		for i := 0; i < 8; i++ {
+			ctx.SendToMH(0, 0, i, cost.CatAlgorithm)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.Stats().WaiterDrops; got != 0 {
+		t.Errorf("WaiterDrops = %d, want 0 without a limit", got)
+	}
+	if len(p.mhGot) != 8 {
+		t.Errorf("got %d deliveries, want all 8", len(p.mhGot))
+	}
+}

@@ -1,0 +1,71 @@
+package dtn
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Summary-vector codec: the anti-entropy payload exchanged by the
+// epidemic strategy. A summary is the sorted set of bundle IDs a store
+// holds, encoded as a varint count followed by varint deltas between
+// consecutive IDs (first delta is from zero). Sorted-set + delta keeps
+// the common dense-ID case near one byte per bundle, and gives the codec
+// a canonical form: decode∘encode is the identity on valid encodings,
+// which FuzzSummaryVector checks as a fixpoint.
+
+// EncodeSummary encodes the bundle-ID set. ids must be sorted ascending
+// and duplicate-free (Store.IDs returns exactly that); Encode panics on
+// out-of-order input rather than silently producing an undecodable
+// vector.
+func EncodeSummary(ids []BundleID) []byte {
+	buf := make([]byte, 0, 1+len(ids))
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := uint64(0)
+	for i, id := range ids {
+		v := uint64(id)
+		if i > 0 && v <= prev {
+			panic(fmt.Sprintf("dtn: EncodeSummary ids not strictly ascending at %d", i))
+		}
+		buf = binary.AppendUvarint(buf, v-prev)
+		prev = v
+	}
+	return buf
+}
+
+// DecodeSummary decodes a summary vector, returning the IDs in ascending
+// order. It rejects truncated input, trailing garbage, duplicate IDs,
+// and deltas that would overflow.
+func DecodeSummary(data []byte) ([]BundleID, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("dtn: summary count: bad varint")
+	}
+	data = data[k:]
+	if n > uint64(len(data)) {
+		// Each delta takes at least one byte; a count beyond the
+		// remaining length is corrupt (and guards the allocation below).
+		return nil, fmt.Errorf("dtn: summary count %d exceeds payload", n)
+	}
+	ids := make([]BundleID, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("dtn: summary delta %d: bad varint", i)
+		}
+		data = data[k:]
+		if i > 0 && d == 0 {
+			return nil, fmt.Errorf("dtn: summary delta %d: duplicate id", i)
+		}
+		v := prev + d
+		if v < prev {
+			return nil, fmt.Errorf("dtn: summary delta %d: overflow", i)
+		}
+		ids = append(ids, BundleID(v))
+		prev = v
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("dtn: summary has %d trailing bytes", len(data))
+	}
+	return ids, nil
+}

@@ -1,0 +1,82 @@
+package dtn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestSummaryRoundTrip(t *testing.T) {
+	cases := [][]BundleID{
+		nil,
+		{0},
+		{1},
+		{1, 2, 3},
+		{7, 300, 301, 1 << 40},
+	}
+	for _, ids := range cases {
+		enc := EncodeSummary(ids)
+		got, err := DecodeSummary(enc)
+		if err != nil {
+			t.Fatalf("DecodeSummary(%v): %v", ids, err)
+		}
+		if len(got) == 0 && len(ids) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, ids) {
+			t.Fatalf("round trip %v -> %v", ids, got)
+		}
+	}
+}
+
+func TestSummaryRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      {3, 1, 2},
+		"count-too-big":  {200},
+		"trailing":       append(EncodeSummary([]BundleID{1, 2}), 0),
+		"duplicate":      {2, 5, 0},
+		"overflow-delta": {2, 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1},
+	}
+	for name, data := range cases {
+		if ids, err := DecodeSummary(data); err == nil {
+			t.Errorf("%s: decoded %v, want error", name, ids)
+		}
+	}
+}
+
+func TestEncodeSummaryPanicsOnUnsortedInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeSummary accepted out-of-order ids")
+		}
+	}()
+	EncodeSummary([]BundleID{3, 2})
+}
+
+// FuzzSummaryVector checks the codec fixpoint: any input that decodes
+// re-encodes to a canonical form that decodes to the same set and
+// re-encodes to the same bytes.
+func FuzzSummaryVector(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add(EncodeSummary([]BundleID{0}))
+	f.Add(EncodeSummary([]BundleID{1, 5, 9}))
+	f.Add(EncodeSummary([]BundleID{7, 300, 301, 1 << 40}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, err := DecodeSummary(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSummary(ids)
+		ids2, err := DecodeSummary(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(ids2, ids) && !(len(ids) == 0 && len(ids2) == 0) {
+			t.Fatalf("decode(encode(ids)) = %v, want %v", ids2, ids)
+		}
+		if enc2 := EncodeSummary(ids2); !bytes.Equal(enc2, enc) {
+			t.Fatalf("encoding is not a fixpoint: % x vs % x", enc2, enc)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package dtn
+
+import (
+	"reflect"
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/cost"
+	"mobiledist/internal/engine"
+	"mobiledist/internal/obs"
+)
+
+// probe records deliveries and failure notifications for the test
+// traffic riding over the custody layer.
+type probe struct {
+	got   []engine.Message
+	fails []engine.Message
+}
+
+func (p *probe) Name() string { return "probe" }
+func (p *probe) HandleMH(ctx engine.Context, at engine.MHID, msg engine.Message) {
+	p.got = append(p.got, msg)
+}
+func (p *probe) OnDeliveryFailure(ctx engine.Context, at engine.MSSID, mh engine.MHID, msg engine.Message, reason engine.FailReason) {
+	p.fails = append(p.fails, msg)
+}
+
+// fixedSys builds a deterministic simulator system with a probe and a
+// custody manager attached.
+func fixedSys(t *testing.T, cfg core.Config, dcfg Config) (*core.System, *probe, engine.Context, *Manager) {
+	t.Helper()
+	cfg.Wireless = core.FixedDelay(2)
+	cfg.Wired = core.FixedDelay(3)
+	cfg.Travel = core.FixedDelay(5)
+	sys := core.MustNewSystem(cfg)
+	p := &probe{}
+	ctx := sys.Register(p)
+	mgr, err := New(sys, dcfg)
+	if err != nil {
+		t.Fatalf("dtn.New: %v", err)
+	}
+	return sys, p, ctx, mgr
+}
+
+// TestParkDeliversAfterReconnect is the core custody scenario: messages
+// routed to a disconnected host park at its last station and drain, in
+// order, when it reconnects in a different cell.
+func TestParkDeliversAfterReconnect(t *testing.T) {
+	sys, p, ctx, mgr := fixedSys(t, core.DefaultConfig(3, 1), Config{})
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(10, func() {
+		ctx.SendToMH(1, 0, "a", cost.CatAlgorithm)
+		ctx.SendToMH(1, 0, "b", cost.CatAlgorithm)
+		ctx.SendToMH(1, 0, "c", cost.CatAlgorithm)
+	})
+	sys.Schedule(50, func() {
+		if err := sys.Reconnect(0, 2, true); err != nil {
+			t.Fatalf("Reconnect: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := []engine.Message{"a", "b", "c"}; !reflect.DeepEqual(p.got, want) {
+		t.Fatalf("deliveries = %v, want %v", p.got, want)
+	}
+	if len(p.fails) != 0 {
+		t.Fatalf("failures = %v, want none", p.fails)
+	}
+	st := mgr.Stats()
+	if st.Accepted != 3 || st.Delivered != 3 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 3 accepted, 3 delivered", st)
+	}
+	if mgr.StoredTotal() != 0 {
+		t.Fatalf("StoredTotal = %d after drain, want 0", mgr.StoredTotal())
+	}
+}
+
+// TestParkTTLExpiryNotifiesSender pins the terminal path: a parked
+// bundle whose TTL passes before the host returns is dropped and the
+// origin gets the base protocol's delivery-failure notification.
+func TestParkTTLExpiryNotifiesSender(t *testing.T) {
+	sys, p, ctx, mgr := fixedSys(t, core.DefaultConfig(2, 1), Config{TTL: 50})
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(10, func() { ctx.SendToMH(1, 0, "late", cost.CatAlgorithm) })
+	sys.Schedule(300, func() {
+		if err := sys.Reconnect(0, 1, true); err != nil {
+			t.Fatalf("Reconnect: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(p.got) != 0 {
+		t.Fatalf("deliveries = %v, want none (TTL expired)", p.got)
+	}
+	if want := []engine.Message{"late"}; !reflect.DeepEqual(p.fails, want) {
+		t.Fatalf("failures = %v, want %v", p.fails, want)
+	}
+	st := mgr.Stats()
+	if st.Expired != 1 || st.Failed != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 1 expired, 1 failed", st)
+	}
+}
+
+// TestQuotaRefusalFallsBackToFailure: when the per-MH quota is full the
+// custody offer is refused and the engine's ordinary failure
+// notification reaches the sender immediately.
+func TestQuotaRefusalFallsBackToFailure(t *testing.T) {
+	sys, p, ctx, mgr := fixedSys(t, core.DefaultConfig(2, 1), Config{MHQuota: 1})
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(10, func() {
+		ctx.SendToMH(1, 0, "first", cost.CatAlgorithm)
+		ctx.SendToMH(1, 0, "second", cost.CatAlgorithm)
+	})
+	sys.Schedule(100, func() {
+		if err := sys.Reconnect(0, 1, true); err != nil {
+			t.Fatalf("Reconnect: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := []engine.Message{"first"}; !reflect.DeepEqual(p.got, want) {
+		t.Fatalf("deliveries = %v, want %v", p.got, want)
+	}
+	if want := []engine.Message{"second"}; !reflect.DeepEqual(p.fails, want) {
+		t.Fatalf("failures = %v, want %v", p.fails, want)
+	}
+	st := mgr.Stats()
+	if st.Accepted != 1 || st.DroppedQuota != 1 {
+		t.Fatalf("stats = %+v, want 1 accepted, 1 quota drop", st)
+	}
+}
+
+// TestEpidemicSurvivesCustodianCrash: gossip replicates parked bundles
+// to neighbouring stations, so wiping the original custodian loses no
+// traffic — the replicas deliver at reconnection. The same scenario
+// under Park would lose everything.
+func TestEpidemicSurvivesCustodianCrash(t *testing.T) {
+	cfg := core.DefaultConfig(4, 1)
+	cfg.Faults = &core.FaultPlan{Crashes: []core.Crash{{MSS: 0, At: 300, RestartAt: 400}}}
+	sys, p, ctx, mgr := fixedSys(t, cfg, Config{Strategy: Epidemic{Every: 50}})
+	inj := sys.Injector()
+	inj.OnCrash(mgr.NoteCrash)
+	inj.OnRestart(mgr.NoteRestart)
+	inj.Arm()
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(30, func() {
+		ctx.SendToMH(2, 0, "x", cost.CatAlgorithm)
+		ctx.SendToMH(2, 0, "y", cost.CatAlgorithm)
+	})
+	sys.Schedule(500, func() {
+		if err := sys.Reconnect(0, 2, true); err != nil {
+			t.Fatalf("Reconnect: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(p.got) != 2 {
+		t.Fatalf("deliveries = %v, want both messages despite the custodian crash", p.got)
+	}
+	if len(p.fails) != 0 {
+		t.Fatalf("failures = %v, want none", p.fails)
+	}
+	st := mgr.Stats()
+	if st.Delivered != 2 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 2 delivered, 0 failed", st)
+	}
+	if st.Lost == 0 {
+		t.Fatalf("stats = %+v, want crash-wiped replicas counted in Lost", st)
+	}
+	if st.SummariesSent == 0 || st.Transfers == 0 {
+		t.Fatalf("stats = %+v, want anti-entropy activity", st)
+	}
+}
+
+// TestSprayReplicatesAlongVisitHistory: binary spray-and-wait places
+// replicas in the destination's recently visited cells, halving the
+// token budget at each hop, and the replication cost surfaces in the
+// bundle-copies histogram.
+func TestSprayReplicatesAlongVisitHistory(t *testing.T) {
+	tr := obs.NewTracer(0).WithMetrics(obs.NewMetrics())
+	cfg := core.DefaultConfig(4, 1)
+	cfg.Obs = tr
+	sys, p, ctx, mgr := fixedSys(t, cfg, Config{Strategy: SprayAndWait{}, SprayCopies: 4})
+	sys.Schedule(10, func() { _ = sys.Move(0, 1) })
+	sys.Schedule(40, func() { _ = sys.Move(0, 2) })
+	sys.Schedule(70, func() { _ = sys.Disconnect(0) })
+	sys.Schedule(100, func() { ctx.SendToMH(3, 0, "sprayed", cost.CatAlgorithm) })
+	sys.Schedule(300, func() {
+		if err := sys.Reconnect(0, 3, true); err != nil {
+			t.Fatalf("Reconnect: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := []engine.Message{"sprayed"}; !reflect.DeepEqual(p.got, want) {
+		t.Fatalf("deliveries = %v, want %v", p.got, want)
+	}
+	st := mgr.Stats()
+	// Custody at cell 2, sprayed to cell 1 (2 tokens), then on to cell 0
+	// (1 token): three replicas total, two of which dedupe at delivery.
+	if st.Accepted != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v, want 1 accepted, 1 delivered", st)
+	}
+	if st.Duplicates != 2 {
+		t.Fatalf("stats = %+v, want 2 duplicate replicas discarded", st)
+	}
+	ms := tr.MetricsSnapshot()
+	if ms.BundleCopies.Count() != 1 || ms.BundleCopies.Max() != 3 {
+		t.Fatalf("bundle-copies histogram n=%d max=%d, want n=1 max=3",
+			ms.BundleCopies.Count(), ms.BundleCopies.Max())
+	}
+	if ms.BundleCustodyTicks.Count() != 1 {
+		t.Fatalf("bundle-custody-ticks n=%d, want 1", ms.BundleCustodyTicks.Count())
+	}
+}
+
+// TestWaiterOverflowHandsCustody: with a bounded waiter queue and the
+// custody layer attached, routed messages beyond the in-transit queue
+// limit become bundles instead of drops, and everything still delivers
+// after the join.
+func TestWaiterOverflowHandsCustody(t *testing.T) {
+	cfg := core.DefaultConfig(2, 1)
+	cfg.WaiterLimit = 1
+	cfg.Wireless = core.FixedDelay(2)
+	cfg.Wired = core.FixedDelay(3)
+	// A long transit keeps mh0 between cells while the sends arrive.
+	cfg.Travel = core.FixedDelay(100)
+	sys := core.MustNewSystem(cfg)
+	p := &probe{}
+	ctx := sys.Register(p)
+	mgr, err := New(sys, Config{})
+	if err != nil {
+		t.Fatalf("dtn.New: %v", err)
+	}
+	sys.Schedule(5, func() { _ = sys.Move(0, 1) })
+	sys.Schedule(20, func() {
+		ctx.SendToMH(0, 0, "q1", cost.CatAlgorithm)
+		ctx.SendToMH(0, 0, "q2", cost.CatAlgorithm)
+		ctx.SendToMH(0, 0, "q3", cost.CatAlgorithm)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(p.got) != 3 {
+		t.Fatalf("deliveries = %v, want all 3 (overflow takes custody)", p.got)
+	}
+	if got := sys.Stats().WaiterDrops; got != 0 {
+		t.Fatalf("WaiterDrops = %d, want 0 with custody attached", got)
+	}
+	if st := mgr.Stats(); st.Accepted != 2 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v, want 2 overflow bundles accepted and delivered", st)
+	}
+}

@@ -1,0 +1,165 @@
+package dtn
+
+import (
+	"sort"
+
+	"mobiledist/internal/engine"
+)
+
+// Store is one station's bounded replica store. It is a plain in-memory
+// structure accessed on the engine's execution context; the Manager owns
+// one per MSS and serialises access.
+//
+// Admission policy: an arrival over the destination's per-MH quota is
+// refused outright (the quota protects other hosts' space from one busy
+// destination); an arrival at a full store evicts the least-recently-
+// useful resident to make room (usefulness is refreshed when a peer asks
+// for the bundle during anti-entropy, so bundles nobody wants age out
+// first).
+type Store struct {
+	cap   int // 0 = unlimited
+	quota int // per-MH, 0 = unlimited
+
+	byID map[BundleID]*storeEntry
+	// order is the LRU list, least recently useful first.
+	head, tail *storeEntry
+	perMH      map[engine.MHID]int
+}
+
+type storeEntry struct {
+	b          *Bundle
+	prev, next *storeEntry
+}
+
+// NewStore returns an empty store with the given capacity and per-MH
+// quota (0 = unlimited for either).
+func NewStore(cap, quota int) *Store {
+	return &Store{
+		cap:   cap,
+		quota: quota,
+		byID:  make(map[BundleID]*storeEntry),
+		perMH: make(map[engine.MHID]int),
+	}
+}
+
+// Len reports the number of resident bundles.
+func (s *Store) Len() int { return len(s.byID) }
+
+// Has reports whether the bundle is resident.
+func (s *Store) Has(id BundleID) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// Get returns the resident replica, or nil.
+func (s *Store) Get(id BundleID) *Bundle {
+	if e, ok := s.byID[id]; ok {
+		return e.b
+	}
+	return nil
+}
+
+// Put admits b. It returns the replica evicted to make room (nil when
+// none) and whether b was admitted; refusal means the per-MH quota was
+// exhausted. The caller must not Put an ID that is already resident.
+func (s *Store) Put(b *Bundle) (evicted *Bundle, ok bool) {
+	if s.quota > 0 && s.perMH[b.MH] >= s.quota {
+		return nil, false
+	}
+	if s.cap > 0 && len(s.byID) >= s.cap {
+		evicted = s.removeEntry(s.head)
+	}
+	e := &storeEntry{b: b}
+	s.byID[b.ID] = e
+	s.pushBack(e)
+	s.perMH[b.MH]++
+	return evicted, true
+}
+
+// Remove deletes the replica and returns it, or nil if absent.
+func (s *Store) Remove(id BundleID) *Bundle {
+	e, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	return s.removeEntry(e)
+}
+
+// Touch marks the replica recently useful, moving it to the safe end of
+// the eviction order.
+func (s *Store) Touch(id BundleID) {
+	e, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	s.unlink(e)
+	s.pushBack(e)
+}
+
+// IDs returns the resident bundle IDs in ascending order.
+func (s *Store) IDs() []BundleID {
+	ids := make([]BundleID, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ForMH returns the resident bundles destined for mh in ascending ID
+// order (custody-acceptance order, hence per-pair send order).
+func (s *Store) ForMH(mh engine.MHID) []*Bundle {
+	var out []*Bundle
+	for _, e := range s.byID {
+		if e.b.MH == mh {
+			out = append(out, e.b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// All returns every resident bundle in ascending ID order.
+func (s *Store) All() []*Bundle {
+	out := make([]*Bundle, 0, len(s.byID))
+	for _, e := range s.byID {
+		out = append(out, e.b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *Store) removeEntry(e *storeEntry) *Bundle {
+	s.unlink(e)
+	delete(s.byID, e.b.ID)
+	if n := s.perMH[e.b.MH] - 1; n > 0 {
+		s.perMH[e.b.MH] = n
+	} else {
+		delete(s.perMH, e.b.MH)
+	}
+	return e.b
+}
+
+func (s *Store) pushBack(e *storeEntry) {
+	e.prev, e.next = s.tail, nil
+	if s.tail != nil {
+		s.tail.next = e
+	} else {
+		s.head = e
+	}
+	s.tail = e
+}
+
+func (s *Store) unlink(e *storeEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

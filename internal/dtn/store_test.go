@@ -1,0 +1,69 @@
+package dtn
+
+import (
+	"reflect"
+	"testing"
+
+	"mobiledist/internal/engine"
+)
+
+func mkBundle(id BundleID, mh engine.MHID) *Bundle {
+	return &Bundle{ID: id, MH: mh, Msg: "m", Tokens: 1}
+}
+
+func TestStoreQuotaRefuses(t *testing.T) {
+	s := NewStore(0, 2)
+	for i := BundleID(1); i <= 2; i++ {
+		if _, ok := s.Put(mkBundle(i, 0)); !ok {
+			t.Fatalf("Put %d refused under quota", i)
+		}
+	}
+	if _, ok := s.Put(mkBundle(3, 0)); ok {
+		t.Fatal("Put over per-MH quota accepted")
+	}
+	// A different destination still has room.
+	if _, ok := s.Put(mkBundle(4, 1)); !ok {
+		t.Fatal("Put for another MH refused")
+	}
+	// Removing one frees the quota slot.
+	if s.Remove(1) == nil {
+		t.Fatal("Remove(1) returned nil")
+	}
+	if _, ok := s.Put(mkBundle(5, 0)); !ok {
+		t.Fatal("Put after Remove refused")
+	}
+}
+
+func TestStoreCapEvictsLRU(t *testing.T) {
+	s := NewStore(2, 0)
+	s.Put(mkBundle(1, 0))
+	s.Put(mkBundle(2, 0))
+	// Touching 1 makes 2 the eviction candidate.
+	s.Touch(1)
+	ev, ok := s.Put(mkBundle(3, 0))
+	if !ok || ev == nil || ev.ID != 2 {
+		t.Fatalf("Put at cap: evicted %v ok=%v, want bundle 2", ev, ok)
+	}
+	if got := s.IDs(); !reflect.DeepEqual(got, []BundleID{1, 3}) {
+		t.Fatalf("IDs = %v, want [1 3]", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestStoreForMHSortedByID(t *testing.T) {
+	s := NewStore(0, 0)
+	s.Put(mkBundle(5, 0))
+	s.Put(mkBundle(2, 1))
+	s.Put(mkBundle(9, 0))
+	s.Put(mkBundle(1, 0))
+	got := s.ForMH(0)
+	ids := make([]BundleID, len(got))
+	for i, b := range got {
+		ids[i] = b.ID
+	}
+	if !reflect.DeepEqual(ids, []BundleID{1, 5, 9}) {
+		t.Fatalf("ForMH ids = %v, want [1 5 9]", ids)
+	}
+}

@@ -70,6 +70,14 @@ type Config struct {
 	// range (enough for a data frame plus its ack at maximum latency).
 	ARQTimeout sim.Time
 
+	// WaiterLimit caps the number of delivery records parked per
+	// in-transit MH (the waiter queue a never-arriving MH would otherwise
+	// grow without bound). On overflow a routed payload is offered to the
+	// custody hook when one is bound; anything not taken into custody is
+	// dropped and counted in Stats.WaiterDrops. 0 (the default) means
+	// unlimited, which keeps seeded traces byte-identical.
+	WaiterLimit int
+
 	// Placement maps each MH to its initial cell. Nil means round-robin
 	// (mh i starts at MSS i mod M).
 	Placement func(mh MHID) MSSID
@@ -111,6 +119,9 @@ func (c Config) Validate() error {
 	}
 	if c.ARQTimeout < 0 {
 		return fmt.Errorf("engine: ARQTimeout must be >= 0, got %d", c.ARQTimeout)
+	}
+	if c.WaiterLimit < 0 {
+		return fmt.Errorf("engine: WaiterLimit must be >= 0, got %d", c.WaiterLimit)
 	}
 	switch c.SearchMode {
 	case SearchAbstract, SearchBroadcast:

@@ -14,6 +14,12 @@ type Context interface {
 	Now() sim.Time
 	// After schedules fn to run on this node's execution context after d.
 	After(d sim.Time, fn func())
+	// AfterDaemon schedules fn like After but as a background daemon
+	// timer: on live substrates the armed timer does not count as an
+	// outstanding operation, so standing periodic maintenance (DTN gossip
+	// ticks) cannot wedge WaitIdle. Use After for anything the network
+	// must settle on.
+	AfterDaemon(d sim.Time, fn func())
 	// RNG returns a deterministic random source.
 	RNG() *sim.RNG
 
@@ -106,6 +112,20 @@ type Context interface {
 	NoteGroupInform(mh MHID, at MSSID)
 	NoteGroupViewUpdate(added, removed MSSID, size int)
 	NoteGroupStaleLookup(mh MHID, at MSSID)
+
+	// NoteBundleCustody, NoteBundleTransfer, NoteBundleDelivered,
+	// NoteBundleExpired, and NoteBundleDropped record store-carry-forward
+	// custody activity (internal/dtn) in the observability stream: a
+	// bundle accepted into holder's store for mh, a replica shipped
+	// between stations, the primary delivery (copies = replicas created
+	// over the bundle's lifetime), a TTL expiry at holder, and a replica
+	// dropped (quota, LRU eviction, duplicate, or crash wipe). No-ops
+	// when tracing is disabled; never charged.
+	NoteBundleCustody(id uint64, holder MSSID, mh MHID)
+	NoteBundleTransfer(id uint64, from, to MSSID)
+	NoteBundleDelivered(id uint64, at MSSID, copies int)
+	NoteBundleExpired(id uint64, holder MSSID, mh MHID)
+	NoteBundleDropped(id uint64, holder MSSID, mh MHID)
 }
 
 // algContext is the Context handed to one registered algorithm. It is the
@@ -121,6 +141,14 @@ var _ Context = (*algContext)(nil)
 func (c *algContext) Now() sim.Time { return c.e.sub.Now() }
 
 func (c *algContext) After(d sim.Time, fn func()) { c.e.sub.After(d, fn) }
+
+func (c *algContext) AfterDaemon(d sim.Time, fn func()) {
+	if ds, ok := c.e.sub.(DaemonScheduler); ok {
+		ds.DaemonAfter(d, fn)
+		return
+	}
+	c.e.sub.After(d, fn)
+}
 
 func (c *algContext) RNG() *sim.RNG { return c.e.sub.RNG() }
 
@@ -212,4 +240,24 @@ func (c *algContext) NoteGroupViewUpdate(added, removed MSSID, size int) {
 
 func (c *algContext) NoteGroupStaleLookup(mh MHID, at MSSID) {
 	c.e.event(obs.EvGroupStaleLookup, int32(mh), int32(at), 0)
+}
+
+func (c *algContext) NoteBundleCustody(id uint64, holder MSSID, mh MHID) {
+	c.e.event(obs.EvBundleCustody, int32(id), int32(holder), int32(mh))
+}
+
+func (c *algContext) NoteBundleTransfer(id uint64, from, to MSSID) {
+	c.e.event(obs.EvBundleTransfer, int32(id), int32(from), int32(to))
+}
+
+func (c *algContext) NoteBundleDelivered(id uint64, at MSSID, copies int) {
+	c.e.event(obs.EvBundleDelivered, int32(id), int32(at), int32(copies))
+}
+
+func (c *algContext) NoteBundleExpired(id uint64, holder MSSID, mh MHID) {
+	c.e.event(obs.EvBundleExpired, int32(id), int32(holder), int32(mh))
+}
+
+func (c *algContext) NoteBundleDropped(id uint64, holder MSSID, mh MHID) {
+	c.e.event(obs.EvBundleDropped, int32(id), int32(holder), int32(mh))
 }

@@ -98,20 +98,21 @@ func TestSubstrateAdaptersDoNotRedeclareEngineLogic(t *testing.T) {
 // reaching for it is drifting from a substrate wrapper into a second
 // protocol implementation.
 var faultInjectorAllowedEngineRefs = map[string]bool{
-	"Substrate":     true,
-	"DeliveryRec":   true,
-	"RecSink":       true,
-	"ChannelLayout": true,
-	"ChannelKind":   true,
-	"ChannelWired":  true,
-	"ChannelDown":   true,
-	"ChannelUp":     true,
-	"ChannelCount":  true,
-	"FaultStats":    true,
-	"FaultReporter": true,
-	"MSSID":         true,
-	"MHID":          true,
-	"Delay":         true,
+	"Substrate":       true,
+	"DaemonScheduler": true,
+	"DeliveryRec":     true,
+	"RecSink":         true,
+	"ChannelLayout":   true,
+	"ChannelKind":     true,
+	"ChannelWired":    true,
+	"ChannelDown":     true,
+	"ChannelUp":       true,
+	"ChannelCount":    true,
+	"FaultStats":      true,
+	"FaultReporter":   true,
+	"MSSID":           true,
+	"MHID":            true,
+	"Delay":           true,
 }
 
 // TestFaultInjectorUsesOnlyTheSubstrateSeam fails if internal/faults

@@ -90,6 +90,10 @@ type Stats struct {
 	// executor degrades to parking instead of wedging. Reported by the
 	// substrate via Engine.NoteParkedOnDeadMSS.
 	ParkedOnDeadMSS int64
+	// WaiterDrops counts delivery records discarded because an in-transit
+	// MH's waiter queue was at Config.WaiterLimit and no custody hook took
+	// the overflow (see addWaiter). Zero unless a limit is configured.
+	WaiterDrops int64
 }
 
 // Engine is the substrate-independent driver of the two-tier model. Exactly
@@ -124,6 +128,11 @@ type Engine struct {
 	// arq is the reliable-wireless sublayer; nil unless
 	// Config.ReliableWireless (see arq.go).
 	arq *arq
+
+	// custody, when bound, is offered messages that would otherwise end in
+	// a disconnected-delivery failure or a waiter-queue drop (see
+	// custody.go). nil leaves the paper's park-and-notify behavior intact.
+	custody CustodyHook
 
 	stats Stats
 }
@@ -387,9 +396,15 @@ func (e *Engine) notifyFailure(alg int, at MSSID, mh MHID, msg Message, reason F
 }
 
 // addWaiter parks rec until mh joins a cell, reusing a pooled slice when
-// the MH has no waiters yet.
+// the MH has no waiters yet. With Config.WaiterLimit set, a full queue
+// overflows into the custody hook (when one is bound and accepts) or is
+// dropped and counted in Stats.WaiterDrops.
 func (e *Engine) addWaiter(mh MHID, rec *DeliveryRec) {
 	w, ok := e.waiters[mh]
+	if lim := e.cfg.WaiterLimit; lim > 0 && len(w) >= lim {
+		e.overflowWaiter(mh, rec)
+		return
+	}
 	if !ok {
 		if n := len(e.waiterPool); n > 0 {
 			w = e.waiterPool[n-1]
@@ -397,6 +412,21 @@ func (e *Engine) addWaiter(mh MHID, rec *DeliveryRec) {
 		}
 	}
 	e.waiters[mh] = append(w, rec)
+}
+
+// overflowWaiter disposes of a record that found mh's waiter queue full.
+// Resumable routed payloads are offered to the custody hook; everything
+// else (and any refusal) is dropped: the pair sequence is tombstoned so
+// later ordered traffic is not wedged, and the record returns to the pool.
+func (e *Engine) overflowWaiter(mh MHID, rec *DeliveryRec) {
+	if e.custody != nil && rec.op == opRouteResume &&
+		e.custody.OfferCustody(rec.mss, mh, rec.msg, CustodyRef{opts: rec.opts}) {
+		e.FreeRec(rec)
+		return
+	}
+	e.stats.WaiterDrops++
+	e.skipPairSeq(rec.opts)
+	e.FreeRec(rec)
 }
 
 func (e *Engine) fireWaiters(mh MHID) {

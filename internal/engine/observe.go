@@ -50,6 +50,16 @@ func (o *observedSubstrate) EnqueueRec(rec *DeliveryRec) { o.inner.EnqueueRec(re
 
 func (o *observedSubstrate) RNG() *sim.RNG { return o.inner.RNG() }
 
+// DaemonAfter forwards daemon timers to the inner substrate's scheduler
+// when it has one, falling back to After (see DaemonScheduler).
+func (o *observedSubstrate) DaemonAfter(d sim.Time, fn func()) {
+	if ds, ok := o.inner.(DaemonScheduler); ok {
+		ds.DaemonAfter(d, fn)
+		return
+	}
+	o.inner.After(d, fn)
+}
+
 // FaultStats forwards the inner substrate's loss accounting so wrapping
 // the injector does not hide it from Engine.Stats; a fault-free inner
 // substrate reports zeroes.

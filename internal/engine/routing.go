@@ -119,10 +119,16 @@ func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stal
 	case StatusDisconnected:
 		// The MSS of the cell where the MH disconnected informs the
 		// searcher of its status (Section 2). The search that discovered
-		// this is charged; the notification is control traffic.
+		// this is charged; the notification is control traffic. With a
+		// custody hook bound, the MSS holding the disconnected flag may
+		// instead take custody for store-carry-forward delivery; the
+		// handover is control traffic like the notification it replaces.
 		holder := st.at
 		e.chargeSearch(opts, stale)
 		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		if e.custody != nil && e.custody.OfferCustody(holder, mh, msg, CustodyRef{opts: opts}) {
+			return
+		}
 		rec := e.newRec(opNotifyFailure)
 		rec.mss = opts.origin
 		rec.mh = mh
@@ -227,9 +233,13 @@ func (e *Engine) downArrive(rec *DeliveryRec) {
 	if st.status == StatusDisconnected && st.at == mss {
 		// Disconnected in this very cell before the transmission
 		// completed: the transmission was wasted (reclassified as
-		// stale) and the local MSS notifies the sender.
+		// stale) and the local MSS notifies the sender — or, with a
+		// custody hook bound, keeps the message for store-carry-forward.
 		e.reclassifyWastedWireless(rec.opts.cat)
 		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		if e.custody != nil && e.custody.OfferCustody(mss, mh, rec.msg, CustodyRef{opts: rec.opts}) {
+			return
+		}
 		fail := e.newRec(opNotifyFailure)
 		fail.mss = rec.opts.origin
 		fail.mh = mh
@@ -259,6 +269,14 @@ func (e *Engine) deliverToMH(mh MHID, msg Message, opts routeOpts) {
 	}
 	ps := e.pairState(opts.pair)
 	ps.buffer[opts.seq] = deferredDelivery{alg: opts.alg, msg: msg}
+	e.drainPair(opts.pair, ps)
+}
+
+// drainPair delivers the in-order prefix of a pair's reorder buffer.
+// Entries with alg < 0 are tombstones left by skipPairSeq for sequence
+// numbers that will never deliver (failed, expired, or dropped sends):
+// they advance the delivery cursor without dispatching.
+func (e *Engine) drainPair(key pairKey, ps *pairState) {
 	for {
 		d, ok := ps.buffer[ps.nextDeliver]
 		if !ok {
@@ -266,8 +284,23 @@ func (e *Engine) deliverToMH(mh MHID, msg Message, opts routeOpts) {
 		}
 		delete(ps.buffer, ps.nextDeliver)
 		ps.nextDeliver++
-		e.dispatchMH(d.alg, mh, d.msg)
+		if d.alg < 0 {
+			continue
+		}
+		e.dispatchMH(d.alg, key.to, d.msg)
 	}
+}
+
+// skipPairSeq tombstones a pair sequence number whose message will never
+// be delivered, so the reorder buffer does not wedge every later message
+// of the pair behind the hole. No-op for unpaired traffic.
+func (e *Engine) skipPairSeq(opts routeOpts) {
+	if !opts.hasPair {
+		return
+	}
+	ps := e.pairState(opts.pair)
+	ps.buffer[opts.seq] = deferredDelivery{alg: -1}
+	e.drainPair(opts.pair, ps)
 }
 
 // sendFromMH transmits msg from mh to its current local MSS. Sends from a

@@ -48,6 +48,18 @@ type Substrate interface {
 	RNG() *sim.RNG
 }
 
+// DaemonScheduler is an optional Substrate extension for background
+// timers — periodic maintenance like DTN gossip ticks — that must not
+// hold the substrate's idle/quiescence accounting open while armed. A
+// plain After on the live substrates counts as an outstanding operation
+// until it fires, so a standing timer would wedge WaitIdle; DaemonAfter
+// schedules outside that accounting. The callback still runs on the
+// engine's execution context. Substrates without the extension fall back
+// to After (harmless on the simulator, where virtual time jumps).
+type DaemonScheduler interface {
+	DaemonAfter(d sim.Time, fn func())
+}
+
 // ChannelCount returns the number of distinct FIFO channels in an (m, n)
 // network: m*m ordered wired MSS pairs, m*n wireless downlinks, and n
 // wireless uplinks. The engine numbers them contiguously in that order, so

@@ -25,6 +25,7 @@ func tableFuncs() []func(uint64) Table {
 		A2Crossover,
 		A3LazyInform,
 		A4MulticastHandoff,
+		D1StoreCarryForward,
 	}
 }
 
@@ -92,6 +93,7 @@ func ByID(id string, seed uint64) (Table, bool) {
 		"A2":  A2Crossover,
 		"A3":  A3LazyInform,
 		"A4":  A4MulticastHandoff,
+		"D1":  D1StoreCarryForward,
 		// F1 is addressable but not part of the default suite: its content
 		// depends on the process-wide default fault plan, and the fault-free
 		// tables must stay byte-identical with or without it compiled in.
@@ -106,5 +108,5 @@ func ByID(id string, seed uint64) (Table, bool) {
 
 // IDs lists the experiment ids in index order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "A4"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "A4", "D1"}
 }

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestD1ReplicationBeatsPark pins the acceptance shape of the D-series
+// table: at every disconnect duration the replicating strategies deliver
+// a strictly higher fraction than the park-at-MSS control before TTL
+// expiry, and report a non-zero replication cost.
+func TestD1ReplicationBeatsPark(t *testing.T) {
+	tab := D1StoreCarryForward(1)
+	if len(tab.Rows)%3 != 0 || len(tab.Rows) < 9 {
+		t.Fatalf("D1 has %d rows, want 3 strategies x >= 3 durations", len(tab.Rows))
+	}
+	for g := 0; g < len(tab.Rows); g += 3 {
+		duration := tab.Rows[g][col2idx(tab, "disconnect")]
+		park := cell(t, tab, g, "ratio")
+		epidemic := cell(t, tab, g+1, "ratio")
+		spray := cell(t, tab, g+2, "ratio")
+		if tab.Rows[g][col2idx(tab, "strategy")] != "park" {
+			t.Fatalf("group %s: first row is %q, want park", duration, tab.Rows[g][1])
+		}
+		if epidemic <= park || spray <= park {
+			t.Errorf("duration %s: ratios park=%.2f epidemic=%.2f spray=%.2f, want both replicators strictly above park",
+				duration, park, epidemic, spray)
+		}
+		if cell(t, tab, g+1, "transfers") <= cell(t, tab, g, "transfers") {
+			t.Errorf("duration %s: epidemic transfers not above park's final-mile transfers", duration)
+		}
+		if cell(t, tab, g+1, "summaries") == 0 {
+			t.Errorf("duration %s: epidemic reports no summary traffic", duration)
+		}
+	}
+}
+
+// TestD1Deterministic pins byte-identical regeneration for a fixed seed.
+func TestD1Deterministic(t *testing.T) {
+	a, b := D1StoreCarryForward(7), D1StoreCarryForward(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different tables:\n%s\n%s", a.Format(), b.Format())
+	}
+	c := D1StoreCarryForward(8)
+	if reflect.DeepEqual(a.Rows, c.Rows) {
+		// Different seeds may legitimately coincide, but the schedule is
+		// randomised enough that identical tables mean the seed is ignored.
+		t.Log("seeds 7 and 8 produced identical rows; check seed plumbing")
+	}
+}

@@ -224,6 +224,18 @@ func (i *Injector) Enqueue(fn func()) { i.inner.Enqueue(fn) }
 // After implements engine.Substrate.
 func (i *Injector) After(d sim.Time, fn func()) { i.inner.After(d, fn) }
 
+// DaemonAfter implements engine.DaemonScheduler, forwarding daemon timers
+// to the inner substrate's scheduler when it has one (falling back to
+// After). Daemon timers are maintenance ticks, not traffic: the injector
+// never disturbs them.
+func (i *Injector) DaemonAfter(d sim.Time, fn func()) {
+	if ds, ok := i.inner.(engine.DaemonScheduler); ok {
+		ds.DaemonAfter(d, fn)
+		return
+	}
+	i.inner.After(d, fn)
+}
+
 // BindRecSink implements engine.Substrate: remember the engine's sink and
 // interpose the injector's own gate as the transport's sink, so records can
 // be discarded at delivery time (crash-at-receiver).

@@ -87,6 +87,9 @@ type Config struct {
 	ReliableWireless bool
 	// ARQTimeout is the ARQ initial retransmission timeout in ticks.
 	ARQTimeout sim.Time
+	// WaiterLimit caps the per-MH in-transit waiter queue (see
+	// engine.Config.WaiterLimit); 0 means unlimited.
+	WaiterLimit int
 	// Placement maps each MH to its initial cell (nil: round-robin).
 	Placement func(core.MHID) core.MSSID
 	// Trace, when non-nil, receives one line per model-level event.
@@ -181,6 +184,7 @@ func (c Config) engineConfig() engine.Config {
 		PessimisticSearch: c.PessimisticSearch,
 		ReliableWireless:  reliable,
 		ARQTimeout:        c.ARQTimeout,
+		WaiterLimit:       c.WaiterLimit,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
 		Obs:               c.Obs,
@@ -288,6 +292,15 @@ func (l *netSubstrate) After(d sim.Time, fn func()) {
 			s.tasks.OpDone()
 		}
 	})
+}
+
+// DaemonAfter implements engine.DaemonScheduler: a wall timer that runs fn
+// on the executor without holding an op open while armed, so standing
+// maintenance timers (DTN gossip) cannot wedge WaitIdle. A push after
+// shutdown is silently dropped.
+func (l *netSubstrate) DaemonAfter(d sim.Time, fn func()) {
+	s := l.s
+	time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() { s.tasks.Push(fn) })
 }
 
 func (l *netSubstrate) BindRecSink(sink engine.RecSink) { l.s.sink = sink }

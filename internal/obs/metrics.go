@@ -156,16 +156,26 @@ type Metrics struct {
 	// microseconds, sampled by the UDP session layer on acks of segments
 	// that were never retransmitted (Karn's rule).
 	DgramRTTUS Histogram
+	// BundleCopies is the replication cost per delivered DTN bundle: the
+	// number of replicas created over its lifetime, sampled at the
+	// primary delivery (EvBundleDelivered operand C).
+	BundleCopies Histogram
+	// BundleCustodyTicks is the custody-accept→delivery duration per
+	// delivered bundle in ticks — how long store-carry-forward held a
+	// message before its MH reappeared.
+	BundleCustodyTicks Histogram
 
-	csReqAt   map[int32]sim.Time
-	moveStart map[int32]sim.Time
+	csReqAt         map[int32]sim.Time
+	moveStart       map[int32]sim.Time
+	bundleCustodyAt map[int32]sim.Time
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		csReqAt:   make(map[int32]sim.Time),
-		moveStart: make(map[int32]sim.Time),
+		csReqAt:         make(map[int32]sim.Time),
+		moveStart:       make(map[int32]sim.Time),
+		bundleCustodyAt: make(map[int32]sim.Time),
 	}
 }
 
@@ -195,6 +205,20 @@ func (m *Metrics) observe(ev Event) {
 		m.ARQRetries.Observe(int64(ev.B))
 	case EvPacketRTT:
 		m.DgramRTTUS.Observe(int64(ev.B))
+	case EvBundleCustody:
+		// First acceptance starts the custody clock; replicas of the same
+		// bundle arriving later must not reset it.
+		if _, ok := m.bundleCustodyAt[ev.A]; !ok {
+			m.bundleCustodyAt[ev.A] = ev.T
+		}
+	case EvBundleDelivered:
+		m.BundleCopies.Observe(int64(ev.C))
+		if t0, ok := m.bundleCustodyAt[ev.A]; ok {
+			m.BundleCustodyTicks.Observe(int64(ev.T - t0))
+			delete(m.bundleCustodyAt, ev.A)
+		}
+	case EvBundleExpired, EvBundleDropped:
+		delete(m.bundleCustodyAt, ev.A)
 	}
 }
 
@@ -202,24 +226,28 @@ func (m *Metrics) observe(ev Event) {
 // diffable. Counts maps kind names to event counts (zero-count kinds are
 // omitted).
 type MetricsSnapshot struct {
-	Counts       map[string]int64
-	CSLatency    Histogram
-	HandoffTicks Histogram
-	ChaseHops    Histogram
-	ARQRetries   Histogram
-	DgramRTTUS   Histogram
+	Counts             map[string]int64
+	CSLatency          Histogram
+	HandoffTicks       Histogram
+	ChaseHops          Histogram
+	ARQRetries         Histogram
+	DgramRTTUS         Histogram
+	BundleCopies       Histogram
+	BundleCustodyTicks Histogram
 }
 
 // Snapshot copies the registry. Callers normally reach it through
 // Tracer-owning APIs that serialise against recording.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Counts:       make(map[string]int64),
-		CSLatency:    m.CSLatency,
-		HandoffTicks: m.HandoffTicks,
-		ChaseHops:    m.ChaseHops,
-		ARQRetries:   m.ARQRetries,
-		DgramRTTUS:   m.DgramRTTUS,
+		Counts:             make(map[string]int64),
+		CSLatency:          m.CSLatency,
+		HandoffTicks:       m.HandoffTicks,
+		ChaseHops:          m.ChaseHops,
+		ARQRetries:         m.ARQRetries,
+		DgramRTTUS:         m.DgramRTTUS,
+		BundleCopies:       m.BundleCopies,
+		BundleCustodyTicks: m.BundleCustodyTicks,
 	}
 	for k, c := range m.counts {
 		if c != 0 {
@@ -248,12 +276,14 @@ func (t *Tracer) MetricsSnapshot() MetricsSnapshot {
 // subtraction. Use it to meter one phase of a run.
 func (s MetricsSnapshot) Diff(prev MetricsSnapshot) MetricsSnapshot {
 	out := MetricsSnapshot{
-		Counts:       make(map[string]int64),
-		CSLatency:    s.CSLatency.Diff(prev.CSLatency),
-		HandoffTicks: s.HandoffTicks.Diff(prev.HandoffTicks),
-		ChaseHops:    s.ChaseHops.Diff(prev.ChaseHops),
-		ARQRetries:   s.ARQRetries.Diff(prev.ARQRetries),
-		DgramRTTUS:   s.DgramRTTUS.Diff(prev.DgramRTTUS),
+		Counts:             make(map[string]int64),
+		CSLatency:          s.CSLatency.Diff(prev.CSLatency),
+		HandoffTicks:       s.HandoffTicks.Diff(prev.HandoffTicks),
+		ChaseHops:          s.ChaseHops.Diff(prev.ChaseHops),
+		ARQRetries:         s.ARQRetries.Diff(prev.ARQRetries),
+		DgramRTTUS:         s.DgramRTTUS.Diff(prev.DgramRTTUS),
+		BundleCopies:       s.BundleCopies.Diff(prev.BundleCopies),
+		BundleCustodyTicks: s.BundleCustodyTicks.Diff(prev.BundleCustodyTicks),
 	}
 	for k, c := range s.Counts {
 		if d := c - prev.Counts[k]; d != 0 {
@@ -294,6 +324,8 @@ func (s MetricsSnapshot) Format() string {
 		{"chase-hops", s.ChaseHops},
 		{"arq-retries", s.ARQRetries},
 		{"dgram-rtt-us", s.DgramRTTUS},
+		{"bundle-copies", s.BundleCopies},
+		{"bundle-custody-ticks", s.BundleCustodyTicks},
 	} {
 		if h.h.Count() == 0 {
 			continue

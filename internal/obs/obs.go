@@ -143,6 +143,28 @@ const (
 	// microseconds.
 	EvPacketRTT
 
+	// EvBundleCustody: a DTN bundle was accepted into an MSS's custody
+	// store for a disconnected MH (internal/dtn). A = bundle id, B =
+	// holder MSS, C = destination MH.
+	EvBundleCustody
+	// EvBundleTransfer: a bundle replica was shipped between stations
+	// (epidemic anti-entropy, spray hand-off, or delivery hand-over).
+	// A = bundle id, B = sending MSS, C = receiving MSS.
+	EvBundleTransfer
+	// EvBundleDelivered: a bundle's primary delivery was handed back to
+	// the routing layer after its MH reappeared. A = bundle id, B = the
+	// delivering MSS, C = replicas created over the bundle's lifetime
+	// (the replication-cost sample).
+	EvBundleDelivered
+	// EvBundleExpired: a bundle's TTL lapsed before delivery. A = bundle
+	// id, B = holder MSS, C = destination MH.
+	EvBundleExpired
+	// EvBundleDropped: a bundle replica was discarded without delivering
+	// — per-MH quota, LRU eviction, duplicate suppression, or a crash
+	// wiping a volatile store. A = bundle id, B = holder MSS, C =
+	// destination MH.
+	EvBundleDropped
+
 	evKindCount // internal: number of kinds, for metrics arrays
 )
 
@@ -182,6 +204,12 @@ var kindNames = [evKindCount]string{
 	EvPacketRetransmit:    "packet-retransmit",
 	EvPacketReplayDropped: "packet-replay-dropped",
 	EvPacketRTT:           "packet-rtt",
+
+	EvBundleCustody:   "bundle-custody",
+	EvBundleTransfer:  "bundle-transfer",
+	EvBundleDelivered: "bundle-delivered",
+	EvBundleExpired:   "bundle-expired",
+	EvBundleDropped:   "bundle-dropped",
 }
 
 // String returns the kind's wire name (the "k" field of the JSONL format).

@@ -69,6 +69,9 @@ type Config struct {
 	// ARQTimeout is the sublayer's initial retransmission timeout in ticks
 	// (0 derives a default from the wireless latency range).
 	ARQTimeout sim.Time
+	// WaiterLimit caps the per-MH in-transit waiter queue (see
+	// engine.Config.WaiterLimit); 0 means unlimited.
+	WaiterLimit int
 	// Placement maps each MH to its initial cell (nil: round-robin).
 	Placement func(core.MHID) core.MSSID
 	// Trace, when non-nil, receives one line per model-level event. It is
@@ -119,6 +122,7 @@ func (c Config) engineConfig() engine.Config {
 		PessimisticSearch: c.PessimisticSearch,
 		ReliableWireless:  reliable,
 		ARQTimeout:        c.ARQTimeout,
+		WaiterLimit:       c.WaiterLimit,
 		Placement:         c.Placement,
 		Trace:             c.Trace,
 		Obs:               c.Obs,
@@ -170,6 +174,15 @@ func (l *liveSubstrate) Now() sim.Time { return l.s.now() }
 func (l *liveSubstrate) Enqueue(fn func()) { l.s.exec(fn) }
 
 func (l *liveSubstrate) After(d sim.Time, fn func()) { l.s.afterTicks(d, fn) }
+
+// DaemonAfter implements engine.DaemonScheduler: a wall timer that runs fn
+// on the executor without holding the in-flight op counter open while
+// armed, so standing maintenance timers (DTN gossip) cannot wedge
+// WaitIdle. A timer firing after Stop is safely ignored by exec.
+func (l *liveSubstrate) DaemonAfter(d sim.Time, fn func()) {
+	s := l.s
+	time.AfterFunc(time.Duration(d)*s.cfg.Tick, func() { s.exec(fn) })
+}
 
 func (l *liveSubstrate) BindRecSink(sink engine.RecSink) { l.s.sink = sink }
 

@@ -1,0 +1,166 @@
+package workload
+
+// Absence scenarios: the long-disconnection episode family the DTN layer
+// (internal/dtn) is built for. One episode walks a host across a few
+// cells — building the visit history that spray-and-wait exploits —
+// then takes it offline for a configurable duration and brings it back,
+// either at a fixed cell or at one of the cells it visited. The
+// D-series experiments sweep a family of these episodes over disconnect
+// durations to compare routing strategies against the paper's
+// park-at-MSS baseline.
+
+import (
+	"fmt"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/sim"
+)
+
+// AbsenceConfig parameterises one long-disconnection episode.
+type AbsenceConfig struct {
+	// MH is the host that goes away.
+	MH core.MHID
+	// PreMoves is how many ring-adjacent cells the host crosses before
+	// departing. Each move builds one entry of recent-visit history.
+	PreMoves int
+	// MoveEvery spaces the pre-moves.
+	MoveEvery Span
+	// Start delays the first pre-move.
+	Start sim.Time
+	// Depart is when the host disconnects. It must leave room for the
+	// pre-moves to finish; a host still in transit retries shortly after.
+	Depart sim.Time
+	// Duration is how long the host stays disconnected.
+	Duration sim.Time
+	// Return is the reconnection cell when ReturnVisited is false.
+	Return core.MSSID
+	// ReturnVisited reconnects at a seeded-random previously visited
+	// cell instead of Return — the regime where visit-history routing
+	// should win.
+	ReturnVisited bool
+	// KnowsPrev is passed through to Reconnect (Section 2 of the paper).
+	KnowsPrev bool
+}
+
+func (c AbsenceConfig) validate() error {
+	if c.PreMoves < 0 {
+		return fmt.Errorf("workload: negative PreMoves")
+	}
+	if err := c.MoveEvery.validate("move-every"); err != nil {
+		return err
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: absence needs Duration > 0, got %d", c.Duration)
+	}
+	if c.Depart < c.Start {
+		return fmt.Errorf("workload: Depart %d before Start %d", c.Depart, c.Start)
+	}
+	return nil
+}
+
+// AbsenceFamily derives one episode per disconnect duration, holding
+// everything else fixed. This is the sweep the D-series tables run.
+func AbsenceFamily(base AbsenceConfig, durations []sim.Time) []AbsenceConfig {
+	out := make([]AbsenceConfig, len(durations))
+	for i, d := range durations {
+		cfg := base
+		cfg.Duration = d
+		out[i] = cfg
+	}
+	return out
+}
+
+// Absence drives a single long-disconnection episode.
+type Absence struct {
+	sys        *core.System
+	cfg        AbsenceConfig
+	rng        *sim.RNG
+	visited    []core.MSSID
+	departed   bool
+	returned   bool
+	returnedAt core.MSSID
+	returnedOn sim.Time
+}
+
+// NewAbsence installs an absence episode on sys. Call before Run.
+func NewAbsence(sys *core.System, cfg AbsenceConfig) (*Absence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := &Absence{sys: sys, cfg: cfg, rng: sys.Kernel().RNG().Fork()}
+	at, status := sys.Where(cfg.MH)
+	if status != core.StatusConnected {
+		return nil, fmt.Errorf("workload: mh%d not connected at setup", int(cfg.MH))
+	}
+	w.visited = append(w.visited, at)
+	w.scheduleMove(cfg.PreMoves, cfg.Start+cfg.MoveEvery.draw(w.rng))
+	w.scheduleDepart(cfg.Depart)
+	return w, nil
+}
+
+// Visited reports the cells the host has occupied, in order, starting
+// with its setup cell.
+func (w *Absence) Visited() []core.MSSID { return w.visited }
+
+// Returned reports whether the host has reconnected, and where and when
+// it did.
+func (w *Absence) Returned() (core.MSSID, sim.Time, bool) {
+	return w.returnedAt, w.returnedOn, w.returned
+}
+
+func (w *Absence) scheduleMove(remaining int, delay sim.Time) {
+	if remaining <= 0 {
+		return
+	}
+	w.sys.Schedule(delay, func() {
+		if w.departed {
+			return
+		}
+		at, status := w.sys.Where(w.cfg.MH)
+		if status != core.StatusConnected {
+			// Still in transit from the previous move; retry without
+			// consuming the budget.
+			w.scheduleMove(remaining, w.cfg.MoveEvery.draw(w.rng))
+			return
+		}
+		to := core.MSSID((int(at) + 1) % w.sys.Config().M)
+		if to != at {
+			if err := w.sys.Move(w.cfg.MH, to); err == nil {
+				w.visited = append(w.visited, to)
+				remaining--
+			}
+		} else {
+			remaining-- // M == 1: nowhere to go, burn the budget
+		}
+		w.scheduleMove(remaining, w.cfg.MoveEvery.draw(w.rng))
+	})
+}
+
+func (w *Absence) scheduleDepart(delay sim.Time) {
+	w.sys.Schedule(delay, func() {
+		if _, status := w.sys.Where(w.cfg.MH); status != core.StatusConnected {
+			// A pre-move is still in flight; depart as soon as it lands.
+			w.scheduleDepart(1)
+			return
+		}
+		if err := w.sys.Disconnect(w.cfg.MH); err != nil {
+			w.scheduleDepart(1)
+			return
+		}
+		w.departed = true
+		w.sys.Schedule(w.cfg.Duration, w.doReturn)
+	})
+}
+
+func (w *Absence) doReturn() {
+	at := w.cfg.Return
+	if w.cfg.ReturnVisited {
+		at = w.visited[w.rng.Intn(len(w.visited))]
+	}
+	if err := w.sys.Reconnect(w.cfg.MH, at, w.cfg.KnowsPrev); err != nil {
+		return
+	}
+	w.returned = true
+	w.returnedAt = at
+	w.returnedOn = w.sys.Kernel().Now()
+}

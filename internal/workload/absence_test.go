@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mobiledist/internal/core"
+	"mobiledist/internal/sim"
+)
+
+func TestAbsenceCrossesCellsAndReturns(t *testing.T) {
+	sys := newSys(t, 5, 2, 21)
+	ab, err := NewAbsence(sys, AbsenceConfig{
+		MH:        0,
+		PreMoves:  3,
+		MoveEvery: FixedSpan(40),
+		Depart:    200,
+		Duration:  500,
+		Return:    4,
+		KnowsPrev: true,
+	})
+	if err != nil {
+		t.Fatalf("NewAbsence: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// mh0 starts at cell 0 and ring-walks three cells before departing.
+	if want := []core.MSSID{0, 1, 2, 3}; !reflect.DeepEqual(ab.Visited(), want) {
+		t.Errorf("visited = %v, want %v", ab.Visited(), want)
+	}
+	at, when, ok := ab.Returned()
+	if !ok || at != 4 {
+		t.Errorf("returned at mss%d ok=%v, want mss4", int(at), ok)
+	}
+	if when < 700 {
+		t.Errorf("returned at t=%d, want >= depart+duration = 700", when)
+	}
+	if got, status := sys.Where(0); status != core.StatusConnected || got != 4 {
+		t.Errorf("mh0 ends at mss%d (%v), want mss4 connected", int(got), status)
+	}
+}
+
+func TestAbsenceReturnVisitedStaysInHistory(t *testing.T) {
+	sys := newSys(t, 6, 1, 33)
+	ab, err := NewAbsence(sys, AbsenceConfig{
+		MH:            0,
+		PreMoves:      2,
+		MoveEvery:     FixedSpan(30),
+		Depart:        150,
+		Duration:      300,
+		ReturnVisited: true,
+	})
+	if err != nil {
+		t.Fatalf("NewAbsence: %v", err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	at, _, ok := ab.Returned()
+	if !ok {
+		t.Fatal("host never returned")
+	}
+	found := false
+	for _, v := range ab.Visited() {
+		if v == at {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("returned at mss%d, outside visit history %v", int(at), ab.Visited())
+	}
+}
+
+func TestAbsenceFamilySweepsDurations(t *testing.T) {
+	base := AbsenceConfig{MH: 1, PreMoves: 2, MoveEvery: FixedSpan(10), Depart: 100}
+	durations := []sim.Time{600, 1200, 2400}
+	family := AbsenceFamily(base, durations)
+	if len(family) != 3 {
+		t.Fatalf("family size = %d, want 3", len(family))
+	}
+	for i, cfg := range family {
+		if cfg.Duration != durations[i] {
+			t.Errorf("family[%d].Duration = %d, want %d", i, cfg.Duration, durations[i])
+		}
+		cfg.Duration = base.Duration
+		if !reflect.DeepEqual(cfg, base) {
+			t.Errorf("family[%d] varies more than Duration: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAbsenceValidation(t *testing.T) {
+	sys := newSys(t, 3, 2, 1)
+	if _, err := NewAbsence(sys, AbsenceConfig{MH: 0, Duration: 0}); err == nil {
+		t.Error("zero Duration accepted")
+	}
+	if _, err := NewAbsence(sys, AbsenceConfig{MH: 0, Duration: 10, PreMoves: -1}); err == nil {
+		t.Error("negative PreMoves accepted")
+	}
+	if _, err := NewAbsence(sys, AbsenceConfig{MH: 0, Duration: 10, Start: 50, Depart: 10}); err == nil {
+		t.Error("Depart before Start accepted")
+	}
+}
