@@ -26,8 +26,10 @@
 // twice. Per-pair FIFO survives because redelivery re-enters the engine
 // with the bundle's original routing options — the pair sequence buffer
 // reorders out-of-order arrivals, and every terminally-lost bundle
-// (expiry, eviction, crash wipe) releases its sequence slot so later
-// traffic of the pair is not wedged behind the hole.
+// (expiry, eviction, crash wipe, and replicas discarded on the wire
+// toward a crashed receiver — NoteCrash reaps the in-flight ledger)
+// releases its sequence slot so later traffic of the pair is not wedged
+// behind the hole.
 package dtn
 
 import (

@@ -2,6 +2,7 @@ package dtn
 
 import (
 	"fmt"
+	"sort"
 
 	"mobiledist/internal/cost"
 	"mobiledist/internal/engine"
@@ -45,10 +46,12 @@ type Manager struct {
 	// copies counts replicas created per live bundle (for the
 	// replication-cost histogram at delivery time).
 	copies map[BundleID]int
-	// inflight counts replicas currently on the wire per live bundle;
-	// inFlightTotal is the sum, kept so the gossip tick re-arms while
-	// transfers are still travelling even if every store drained.
-	inflight      map[BundleID]int
+	// inflight tracks replicas currently on the wire per live bundle,
+	// keyed by destination so NoteCrash can reap the copies the fault
+	// injector discards at a crashed receiver; inFlightTotal is the sum,
+	// kept so the gossip tick re-arms while transfers are still
+	// travelling even if every store drained.
+	inflight      map[BundleID]*flight
 	inFlightTotal int
 	nextID        BundleID
 
@@ -58,6 +61,15 @@ type Manager struct {
 
 	tickArmed bool
 	stats     Stats
+}
+
+// flight is one bundle's on-the-wire accounting: a representative copy
+// (for loss reporting if every wired replica dies) and the number of
+// copies travelling toward each destination station.
+type flight struct {
+	b     Bundle
+	dests map[engine.MSSID]int
+	total int
 }
 
 // Manager capabilities, checked at compile time.
@@ -88,7 +100,7 @@ func New(reg engine.Registrar, cfg Config) (*Manager, error) {
 		strategy: cfg.Strategy,
 		retired:  make(map[BundleID]struct{}),
 		copies:   make(map[BundleID]int),
-		inflight: make(map[BundleID]int),
+		inflight: make(map[BundleID]*flight),
 		nextID:   1,
 	}
 	m.ticker, _ = cfg.Strategy.(Ticker)
@@ -180,11 +192,15 @@ func (m *Manager) HandleMSS(ctx engine.Context, at engine.MSSID, from engine.Fro
 	switch v := msg.(type) {
 	case bundleMsg:
 		b := v.b
-		m.inflightDec(b.ID)
+		tracked := m.inflightDec(b.ID, at)
 		if m.down[at] {
 			// The fault injector discards deliveries to a crashed
-			// station before they reach us; guard the race anyway.
-			m.lose(at, &b)
+			// station before they reach us; guard the race anyway. A
+			// copy NoteCrash already reaped was loss-accounted there,
+			// so only still-tracked copies are lost here.
+			if tracked {
+				m.lose(at, &b)
+			}
 		} else {
 			m.acceptBundle(at, &b)
 		}
@@ -209,16 +225,20 @@ func (m *Manager) acceptBundle(at engine.MSSID, b *Bundle) {
 		m.stats.Duplicates++
 		return
 	}
+	if m.stores[at].Has(b.ID) {
+		// Duplicate before expiry: an expired replica arriving where an
+		// (equally expired) copy is already resident is one duplicate,
+		// not an extra expiry — the resident copy's sweep is the single
+		// place this bundle's expiry is counted and traced.
+		m.stats.Duplicates++
+		return
+	}
 	if b.expired(m.ctx.Now()) {
 		m.expire(at, b)
 		return
 	}
 	if m.connected[b.MH] {
 		m.deliver(at, b)
-		return
-	}
-	if m.stores[at].Has(b.ID) {
-		m.stats.Duplicates++
 		return
 	}
 	evicted, ok := m.stores[at].Put(b)
@@ -255,7 +275,7 @@ func (m *Manager) onStored(at engine.MSSID, b *Bundle) {
 		m.replicate(at, p, b, tokens)
 	}
 	if drop && m.stores[at].Has(b.ID) &&
-		(m.inflight[b.ID] > 0 || m.residentElsewhere(at, b.ID)) {
+		(m.inflight[b.ID] != nil || m.residentElsewhere(at, b.ID)) {
 		// Custody transfer: the strategy moved the bundle on and wants
 		// the local replica gone. Only honour it while another copy
 		// exists, so a buggy strategy cannot silently lose a bundle.
@@ -277,12 +297,17 @@ func (m *Manager) deliver(at engine.MSSID, b *Bundle) {
 // ---- replica movement ----
 
 // replicate copies b from one station to another, giving the new
-// replica the stated token budget.
+// replica the stated token budget. Replication toward a down station is
+// a silent no-op (its store is gone and the wire to it is dead), so no
+// copy is created or charged.
 func (m *Manager) replicate(from, to engine.MSSID, b *Bundle, tokens int) {
+	if m.down[to] {
+		return
+	}
 	cp := *b
 	cp.Tokens = tokens
 	m.copies[b.ID]++
-	m.inflightInc(b.ID)
+	m.inflightInc(&cp, to)
 	m.stats.Transfers++
 	m.ctx.NoteBundleTransfer(uint64(b.ID), from, to)
 	m.ctx.SendFixed(from, to, bundleMsg{b: cp}, cost.CatControl)
@@ -291,26 +316,43 @@ func (m *Manager) replicate(from, to engine.MSSID, b *Bundle, tokens int) {
 // transfer moves b (already removed from from's store) toward to
 // without creating a new replica — the custody move of DeliverAll.
 func (m *Manager) transfer(from, to engine.MSSID, b *Bundle) {
-	m.inflightInc(b.ID)
+	m.inflightInc(b, to)
 	m.stats.Transfers++
 	m.ctx.NoteBundleTransfer(uint64(b.ID), from, to)
 	m.ctx.SendFixed(from, to, bundleMsg{b: *b}, cost.CatControl)
 }
 
-func (m *Manager) inflightInc(id BundleID) {
-	m.inflight[id]++
+func (m *Manager) inflightInc(b *Bundle, to engine.MSSID) {
+	f := m.inflight[b.ID]
+	if f == nil {
+		f = &flight{b: *b, dests: make(map[engine.MSSID]int)}
+		m.inflight[b.ID] = f
+	}
+	f.dests[to]++
+	f.total++
 	m.inFlightTotal++
 }
 
-func (m *Manager) inflightDec(id BundleID) {
-	if n := m.inflight[id]; n > 1 {
-		m.inflight[id] = n - 1
-	} else {
+// inflightDec retires one on-the-wire copy that just surfaced at
+// station at. It reports false when no copy toward at is tracked — the
+// copy was presumed discarded and reaped by NoteCrash but survived
+// (e.g. it arrived after the station restarted) — so the caller must
+// not loss-account it a second time.
+func (m *Manager) inflightDec(id BundleID, at engine.MSSID) bool {
+	f := m.inflight[id]
+	if f == nil || f.dests[at] == 0 {
+		return false
+	}
+	f.dests[at]--
+	if f.dests[at] == 0 {
+		delete(f.dests, at)
+	}
+	f.total--
+	if f.total == 0 {
 		delete(m.inflight, id)
 	}
-	if m.inFlightTotal > 0 {
-		m.inFlightTotal--
-	}
+	m.inFlightTotal--
+	return true
 }
 
 // ---- anti-entropy ----
@@ -394,7 +436,7 @@ func (m *Manager) terminal(at engine.MSSID, b *Bundle, canNotify bool) {
 	if _, dead := m.retired[b.ID]; dead {
 		return
 	}
-	if m.inflight[b.ID] > 0 {
+	if m.inflight[b.ID] != nil {
 		return
 	}
 	for _, s := range m.stores {
@@ -479,6 +521,42 @@ func (m *Manager) NoteCrash(mss engine.MSSID) {
 	for _, b := range m.stores[mss].All() {
 		m.stores[mss].Remove(b.ID)
 		m.lose(mss, b)
+	}
+	m.reapInflight(mss)
+}
+
+// reapInflight loss-accounts every replica currently on the wire toward
+// the crashed station. The fault injector's delivery gate discards
+// those records before HandleMSS ever sees them, so without this reap
+// the bundle's in-flight count would never drain and its terminal
+// obligations (failure notification or abandonment, pair-seq slot
+// release) would never fire — wedging all later ordered traffic of the
+// pair. A reaped copy that survives anyway (it lands after the station
+// restarts) is ignored by inflightDec and deduped by acceptBundle's
+// retired check, so the conservative reap can never double-deliver.
+func (m *Manager) reapInflight(mss engine.MSSID) {
+	// Reap in ascending bundle-ID order: map iteration order must not
+	// leak into the event trace (seeded runs are byte-identical).
+	var ids []BundleID
+	for id, f := range m.inflight {
+		if f.dests[mss] > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := m.inflight[id]
+		n := f.dests[mss]
+		delete(f.dests, mss)
+		f.total -= n
+		if f.total == 0 {
+			delete(m.inflight, id)
+		}
+		m.inFlightTotal -= n
+		b := f.b
+		for ; n > 0; n-- {
+			m.lose(mss, &b)
+		}
 	}
 }
 

@@ -227,6 +227,151 @@ func TestSprayReplicatesAlongVisitHistory(t *testing.T) {
 	}
 }
 
+// TestCrashReapsInflightTransfer pins the in-flight reap: a custody
+// transfer travelling toward a station that crashes mid-flight is
+// discarded by the fault injector before HandleMSS ever runs, so the
+// manager must loss-account it at NoteCrash. Without the reap the
+// bundle's in-flight count never drains, its terminal obligations never
+// fire, and the (MH1,MH0) pair wedges — the post-restart send "m2"
+// would never deliver.
+func TestCrashReapsInflightTransfer(t *testing.T) {
+	cfg := core.DefaultConfig(2, 2)
+	// Reconnect at 300: uplink 300→302, handoff req 302→305, reply
+	// 305→308, join at 308 fires DeliverAll — the custody transfer is
+	// on the wire 308→311. Crashing the receiver at 310 catches it.
+	cfg.Faults = &core.FaultPlan{Crashes: []core.Crash{{MSS: 1, At: 310, RestartAt: 400}}}
+	sys, p, ctx, mgr := fixedSys(t, cfg, Config{})
+	inj := sys.Injector()
+	inj.OnCrash(mgr.NoteCrash)
+	inj.OnRestart(mgr.NoteRestart)
+	inj.Arm()
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(10, func() {
+		if err := ctx.SendMHToMH(1, 0, "m1", cost.CatAlgorithm); err != nil {
+			t.Errorf("SendMHToMH m1: %v", err)
+		}
+	})
+	sys.Schedule(300, func() {
+		if err := sys.Reconnect(0, 1, true); err != nil {
+			t.Errorf("Reconnect: %v", err)
+		}
+	})
+	sys.Schedule(500, func() {
+		if err := ctx.SendMHToMH(1, 0, "m2", cost.CatAlgorithm); err != nil {
+			t.Errorf("SendMHToMH m2: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// m1's only copy died on the wire into the crash; m2 must still
+	// deliver — the reap released m1's pair sequence slot.
+	if want := []engine.Message{"m2"}; !reflect.DeepEqual(p.got, want) {
+		t.Fatalf("deliveries = %v, want %v (pair slot released by the reap)", p.got, want)
+	}
+	st := mgr.Stats()
+	if st.Accepted != 1 || st.Delivered != 0 || st.Lost != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 accepted, 1 lost in flight, 1 failed", st)
+	}
+	if mgr.StoredTotal() != 0 || mgr.inFlightTotal != 0 {
+		t.Fatalf("stored=%d inflight=%d after reap, want 0/0",
+			mgr.StoredTotal(), mgr.inFlightTotal)
+	}
+	if got := sys.Stats().FailedDeliveries; got != 1 {
+		t.Fatalf("FailedDeliveries = %d, want 1 (m1 abandoned)", got)
+	}
+}
+
+// TestFailCustodyTombstonesWithOriginDown pins send-time pair-slot
+// release: a parked bundle expires while its origin station is crashed,
+// so the failure notification is discarded in flight. The pair sequence
+// slot must be freed at send time regardless, or every later ordered
+// message of the pair wedges behind the hole.
+func TestFailCustodyTombstonesWithOriginDown(t *testing.T) {
+	cfg := core.DefaultConfig(2, 2)
+	cfg.Faults = &core.FaultPlan{Crashes: []core.Crash{{MSS: 1, At: 100, RestartAt: 200}}}
+	sys, p, ctx, mgr := fixedSys(t, cfg, Config{TTL: 50})
+	inj := sys.Injector()
+	inj.OnCrash(mgr.NoteCrash)
+	inj.OnRestart(mgr.NoteRestart)
+	inj.Arm()
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	// Custody at mss0 with origin mss1; the TTL passes at ~62.
+	sys.Schedule(10, func() {
+		if err := ctx.SendMHToMH(1, 0, "m1", cost.CatAlgorithm); err != nil {
+			t.Errorf("SendMHToMH m1: %v", err)
+		}
+	})
+	// Reconnecting at 150 drains the store, finds m1 expired, and sends
+	// the failure notification into the origin's crash window.
+	sys.Schedule(150, func() {
+		if err := sys.Reconnect(0, 0, true); err != nil {
+			t.Errorf("Reconnect: %v", err)
+		}
+	})
+	sys.Schedule(300, func() {
+		if err := ctx.SendMHToMH(1, 0, "m2", cost.CatAlgorithm); err != nil {
+			t.Errorf("SendMHToMH m2: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := []engine.Message{"m2"}; !reflect.DeepEqual(p.got, want) {
+		t.Fatalf("deliveries = %v, want %v (slot tombstoned at send time)", p.got, want)
+	}
+	st := mgr.Stats()
+	if st.Expired != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 expired, 1 failed", st)
+	}
+	// The notification itself died with the origin down: no failure
+	// callback fired, and that must not matter for pair progress.
+	if len(p.fails) != 0 {
+		t.Fatalf("failures = %v, want none (notification discarded)", p.fails)
+	}
+}
+
+// TestExpiredDuplicateCountsAsDuplicate pins acceptBundle's admission
+// order: an expired replica arriving where an (equally expired) copy is
+// already resident is one duplicate, not an extra expiry — the resident
+// copy's sweep is the single place that bundle's expiry is accounted.
+func TestExpiredDuplicateCountsAsDuplicate(t *testing.T) {
+	sys, _, ctx, mgr := fixedSys(t, core.DefaultConfig(2, 1), Config{TTL: 100})
+	if err := sys.Disconnect(0); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	sys.Schedule(10, func() { ctx.SendToMH(1, 0, "parked", cost.CatAlgorithm) })
+	var cp Bundle
+	sys.Schedule(50, func() {
+		ids := mgr.StoredAt(0)
+		if len(ids) != 1 {
+			t.Errorf("StoredAt(0) = %v, want 1 parked bundle", ids)
+			return
+		}
+		cp = *mgr.stores[0].Get(ids[0])
+	})
+	// Well past the TTL, a late replica of the same bundle arrives at
+	// the station still holding it.
+	sys.Schedule(200, func() { mgr.acceptBundle(0, &cp) })
+	if err := sys.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := mgr.Stats()
+	if st.Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1 (resident copy wins)", st.Duplicates)
+	}
+	if st.Expired != 0 {
+		t.Fatalf("Expired = %d, want 0 (no sweep ran; the arrival must not count it)", st.Expired)
+	}
+	if !mgr.stores[0].Has(cp.ID) {
+		t.Fatalf("resident replica vanished; the duplicate arrival must leave it in place")
+	}
+}
+
 // TestWaiterOverflowHandsCustody: with a bounded waiter queue and the
 // custody layer attached, routed messages beyond the in-transit queue
 // limit become bundles instead of drops, and everything still delivers

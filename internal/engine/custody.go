@@ -27,10 +27,13 @@ type CustodyRef struct {
 func (r CustodyRef) Origin() MSSID { return r.opts.origin }
 
 // CustodyHook is offered messages the engine would otherwise bounce with a
-// disconnected-delivery failure. Returning true transfers responsibility
-// for the message to the hook: the engine charges the handover as control
-// traffic (exactly what the replaced notification would have cost) and
-// forgets the message. Returning false restores the paper's behavior.
+// disconnected-delivery failure or drop on waiter overflow. Every offer
+// site charges one fixed control message before the offer — at the two
+// routed-failure sites that is exactly what the replaced notification
+// would have cost; at the overflow site it prices the handover the same
+// way so custody acceptance is cost-uniform across all three seams.
+// Returning true transfers responsibility for the message to the hook and
+// the engine forgets it. Returning false restores the paper's behavior.
 //
 // OfferCustody runs on the engine's execution context, mid-route; it may
 // call Context send methods but must not deliver synchronously.
@@ -55,12 +58,15 @@ func (e *Engine) RedeliverCustody(from MSSID, mh MHID, msg Message, ref CustodyR
 
 // FailCustody gives up on a custodied message (TTL expiry, store
 // eviction): the holder notifies the origin exactly as the paper's
-// disconnected path would have, and the message's pair sequence slot is
-// tombstoned so later ordered traffic keeps flowing.
+// disconnected path would have. The message's pair sequence slot is
+// tombstoned immediately — pair state is global engine state, and the
+// notification itself may be discarded if the origin is down — so later
+// ordered traffic keeps flowing whether or not the origin ever hears.
 func (e *Engine) FailCustody(holder MSSID, mh MHID, msg Message, ref CustodyRef) {
 	e.checkMSS(holder)
 	e.checkMH(mh)
 	e.meter.Charge(cost.CatControl, cost.KindFixed)
+	e.skipPairSeq(ref.opts)
 	rec := e.newRec(opNotifyFailure)
 	rec.mss = ref.opts.origin
 	rec.mh = mh

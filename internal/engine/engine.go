@@ -415,14 +415,19 @@ func (e *Engine) addWaiter(mh MHID, rec *DeliveryRec) {
 }
 
 // overflowWaiter disposes of a record that found mh's waiter queue full.
-// Resumable routed payloads are offered to the custody hook; everything
-// else (and any refusal) is dropped: the pair sequence is tombstoned so
-// later ordered traffic is not wedged, and the record returns to the pool.
+// Resumable routed payloads are offered to the custody hook — the offer
+// is preceded by one fixed control-message charge, exactly like the two
+// routed-failure offer sites, so custody acceptance costs the same at
+// every seam. Everything else (and any refusal) is dropped: the pair
+// sequence is tombstoned so later ordered traffic is not wedged, and
+// the record returns to the pool.
 func (e *Engine) overflowWaiter(mh MHID, rec *DeliveryRec) {
-	if e.custody != nil && rec.op == opRouteResume &&
-		e.custody.OfferCustody(rec.mss, mh, rec.msg, CustodyRef{opts: rec.opts}) {
-		e.FreeRec(rec)
-		return
+	if e.custody != nil && rec.op == opRouteResume {
+		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		if e.custody.OfferCustody(rec.mss, mh, rec.msg, CustodyRef{opts: rec.opts}) {
+			e.FreeRec(rec)
+			return
+		}
 	}
 	e.stats.WaiterDrops++
 	e.skipPairSeq(rec.opts)

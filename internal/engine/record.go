@@ -203,9 +203,9 @@ func (e *Engine) runRec(rec *DeliveryRec) {
 		e.downArrive(rec)
 
 	case opNotifyFailure:
-		// The message will never deliver; free its pair sequence slot so
-		// later ordered traffic of the pair is not wedged behind the hole.
-		e.skipPairSeq(rec.opts)
+		// The pair sequence slot was already tombstoned at send time
+		// (the origin may be crashed and this record discarded in
+		// flight); only the origin-side failure callback remains here.
 		e.notifyFailure(rec.opts.alg, rec.mss, rec.mh, rec.msg, FailDisconnected)
 
 	case opSendFromMH:

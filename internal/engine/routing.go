@@ -129,6 +129,11 @@ func (e *Engine) routeToMH(via MSSID, mh MHID, msg Message, opts routeOpts, stal
 		if e.custody != nil && e.custody.OfferCustody(holder, mh, msg, CustodyRef{opts: opts}) {
 			return
 		}
+		// The message will never deliver: free its pair sequence slot
+		// now, at send time — the origin may itself be crashed and the
+		// notification discarded in flight, and pair state is global
+		// engine state, not something the origin must hear about.
+		e.skipPairSeq(opts)
 		rec := e.newRec(opNotifyFailure)
 		rec.mss = opts.origin
 		rec.mh = mh
@@ -240,6 +245,9 @@ func (e *Engine) downArrive(rec *DeliveryRec) {
 		if e.custody != nil && e.custody.OfferCustody(mss, mh, rec.msg, CustodyRef{opts: rec.opts}) {
 			return
 		}
+		// Tombstone at send time (see routeToMH): the notification may
+		// never reach a crashed origin.
+		e.skipPairSeq(rec.opts)
 		fail := e.newRec(opNotifyFailure)
 		fail.mss = rec.opts.origin
 		fail.mh = mh
@@ -427,6 +435,9 @@ func (e *Engine) routeToMSSOfMH(via MSSID, mh MHID, msg Message, opts routeOpts,
 		holder := st.at
 		e.chargeSearch(opts, stale)
 		e.meter.Charge(cost.CatControl, cost.KindFixed)
+		// Tombstone at send time (see routeToMH); a no-op here since
+		// MSS-destined traffic never carries a pair sequence.
+		e.skipPairSeq(opts)
 		rec := e.newRec(opNotifyFailure)
 		rec.mss = opts.origin
 		rec.mh = mh
